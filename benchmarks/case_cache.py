@@ -1,0 +1,30 @@
+"""Shared, lazily computed Section-V case results.
+
+Several figures compare cases against each other (FFT vs GEMM bank
+camping, Winograd-forward vs backward-filter balance); caching lets each
+benchmark assert cross-case shapes without re-simulating.
+"""
+
+from __future__ import annotations
+
+from repro.harness.conv_study import StudyResult, run_case
+from repro.timing.config import GTX1080TI, scaled
+from repro.workloads.conv_sample import ConvSampleConfig
+
+#: The Section V platform (28 SMs, 11 partitions), as in the paper.
+#: ``scaled`` is available for quicker runs on slower hosts.
+GPU = GTX1080TI
+
+#: conv_sample geometry: 3x3 stride-1 pad-1 so every algorithm of the
+#: paper's sweep is applicable.
+SAMPLE = ConvSampleConfig(batch=1, channels=3, height=10, width=10,
+                          filters=4)
+
+_cache: dict[tuple[str, str], StudyResult] = {}
+
+
+def get_case(direction: str, algo) -> StudyResult:
+    key = (direction, algo.value)
+    if key not in _cache:
+        _cache[key] = run_case(direction, algo, gpu=GPU, sample=SAMPLE)
+    return _cache[key]

@@ -1,0 +1,30 @@
+"""Benchmark fixtures and result recording.
+
+Every benchmark regenerates one table/figure of the paper.  Besides the
+pytest-benchmark wall-clock numbers, each writes its rows/series to
+``results/`` so EXPERIMENTS.md can cite them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def record(results_dir):
+    """record(name, text): persist a figure/table reproduction."""
+    def _record(name: str, text: str) -> Path:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text)
+        return path
+    return _record

@@ -1,0 +1,63 @@
+"""Ablation benches for DESIGN.md §5's design choices.
+
+§5.3: FR-FCFS open-row DRAM scheduling (bank camping observable) vs
+FCFS closed-row.  §5.1's execution-driven choice is covered by
+``test_sec3f_checkpoint.py``; §5.2's PDOM reconvergence by
+``test_fig22_winograd_divergence.py``.  The warp-scheduler policy
+(LRR vs GTO) is included for completeness.
+"""
+
+from dataclasses import replace
+
+from bench_utils import run_once
+from case_cache import GPU, SAMPLE
+
+from repro.cudnn import ConvFwdAlgo
+from repro.harness.conv_study import run_case
+
+
+def test_ablation_dram_scheduler(benchmark, record):
+    def run_both():
+        frfcfs = run_case("fwd", ConvFwdAlgo.GEMM, gpu=GPU,
+                          sample=SAMPLE)
+        fcfs = run_case("fwd", ConvFwdAlgo.GEMM,
+                        gpu=replace(GPU, dram_scheduler="fcfs"),
+                        sample=SAMPLE)
+        return frfcfs, fcfs
+
+    frfcfs, fcfs = run_once(benchmark, run_both)
+
+    def hits(result):
+        return sum(p.result.stats.get("dram_row_hits", 0)
+                   for p in result.profiles)
+
+    record("ablation_dram_scheduler",
+           f"FR-FCFS (open row):  {frfcfs.total_cycles} cycles, "
+           f"{hits(frfcfs)} row hits\n"
+           f"FCFS (closed row):   {fcfs.total_cycles} cycles, "
+           f"{hits(fcfs)} row hits\n")
+    assert hits(fcfs) == 0
+    assert hits(frfcfs) > 0
+    assert frfcfs.total_cycles <= fcfs.total_cycles
+
+
+def test_ablation_warp_scheduler(benchmark, record):
+    def run_both():
+        lrr = run_case("fwd", ConvFwdAlgo.IMPLICIT_GEMM, gpu=GPU,
+                       sample=SAMPLE)
+        gto = run_case("fwd", ConvFwdAlgo.IMPLICIT_GEMM,
+                       gpu=replace(GPU, warp_scheduler="gto"),
+                       sample=SAMPLE)
+        return lrr, gto
+
+    lrr, gto = run_once(benchmark, run_both)
+    record("ablation_warp_scheduler",
+           f"LRR: {lrr.total_cycles} cycles, IPC {lrr.mean_ipc:.1f}\n"
+           f"GTO: {gto.total_cycles} cycles, IPC {gto.mean_ipc:.1f}\n")
+    # Same work retires under both policies.
+    lrr_instr = sum(p.result.stats["warp_instructions"]
+                    for p in lrr.profiles)
+    gto_instr = sum(p.result.stats["warp_instructions"]
+                    for p in gto.profiles)
+    assert lrr_instr == gto_instr
+    assert gto.total_cycles > 0

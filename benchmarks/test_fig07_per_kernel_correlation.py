@@ -1,0 +1,50 @@
+"""Figure 7 — per-kernel correlation outliers.
+
+Paper: "the overall discrepancy is heavily affected by a few kernels
+such as CGEMM, Winograd, and LRN"; the figure's kernels are LRN, CGEMM,
+GEMV2T, Winograd, fft2d_r2c_32x32, fft2d_r2c_16x16 and fft2d_c2r_32x32.
+Shape targets: exactly these families are the outliers, with the GEMM/
+GEMV/Winograd/LRN group pessimistic (sim > hw) and the fft2d group
+optimistic (sim < hw).
+"""
+
+from bench_utils import run_once
+
+from repro.cudnn import ConvFwdAlgo
+from repro.harness import run_mnist_correlation
+from repro.harness.correlation import FIGURE7_KERNELS
+from repro.nn.lenet import LeNetConfig
+from repro.timing.config import GTX1050
+from repro.workloads.mnist_sample import MnistSampleConfig
+
+SAMPLE = MnistSampleConfig(
+    images=2,
+    lenet=LeNetConfig.reduced(
+        conv1_fwd=ConvFwdAlgo.FFT_TILING,
+        conv2_fwd=ConvFwdAlgo.WINOGRAD_NONFUSED,
+        conv1_channels=3, conv2_channels=4, fc_hidden=24))
+
+
+def test_fig07_named_kernels_are_the_outliers(benchmark, record):
+    result = run_once(
+        benchmark,
+        lambda: run_mnist_correlation(GTX1050, sample_config=SAMPLE))
+    rows = result.figure7_rows()
+    lines = ["Fig 7 — per-kernel relative execution time (hw = 100)"]
+    lines += [f"  {name:18s} hw={hw:6.1f} sim={sim:6.1f}"
+              for name, hw, sim in rows]
+    record("fig07_per_kernel_correlation", "\n".join(lines))
+
+    by_family = {name: sim for name, _hw, sim in rows}
+    # The pessimistic group: sim noticeably above hardware.
+    for family in ("lrn", "cgemm", "gemv2T", "winograd"):
+        assert family in by_family, f"{family} missing from the workload"
+        assert by_family[family] > 120, (
+            f"{family}: sim={by_family[family]:.0f} not an outlier")
+    # The optimistic group: at least one fft2d family below hardware.
+    fft_rows = [sim for name, _hw, sim in rows if "fft2d" in name]
+    assert fft_rows and min(fft_rows) < 100
+    # Every figure-7 family present in the run deviates from 100.
+    for name, _hw, sim in rows:
+        assert abs(sim - 100) > 5, f"{name} unexpectedly on the line"
+    assert set(by_family) <= set(FIGURE7_KERNELS)

@@ -1,0 +1,56 @@
+"""Figure 8 — average power for 32-bit MNIST, six components.
+
+Paper: "on average the core (in particular the ALUs) consume 65% of the
+power.  However, on average Idle power consumes a further 25% of the
+total power."  Shape targets: core dominates every other component,
+idle is the second-largest share, and all six components report.
+"""
+
+from bench_utils import run_once
+
+from repro.cuda import CudaRuntime
+from repro.cudnn import ConvFwdAlgo
+from repro.nn.lenet import LeNetConfig
+from repro.power import PowerModel
+from repro.power.model import COMPONENTS
+from repro.timing import TimingBackend
+from repro.timing.config import GTX1050
+from repro.workloads.mnist_sample import MnistSample, MnistSampleConfig
+
+SAMPLE = MnistSampleConfig(
+    images=1,
+    lenet=LeNetConfig.reduced(
+        conv1_fwd=ConvFwdAlgo.FFT_TILING,
+        conv2_fwd=ConvFwdAlgo.WINOGRAD_NONFUSED,
+        conv1_channels=3, conv2_channels=4, fc_hidden=24))
+
+
+def _run_power():
+    backend = TimingBackend(GTX1050)
+    runtime = CudaRuntime(backend=backend)
+    sample = MnistSample(runtime, SAMPLE)
+    sample.run(self_check=False)
+    model = PowerModel(GTX1050)
+    return model.breakdown(backend.kernel_stats)
+
+
+def test_fig08_power_breakdown(benchmark, record):
+    breakdown = run_once(benchmark, _run_power)
+    lines = ["Fig 8 — average power, 32-bit MNIST (GTX1050 model)"]
+    for name, watts, share in breakdown.as_rows():
+        lines.append(f"  {name:5s} {watts:7.2f} W  {100 * share:5.1f}%")
+    lines.append(f"  total {breakdown.total:7.2f} W")
+    record("fig08_power_breakdown", "\n".join(lines))
+
+    assert set(breakdown.watts) == set(COMPONENTS)
+    core = breakdown.share("core")
+    idle = breakdown.share("idle")
+    # Core dominates (paper: ~65%).
+    assert core > 0.40
+    for other in ("l1", "l2", "noc", "dram"):
+        assert core > breakdown.share(other)
+    # Idle is the second-largest block (paper: ~25%).
+    assert idle > 0.10
+    assert idle > max(breakdown.share(c)
+                      for c in ("l1", "l2", "noc", "dram"))
+    assert breakdown.total > 0

@@ -1,0 +1,43 @@
+"""Figures 9/10 — forward convolution (FFT): DRAM efficiency and
+utilization per bank, with bank-camping phases.
+
+Paper: "For FFT, we see that most of the DRAM banks show high memory
+efficiency, interspersed with periods of parallel efficiency.  However,
+FFT also has a mix of serial and parallel efficiency patterns.  In the
+serial sections, FFT is unable to parallelize memory bank accesses.
+This phenomenon is known as bank camping."
+"""
+
+import numpy as np
+
+from bench_utils import run_once
+from case_cache import get_case
+
+from repro.aerialvision.plots import phase_summary
+from repro.cudnn import ConvFwdAlgo
+
+
+def test_fig09_10_fft_dram_efficiency_and_utilization(benchmark, record):
+    result = run_once(benchmark,
+                      lambda: get_case("fwd", ConvFwdAlgo.FFT))
+    report = result.report
+    record("fig09_fft_dram_efficiency",
+           report.render_text() + "\n\n"
+           + f"interval camping index: "
+           f"{report.interval_camping_index():.3f}\n")
+    report.write_csv("results/fig09_10_csv")
+
+    eff = report.dram_efficiency
+    util = report.dram_utilization
+    assert eff.shape[0] == 11  # GTX1080Ti partitions
+    # High-efficiency periods exist on most banks...
+    busy_banks = (eff.max(axis=1) > 0.5).sum()
+    assert busy_banks >= eff.shape[0] // 2
+    # ...interspersed with low phases: each busy bank's efficiency
+    # crosses its mean many times ("many varying phases").
+    crossings = phase_summary(eff[int(np.argmax(eff.sum(axis=1)))])
+    assert crossings["crossings"] >= 4
+    assert 0 < crossings["high_fraction"] < 1
+    # Serial sections: per-interval traffic concentrates on few banks.
+    floor = 1.0 / util.shape[0]
+    assert report.interval_camping_index() > 2.5 * floor

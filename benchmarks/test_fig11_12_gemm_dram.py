@@ -1,0 +1,33 @@
+"""Figures 11/12 — forward convolution (GEMM): DRAM efficiency and
+utilization per bank.
+
+Paper: "bank camping is less of an issue for other approaches like
+forward convolution with the GEMM algorithm" — GEMM spreads its
+accesses across partitions far more evenly than FFT.
+"""
+
+from bench_utils import run_once
+from case_cache import get_case
+
+from repro.cudnn import ConvFwdAlgo
+
+
+def test_fig11_12_gemm_spreads_bank_traffic(benchmark, record):
+    result = run_once(benchmark,
+                      lambda: get_case("fwd", ConvFwdAlgo.GEMM))
+    report = result.report
+    fft_report = get_case("fwd", ConvFwdAlgo.FFT).report
+    record("fig11_gemm_dram_efficiency",
+           report.render_text() + "\n\n"
+           + f"GEMM interval camping index: "
+           f"{report.interval_camping_index():.3f}\n"
+           + f"FFT  interval camping index: "
+           f"{fft_report.interval_camping_index():.3f}\n")
+    report.write_csv("results/fig11_12_csv")
+
+    # The headline comparison: GEMM camps far less than FFT.
+    assert (report.interval_camping_index()
+            < 0.7 * fft_report.interval_camping_index())
+    # And its traffic reaches multiple partitions.
+    per_partition = report.dram_utilization.sum(axis=1)
+    assert (per_partition > 0).sum() >= 4

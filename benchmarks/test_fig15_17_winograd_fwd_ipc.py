@@ -1,0 +1,43 @@
+"""Figures 15/16/17 — forward convolution (Winograd Nonfused): global
+IPC, per-shader IPC, DRAM efficiency.
+
+Paper: "The Winograd Nonfused algorithm has the highest IPCs for all
+three types of convolution. ... the forward convolution and backward
+data convolution implementations are balanced across all the shader
+cores and thus achieve high per shader IPCs" and "when Winograd
+Nonfused's IPC is highest, the memory efficiency is low, indicating
+that there are phases that the program is compute bound."
+"""
+
+import numpy as np
+
+from bench_utils import run_once
+from case_cache import get_case
+
+from repro.cudnn import ConvFwdAlgo
+
+
+def test_fig15_17_winograd_fwd_ipc_and_balance(benchmark, record):
+    result = run_once(
+        benchmark, lambda: get_case("fwd", ConvFwdAlgo.WINOGRAD_NONFUSED))
+    report = result.report
+    record("fig15_17_winograd_fwd", report.render_text() + "\n"
+           + f"mean IPC {result.mean_ipc:.1f}, "
+           f"balance {report.shader_load_balance():.2f}\n")
+    report.write_csv("results/fig15_17_csv")
+
+    # Highest IPC among the forward algorithms we also ran.
+    implicit = get_case("fwd", ConvFwdAlgo.IMPLICIT_GEMM)
+    fft = get_case("fwd", ConvFwdAlgo.FFT)
+    assert result.mean_ipc > implicit.mean_ipc
+    assert result.mean_ipc > fft.mean_ipc
+    # Balanced across the shader cores (Fig. 16).
+    assert report.shader_load_balance() > 0.9
+    # Compute-bound phases: in the top-IPC intervals, DRAM efficiency
+    # is below its overall mean (Fig. 16 vs Fig. 17).
+    ipc = report.global_ipc
+    eff = report.dram_efficiency.mean(axis=0)
+    top = ipc >= np.percentile(ipc[ipc > 0], 75)
+    busy_eff = eff[eff > 0]
+    if busy_eff.size and top.any():
+        assert eff[top].mean() <= eff.mean() + 1e-9

@@ -1,0 +1,27 @@
+"""Figures 18/19 — backward data convolution (Winograd Nonfused):
+global and per-shader IPC, balanced across cores.
+"""
+
+from bench_utils import run_once
+from case_cache import get_case
+
+from repro.cudnn import ConvBwdDataAlgo
+
+
+def test_fig18_19_winograd_bwddata_balanced_high_ipc(benchmark, record):
+    result = run_once(
+        benchmark,
+        lambda: get_case("bwd_data", ConvBwdDataAlgo.WINOGRAD_NONFUSED))
+    report = result.report
+    record("fig18_19_winograd_bwddata", report.render_text() + "\n"
+           + f"mean IPC {result.mean_ipc:.1f}, "
+           f"balance {report.shader_load_balance():.2f}\n")
+    report.write_csv("results/fig18_19_csv")
+
+    # Highest IPC among backward-data algorithms.
+    for algo in (ConvBwdDataAlgo.ALGO_0, ConvBwdDataAlgo.ALGO_1):
+        other = get_case("bwd_data", algo)
+        assert result.mean_ipc > other.mean_ipc, algo
+    # Balanced across shader cores (Fig. 19).
+    assert report.shader_load_balance() > 0.9
+    assert report.peak_global_ipc > 0

@@ -1,0 +1,40 @@
+"""Figures 20/21 — backward filter convolution (Winograd Nonfused):
+highest IPC but shader load imbalance.
+
+Paper: "Although the backward filter convolution version of Winograd
+Nonfused ... still has the highest IPC, only some of the cores are
+being used due to load imbalance.  However, for the active cores, it
+commits many instructions per cycle."
+"""
+
+from bench_utils import run_once
+from case_cache import get_case
+
+from repro.cudnn import ConvBwdFilterAlgo, ConvFwdAlgo
+
+
+def test_fig20_21_winograd_bwdfilter_imbalanced_high_ipc(benchmark,
+                                                         record):
+    result = run_once(
+        benchmark,
+        lambda: get_case("bwd_filter",
+                         ConvBwdFilterAlgo.WINOGRAD_NONFUSED))
+    report = result.report
+    record("fig20_21_winograd_bwdfilter", report.render_text() + "\n"
+           + f"mean IPC {result.mean_ipc:.1f}, "
+           f"balance {report.shader_load_balance():.2f}\n")
+    report.write_csv("results/fig20_21_csv")
+
+    # Still the highest IPC among backward-filter algorithms...
+    for algo in (ConvBwdFilterAlgo.ALGO_0, ConvBwdFilterAlgo.ALGO_1,
+                 ConvBwdFilterAlgo.ALGO_3):
+        other = get_case("bwd_filter", algo)
+        assert result.mean_ipc > other.mean_ipc, algo
+    # ...but only some of the cores are used (vs the balanced forward).
+    fwd = get_case("fwd", ConvFwdAlgo.WINOGRAD_NONFUSED)
+    bwd_balance = report.shader_load_balance()
+    assert bwd_balance < 0.8
+    assert bwd_balance < fwd.report.shader_load_balance()
+    # The active cores commit many instructions per cycle.
+    per_sm = report.shader_ipc.max(axis=1)
+    assert per_sm.max() > 1.0

@@ -1,0 +1,52 @@
+"""Figure 22 — forward convolution (Winograd Nonfused): warp divergence.
+
+Paper: "warp divergence is not an issue for any of the algorithms we
+tested ... The forward convolution component of the Winograd Nonfused
+algorithm has the most significant warp divergence ... However, this
+has a negligible impact on the IPC, since forward convolution with
+Winograd Nonfused is actually one of the fastest algorithms."
+
+Also covers the reconvergence ablation of DESIGN.md §5.2: with
+reconverge-at-exit, divergence is strictly worse.
+"""
+
+from bench_utils import run_once
+from case_cache import GPU, SAMPLE, get_case
+
+from repro.cudnn import ConvFwdAlgo
+from repro.harness.conv_study import run_case
+
+
+def test_fig22_winograd_divergence_negligible(benchmark, record):
+    result = run_once(
+        benchmark, lambda: get_case("fwd", ConvFwdAlgo.WINOGRAD_NONFUSED))
+    report = result.report
+    shares = report.stall_breakdown()
+    issued_partial = report.divergence_fraction()
+    lines = ["Fig 22 — Winograd Nonfused fwd: warp issue breakdown"]
+    for bucket, share in sorted(shares.items()):
+        if share > 0:
+            lines.append(f"  {bucket:12s} {100 * share:6.2f}%")
+    lines.append(f"  divergent-issue fraction: {issued_partial:.4f}")
+    record("fig22_winograd_divergence", "\n".join(lines))
+
+    # Divergence exists (boundary tiles) but is small...
+    assert 0 < issued_partial < 0.3
+    # ...and has negligible impact: it is still one of the fastest.
+    implicit = get_case("fwd", ConvFwdAlgo.IMPLICIT_GEMM)
+    assert result.mean_ipc > 3 * implicit.mean_ipc
+
+
+def test_fig22_ablation_reconverge_at_exit_diverges_more(benchmark,
+                                                         record):
+    baseline = get_case("fwd", ConvFwdAlgo.WINOGRAD_NONFUSED)
+    ablated = run_once(
+        benchmark,
+        lambda: run_case("fwd", ConvFwdAlgo.WINOGRAD_NONFUSED, gpu=GPU,
+                         sample=SAMPLE, reconverge_at_exit=True))
+    base_div = baseline.report.divergence_fraction()
+    ablat_div = ablated.report.divergence_fraction()
+    record("fig22_ablation_reconvergence",
+           f"PDOM reconvergence:      divergent fraction {base_div:.4f}\n"
+           f"reconverge-at-exit:      divergent fraction {ablat_div:.4f}\n")
+    assert ablat_div >= base_div

@@ -1,0 +1,38 @@
+"""Figures 23/24/25 — forward convolution (Implicit GEMM): warp issue
+breakdown dominated by data hazards / idle warps; low IPC.
+
+Paper: "we see that a majority of the warp breakdown is taken up by
+data hazards and idle warps.  Comparing this to the IPC plots ... the
+low IPC ... can be attributed to this idle warp breakdown."
+"""
+
+from bench_utils import run_once
+from case_cache import get_case
+
+from repro.cudnn import ConvFwdAlgo
+from repro.timing.stats import W0_ALU, W0_BARRIER, W0_IDLE, W0_MEM
+
+
+def test_fig23_25_implicit_gemm_data_hazard_bound(benchmark, record):
+    result = run_once(
+        benchmark, lambda: get_case("fwd", ConvFwdAlgo.IMPLICIT_GEMM))
+    report = result.report
+    shares = report.stall_breakdown()
+    stall_share = sum(shares.get(b, 0.0)
+                      for b in (W0_IDLE, W0_MEM, W0_ALU, W0_BARRIER))
+    issued_share = 1.0 - stall_share
+    lines = ["Fig 23-25 — Implicit GEMM fwd: issue-slot breakdown"]
+    for bucket, share in sorted(shares.items()):
+        if share > 0:
+            lines.append(f"  {bucket:12s} {100 * share:6.2f}%")
+    lines.append(f"  mean global IPC: {result.mean_ipc:.2f}")
+    record("fig23_25_implicit_gemm", "\n".join(lines))
+
+    # The breakdown is dominated by W0 slots (data hazards + idle).
+    assert stall_share > 0.6
+    hazard = shares.get(W0_MEM, 0.0) + shares.get(W0_ALU, 0.0)
+    assert hazard > shares.get("W29_32", 0.0)
+    # Low IPC relative to the fast algorithms (Figs. 24/25 vs 15/16).
+    winograd = get_case("fwd", ConvFwdAlgo.WINOGRAD_NONFUSED)
+    assert result.mean_ipc < 0.5 * winograd.mean_ipc
+    assert issued_share < 0.4

@@ -1,0 +1,72 @@
+"""Checkpoint in functional mode, resume in performance mode.
+
+The paper's Section III-F flow (Figures 4 and 5): run the application's
+first kernels functionally, stop inside kernel x after CTA M has run y
+instructions per warp, save Data1/Data2, and resume from that exact
+point in the (7-8x slower) performance simulation mode.
+
+    python examples/checkpoint_resume.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.checkpoint import Checkpoint, CheckpointingBackend, ResumeBackend
+from repro.cuda import CudaRuntime
+from repro.cudnn import ConvFwdAlgo
+from repro.nn.lenet import LeNetConfig
+from repro.timing import TINY, TimingBackend
+from repro.workloads.mnist_sample import MnistSample, MnistSampleConfig
+
+SAMPLE = MnistSampleConfig(
+    images=1,
+    lenet=LeNetConfig.reduced(conv1_fwd=ConvFwdAlgo.IMPLICIT_GEMM,
+                              conv1_channels=3, conv2_channels=4,
+                              fc_hidden=24))
+
+
+def run(backend=None):
+    runtime = (CudaRuntime(backend=backend) if backend is not None
+               else CudaRuntime())
+    sample = MnistSample(runtime, SAMPLE)
+    return sample.run(self_check=False)
+
+
+def main() -> None:
+    print("1. ground truth: full functional run")
+    truth = run()
+    print(f"   logits: {np.round(truth.logits[0], 3)}")
+
+    print("\n2. checkpoint flow: stop inside kernel #3, CTA 0, after "
+          "24 instructions per warp")
+    checkpointer = CheckpointingBackend(kernel_ordinal=3, first_cta=0,
+                                        partial_ctas=1,
+                                        warp_instruction_budget=24)
+    run(checkpointer)
+    checkpoint = checkpointer.checkpoint
+    path = Path(tempfile.mkdtemp()) / "mnist.ckpt"
+    checkpoint.save(path)
+    print(f"   checkpoint taken in kernel {checkpoint.kernel_name!r}")
+    print(f"   Data1: {len(checkpoint.cta_snapshots)} partial CTA(s), "
+          f"{sum(len(s.warps) for s in checkpoint.cta_snapshots)} warps")
+    print(f"   Data2: {len(checkpoint.global_memory['pages'])} global "
+          f"memory pages")
+    print(f"   saved to {path}")
+
+    print("\n3. resume flow: reload and continue in performance mode")
+    restored = Checkpoint.load(path)
+    timing = TimingBackend(TINY)
+    resumed = run(ResumeBackend(restored, timing))
+    print(f"   logits: {np.round(resumed.logits[0], 3)}")
+    cycles = sum(stats.cycles for stats in timing.kernel_stats)
+    print(f"   {len(timing.kernel_stats)} kernels timed on resume, "
+          f"{cycles} simulated cycles")
+    match = np.allclose(resumed.logits, truth.logits, atol=1e-4)
+    print(f"\nresumed run matches the full run: "
+          f"{'YES' if match else 'NO'}")
+
+
+if __name__ == "__main__":
+    main()

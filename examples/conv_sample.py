@@ -1,0 +1,45 @@
+"""conv_sample case study — the paper's Section V, in your terminal.
+
+Runs forward convolution with two algorithms (FFT and Winograd
+Nonfused) on the cycle-level timing model and renders the AerialVision
+views the paper plots: DRAM efficiency/utilization per bank, global and
+per-shader IPC, and the warp-issue breakdown.
+
+    python examples/conv_sample.py [--full]
+
+By default uses a 4x-scaled GTX 1080 Ti model for speed; ``--full`` uses
+all 28 SMs / 11 partitions.
+"""
+
+import sys
+
+from repro.cuda import CudaRuntime
+from repro.cudnn import ConvFwdAlgo
+from repro.harness.conv_study import run_case
+from repro.timing.config import GTX1080TI, scaled
+from repro.workloads.conv_sample import ConvSampleConfig
+
+
+def main() -> None:
+    gpu = GTX1080TI if "--full" in sys.argv else scaled(GTX1080TI, 0.25)
+    sample = ConvSampleConfig(batch=1, channels=3, height=10, width=10,
+                              filters=4)
+    print(f"simulating conv_sample on the {gpu.name} model "
+          f"({gpu.num_sms} SMs, {gpu.num_partitions} partitions)\n")
+
+    for algo in (ConvFwdAlgo.FFT, ConvFwdAlgo.WINOGRAD_NONFUSED):
+        print(f"=== forward convolution, algorithm: {algo.value} ===")
+        result = run_case("fwd", algo, gpu=gpu, sample=sample)
+        report = result.report
+        print(report.render_text(max_cols=72))
+        print(f"kernels: "
+              f"{[profile.name for profile in result.profiles]}")
+        print(f"total cycles {result.total_cycles}, "
+              f"mean IPC {result.mean_ipc:.1f}, "
+              f"bank camping index "
+              f"{report.interval_camping_index():.2f}, "
+              f"shader balance {report.shader_load_balance():.2f}\n")
+
+
+if __name__ == "__main__":
+    main()

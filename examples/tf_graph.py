@@ -1,0 +1,57 @@
+"""The TensorFlow story (paper Section III-E), completed.
+
+The paper got PyTorch working but TensorFlow's PTX "uses syntax that is
+not supported by GPGPU-Sim to initialize arrays using curly braces".
+This demo first reproduces that failure, then runs a small TF-style
+static graph end to end with the brace-initialiser extension enabled.
+
+    python examples/tf_graph.py
+"""
+
+import numpy as np
+
+from repro.cuda import CudaRuntime
+from repro.errors import PTXSyntaxError
+from repro.graph import Graph, Session, build_pywrap_library
+
+
+def main() -> None:
+    print("1. stock loader vs _pywrap_tensorflow_internal.so:")
+    stock = CudaRuntime()
+    try:
+        stock.load_binary(build_pywrap_library())
+        print("   unexpectedly loaded?!")
+    except PTXSyntaxError as error:
+        print(f"   PTXSyntaxError: {error}")
+        print("   (the paper's dead end — left as future work)")
+
+    print("\n2. with allow_brace_init=True (future work, done):")
+    session = Session()
+    print(f"   loaded {len(session.rt.program.kernels)} kernels, "
+          "including tf_scale_and_shift")
+
+    print("\n3. run a small static graph:")
+    rng = np.random.default_rng(1)
+    graph = Graph()
+    images = graph.placeholder((2, 1, 8, 8), name="images")
+    conv_w = graph.constant(
+        rng.standard_normal((4, 1, 3, 3)).astype(np.float32) * 0.4)
+    dense_w = graph.constant(
+        rng.standard_normal((4 * 4 * 4, 10)).astype(np.float32) * 0.2)
+    logits = graph.dense(
+        graph.flatten(graph.max_pool(graph.relu(
+            graph.conv2d(images, conv_w, padding=1)))),
+        dense_w)
+    probs = graph.softmax(graph.scale_and_shift(logits))
+
+    feed = {images: rng.standard_normal((2, 1, 8, 8)
+                                        ).astype(np.float32)}
+    output = session.run(probs, feed)
+    print(f"   probabilities shape {output.shape}, "
+          f"rows sum to {output.sum(axis=1).round(5)}")
+    names = {entry["name"] for entry in session.rt.launch_log}
+    print(f"   kernels used: {sorted(names)}")
+
+
+if __name__ == "__main__":
+    main()

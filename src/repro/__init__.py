@@ -1,0 +1,28 @@
+"""repro — a pure-Python reproduction of Lew et al., "Analyzing Machine
+Learning Workloads Using a Detailed GPU Simulator" (ISPASS 2019).
+
+The package is a GPGPU-Sim-style GPU simulator plus everything the paper
+needed around it:
+
+* :mod:`repro.ptx` / :mod:`repro.functional` — PTX front end and the
+  warp-lockstep functional simulator (with the paper's instruction fixes
+  and re-injectable legacy bugs, :mod:`repro.quirks`).
+* :mod:`repro.cuda` — CUDA runtime/driver API, streams + events,
+  textures, fat-binary loader with per-file PTX extraction.
+* :mod:`repro.cudnn` / :mod:`repro.cublas` — a cuDNN/cuBLAS clone whose
+  kernels are opaque generated PTX (FFT, Winograd, GEMM, LRN, ...).
+* :mod:`repro.timing` / :mod:`repro.power` — cycle-level performance
+  model and GPUWattch-style power breakdown.
+* :mod:`repro.aerialvision` — per-interval metric plots.
+* :mod:`repro.nn` — a miniature PyTorch with LeNet and synthetic MNIST.
+* :mod:`repro.checkpoint` — Figure 4/5 checkpoint-resume flows.
+* :mod:`repro.debugtool` — the three-level differential debugger.
+* :mod:`repro.harness` — the virtual-hardware oracle, the Figure 6/7
+  correlation runner, and the Section V case-study drivers.
+"""
+
+from repro.quirks import FIXED, LegacyQuirks, STOCK_GPGPUSIM
+
+__version__ = "1.0.0"
+
+__all__ = ["FIXED", "LegacyQuirks", "STOCK_GPGPUSIM", "__version__"]

@@ -1,0 +1,21 @@
+"""AerialVision-style performance visualisation.
+
+AerialVision [Ariel et al., ISPASS 2010] plots per-bank / per-shader
+metrics against cycle intervals.  The timing model's
+:class:`repro.timing.SampleBlock` carries the raw series; this package
+renders them as CSV files (for external plotting) and terminal ASCII
+heat maps (so every figure of the paper's Section V can be *looked at*
+without matplotlib).
+"""
+
+from repro.aerialvision.plots import (
+    ascii_heatmap, ascii_series, phase_summary, write_heatmap_csv,
+    write_series_csv)
+from repro.aerialvision.report import (
+    FigureReport, kernel_figures, merge_reports)
+
+__all__ = [
+    "FigureReport", "ascii_heatmap", "ascii_series", "kernel_figures",
+    "merge_reports", "phase_summary", "write_heatmap_csv",
+    "write_series_csv",
+]

@@ -1,0 +1,121 @@
+"""Rendering primitives: ASCII heat maps and CSV dumps."""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+_SHADES = " .:-=+*#%@"
+
+
+def ascii_heatmap(matrix: np.ndarray, *, title: str = "",
+                  row_label: str = "row", max_cols: int = 100,
+                  vmax: float | None = None) -> str:
+    """Render a [row, interval] matrix as a terminal heat map.
+
+    Rows are banks or shader cores (AerialVision's y-axis); columns are
+    cycle intervals, resampled to at most *max_cols* columns.
+    """
+    if matrix.ndim != 2:
+        raise ValueError("heatmap expects a 2D [row, interval] matrix")
+    rows, cols = matrix.shape
+    if cols > max_cols:
+        # Average-pool intervals down to max_cols columns.
+        edges = np.linspace(0, cols, max_cols + 1).astype(int)
+        pooled = np.stack([
+            matrix[:, a:b].mean(axis=1) if b > a else matrix[:, a]
+            for a, b in zip(edges[:-1], edges[1:])], axis=1)
+        matrix = pooled
+        cols = max_cols
+    top = float(vmax) if vmax is not None else float(matrix.max())
+    if top <= 0:
+        top = 1.0
+    out = io.StringIO()
+    if title:
+        out.write(f"{title}\n")
+    for row in range(rows):
+        cells = []
+        for value in matrix[row]:
+            level = int(min(value / top, 1.0) * (len(_SHADES) - 1))
+            cells.append(_SHADES[level])
+        out.write(f"{row_label}{row:>3} |{''.join(cells)}|\n")
+    out.write(f"{'':>{len(row_label) + 4}} scale: ' '=0 .. '@'={top:.3g}\n")
+    return out.getvalue()
+
+
+def ascii_series(series: np.ndarray, *, title: str = "", height: int = 8,
+                 max_cols: int = 100) -> str:
+    """Render a 1D series as a small ASCII line chart."""
+    values = np.asarray(series, dtype=float)
+    if values.size > max_cols:
+        edges = np.linspace(0, values.size, max_cols + 1).astype(int)
+        values = np.array([values[a:b].mean() if b > a else values[a]
+                           for a, b in zip(edges[:-1], edges[1:])])
+    top = float(values.max()) if values.size else 1.0
+    if top <= 0:
+        top = 1.0
+    grid = [[" "] * values.size for _ in range(height)]
+    for col, value in enumerate(values):
+        level = int(min(value / top, 1.0) * (height - 1))
+        for row in range(level + 1):
+            grid[height - 1 - row][col] = "#" if row == level else "|"
+    out = io.StringIO()
+    if title:
+        out.write(f"{title}  (max={top:.3g})\n")
+    for line in grid:
+        out.write("".join(line).rstrip() + "\n")
+    return out.getvalue()
+
+
+def phase_summary(series: np.ndarray, threshold: float | None = None
+                  ) -> dict[str, float]:
+    """Quantify phase behaviour of a series (used by figure shape-tests).
+
+    Returns the fraction of intervals above/below the threshold and the
+    number of threshold crossings — "many varying phases" shows up as a
+    high crossing count with mass on both sides.
+    """
+    values = np.asarray(series, dtype=float)
+    if values.size == 0:
+        return {"high_fraction": 0.0, "low_fraction": 0.0, "crossings": 0}
+    cut = threshold if threshold is not None else values.mean()
+    high = values > cut
+    crossings = int(np.count_nonzero(high[1:] != high[:-1]))
+    return {
+        "high_fraction": float(high.mean()),
+        "low_fraction": float((~high).mean()),
+        "crossings": crossings,
+    }
+
+
+def write_heatmap_csv(path: str | Path, matrix: np.ndarray, *,
+                      row_label: str = "row") -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        cols = matrix.shape[1]
+        handle.write(row_label + ","
+                     + ",".join(f"i{i}" for i in range(cols)) + "\n")
+        for row in range(matrix.shape[0]):
+            handle.write(f"{row}," + ",".join(
+                f"{value:.6g}" for value in matrix[row]) + "\n")
+    return path
+
+
+def write_series_csv(path: str | Path,
+                     named_series: dict[str, np.ndarray]) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    names = list(named_series)
+    length = max(len(v) for v in named_series.values())
+    with path.open("w") as handle:
+        handle.write("interval," + ",".join(names) + "\n")
+        for i in range(length):
+            row = [str(i)]
+            for name in names:
+                series = named_series[name]
+                row.append(f"{series[i]:.6g}" if i < len(series) else "")
+            handle.write(",".join(row) + "\n")
+    return path

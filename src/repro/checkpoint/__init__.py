@@ -1,0 +1,10 @@
+"""Checkpoint/resume support (paper Section III-F)."""
+
+from repro.checkpoint.manager import CheckpointingBackend, ResumeBackend
+from repro.checkpoint.state import (
+    Checkpoint, CTASnapshot, WarpSnapshot, capture_cta, restore_cta)
+
+__all__ = [
+    "CTASnapshot", "Checkpoint", "CheckpointingBackend", "ResumeBackend",
+    "WarpSnapshot", "capture_cta", "restore_cta",
+]

@@ -1,0 +1,133 @@
+"""Checkpoint and resume flows (paper Figure 5).
+
+Checkpoint flow (functional mode):
+    kernels with ordinal < x  -> executed normally
+    kernel x, CTAs < M        -> executed normally
+    kernel x, CTAs M .. M+t   -> y instructions per warp, then Data1
+    kernel x, CTAs > M+t      -> not executed
+    kernels with ordinal > x  -> not executed
+    global memory             -> Data2 snapshot
+
+Resume flow (functional *or* performance mode):
+    kernels with ordinal < x  -> skipped (Data2 already restored)
+    kernel x, CTAs < M        -> skipped
+    kernel x, CTAs M .. M+t   -> Data1 restored, executed to completion
+    kernel x, CTAs > M+t      -> executed normally
+    kernels with ordinal > x  -> executed normally
+
+Both flows are backends plugged into the CUDA runtime; the workload
+(host program) is simply re-run, which is exactly how GPGPU-Sim's
+checkpointing replays the application.
+"""
+
+from __future__ import annotations
+
+from repro.cuda.runtime import KernelRunResult
+from repro.functional.executor import FunctionalEngine, RunStats
+from repro.functional.state import CTAState, LaunchContext
+from repro.checkpoint.state import Checkpoint, capture_cta, restore_cta
+from repro.errors import CheckpointError
+
+
+class CheckpointingBackend:
+    """Functional-mode backend that captures a checkpoint at
+    (kernel ``x``, CTA ``M``, ``t`` extra partial CTAs, ``y``
+    instructions per warp)."""
+
+    name = "checkpoint"
+
+    def __init__(self, kernel_ordinal: int, first_cta: int,
+                 partial_ctas: int = 1,
+                 warp_instruction_budget: int = 32) -> None:
+        if partial_ctas < 1:
+            raise CheckpointError("need at least one partial CTA")
+        self.x = kernel_ordinal
+        self.m = first_cta
+        self.t = partial_ctas
+        self.y = warp_instruction_budget
+        self._ordinal = 0
+        self.checkpoint: Checkpoint | None = None
+
+    @property
+    def taken(self) -> bool:
+        return self.checkpoint is not None
+
+    def execute(self, launch: LaunchContext) -> KernelRunResult:
+        ordinal = self._ordinal
+        self._ordinal += 1
+        if self.taken or ordinal > self.x:
+            return KernelRunResult()  # past the checkpoint: skip
+        engine = FunctionalEngine(launch)
+        stats = RunStats()
+        if ordinal < self.x:
+            stats = engine.run()
+            return KernelRunResult(instructions=stats.instructions)
+        # Kernel x: the checkpoint kernel.
+        checkpoint = Checkpoint(
+            kernel_ordinal=self.x, first_cta=self.m,
+            partial_ctas=self.t, warp_instruction_budget=self.y,
+            kernel_name=launch.kernel.name, launch_count=self._ordinal)
+        limit = min(self.m, launch.num_ctas)
+        for cta_linear in range(limit):
+            engine.run_cta(CTAState(launch, cta_linear), stats)
+        last_partial = min(self.m + self.t, launch.num_ctas)
+        for cta_linear in range(self.m, last_partial):
+            cta = CTAState(launch, cta_linear)
+            engine.run_cta(cta, stats, max_warp_instructions=self.y)
+            checkpoint.cta_snapshots.append(capture_cta(cta))
+        checkpoint.global_memory = launch.global_mem.snapshot()
+        self.checkpoint = checkpoint
+        return KernelRunResult(instructions=stats.instructions)
+
+
+class ResumeBackend:
+    """Backend resuming from a checkpoint, delegating post-checkpoint
+    kernels to an inner (functional or timing) backend."""
+
+    name = "resume"
+
+    def __init__(self, checkpoint: Checkpoint, inner) -> None:
+        self.checkpoint = checkpoint
+        self.inner = inner
+        self._ordinal = 0
+        self._restored = False
+
+    def execute(self, launch: LaunchContext) -> KernelRunResult:
+        ordinal = self._ordinal
+        self._ordinal += 1
+        cp = self.checkpoint
+        if ordinal < cp.kernel_ordinal:
+            return KernelRunResult()  # skipped; Data2 covers its effects
+        if ordinal == cp.kernel_ordinal:
+            if launch.kernel.name != cp.kernel_name:
+                raise CheckpointError(
+                    f"resume mismatch: kernel #{ordinal} is "
+                    f"{launch.kernel.name!r}, checkpoint was taken in "
+                    f"{cp.kernel_name!r}")
+            launch.global_mem.restore(cp.global_memory)
+            self._restored = True
+            return self._resume_kernel(launch)
+        if not self._restored:
+            raise CheckpointError(
+                "resume reached a later kernel before the checkpoint "
+                "kernel; was the workload replayed identically?")
+        return self.inner.execute(launch)
+
+    def _resume_kernel(self, launch: LaunchContext) -> KernelRunResult:
+        cp = self.checkpoint
+        premade = {snap.cta_linear: restore_cta(launch, snap)
+                   for snap in cp.cta_snapshots}
+        if hasattr(self.inner, "gpu"):
+            # Performance mode: the timing model takes over mid-kernel.
+            stats, samples = self.inner.gpu.simulate(
+                launch, first_cta=cp.first_cta, premade_ctas=premade)
+            self.inner.kernel_stats.append(stats)
+            return KernelRunResult(instructions=stats.warp_instructions,
+                                   cycles=stats.cycles, samples=samples)
+        engine = FunctionalEngine(launch)
+        stats = RunStats()
+        for cta_linear in range(cp.first_cta, launch.num_ctas):
+            cta = premade.get(cta_linear) or CTAState(launch, cta_linear)
+            if not cta.finished:
+                engine.run_cta(cta, stats)
+        return KernelRunResult(instructions=stats.instructions)

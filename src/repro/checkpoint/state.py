@@ -1,0 +1,115 @@
+"""Checkpoint state containers and (de)serialisation.
+
+Data1 and Data2 follow the paper's Figure 5 exactly:
+
+* **Data1** — "Register file and local memory per thread, SIMT stack per
+  warp, Shared memory per CTA" for the partially executed CTAs
+  M .. M+t of kernel x.
+* **Data2** — "Global memory per Kernel": the full global-memory image
+  at the checkpoint.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import CheckpointError
+from repro.functional.simt import SimtStack
+from repro.functional.state import CTAState, LaunchContext
+
+_FORMAT_VERSION = 2
+
+
+@dataclass
+class WarpSnapshot:
+    regs: list[dict[str, int]]
+    simt: list[tuple[int, int, int]]
+    at_barrier: bool
+    instructions_executed: int
+
+
+@dataclass
+class CTASnapshot:
+    cta_linear: int
+    shared: bytes
+    locals_: dict[int, bytes]
+    warps: list[WarpSnapshot]
+
+
+@dataclass
+class Checkpoint:
+    """Everything needed to resume at (kernel x, CTA M)."""
+
+    kernel_ordinal: int              # x
+    first_cta: int                   # M
+    partial_ctas: int                # t + 1 (number of captured CTAs)
+    warp_instruction_budget: int     # y
+    kernel_name: str = ""
+    global_memory: dict = field(default_factory=dict)   # Data2
+    cta_snapshots: list[CTASnapshot] = field(default_factory=list)  # Data1
+    launch_count: int = 0
+    format_version: int = _FORMAT_VERSION
+
+    # -- persistence ------------------------------------------------------
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("wb") as handle:
+            pickle.dump(self, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Checkpoint":
+        path = Path(path)
+        if not path.exists():
+            raise CheckpointError(f"no checkpoint at {path}")
+        with path.open("rb") as handle:
+            checkpoint = pickle.load(handle)
+        if not isinstance(checkpoint, cls):
+            raise CheckpointError(f"{path} is not a Checkpoint file")
+        if checkpoint.format_version != _FORMAT_VERSION:
+            raise CheckpointError(
+                f"checkpoint format {checkpoint.format_version} != "
+                f"{_FORMAT_VERSION}")
+        return checkpoint
+
+
+def capture_cta(cta: CTAState) -> CTASnapshot:
+    """Capture Data1 for one partially executed CTA."""
+    warps = [
+        WarpSnapshot(
+            regs=[dict(regs) for regs in warp.regs],
+            simt=warp.simt.snapshot(),
+            at_barrier=warp.at_barrier,
+            instructions_executed=warp.instructions_executed,
+        )
+        for warp in cta.warps
+    ]
+    return CTASnapshot(
+        cta_linear=cta.cta_linear,
+        shared=bytes(cta.shared.data),
+        locals_={tid: bytes(arena.data)
+                 for tid, arena in cta._locals.items()},
+        warps=warps,
+    )
+
+
+def restore_cta(launch: LaunchContext, snapshot: CTASnapshot) -> CTAState:
+    """Recreate a CTA and load its Data1."""
+    cta = CTAState(launch, snapshot.cta_linear)
+    cta.shared.data[:] = snapshot.shared
+    for tid, blob in snapshot.locals_.items():
+        arena = cta.local_for(int(tid))
+        arena.data[:len(blob)] = blob
+    if len(snapshot.warps) != len(cta.warps):
+        raise CheckpointError(
+            f"CTA {snapshot.cta_linear}: warp count mismatch "
+            f"({len(snapshot.warps)} saved, {len(cta.warps)} expected)")
+    for warp, saved in zip(cta.warps, snapshot.warps):
+        warp.regs = [dict(regs) for regs in saved.regs]
+        warp.simt = SimtStack.restore(saved.simt)
+        warp.at_barrier = saved.at_barrier
+        warp.instructions_executed = saved.instructions_executed
+    return cta

@@ -1,0 +1,48 @@
+"""A thin cuBLAS-style handle over the GEMM kernel family.
+
+The deep-learning stack calls these through :class:`repro.cudnn.Cudnn`;
+this standalone handle exists for applications that only need BLAS (and
+mirrors how cuBLAS is a separate dynamically linked library).
+"""
+
+from __future__ import annotations
+
+from repro.cuda.runtime import CudaRuntime
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+class Cublas:
+    """cublasHandle_t equivalent."""
+
+    def __init__(self, runtime: CudaRuntime) -> None:
+        self.rt = runtime
+
+    def sgemm(self, a: int, b: int, c: int, m: int, n: int, k: int,
+              alpha: float = 1.0, beta: float = 0.0) -> None:
+        """C[m,n] = alpha * A[m,k] @ B[k,n] + beta * C (row-major)."""
+        self.rt.launch("sgemm_tiled_16x16",
+                       (_ceil_div(n, 16), _ceil_div(m, 16), 1),
+                       (16, 16, 1),
+                       [a, b, c, m, n, k, alpha, beta, 0, 0, 0])
+
+    def sgemv_t(self, a: int, x: int, y: int, rows: int, cols: int,
+                alpha: float = 1.0, beta: float = 0.0) -> None:
+        """y[cols] = alpha * A[rows,cols]^T @ x[rows] + beta * y."""
+        self.rt.launch("gemv2T_kernel_val",
+                       (_ceil_div(cols, 128), 1, 1), (128, 1, 1),
+                       [a, x, y, rows, cols, alpha, beta])
+
+    def saxpy(self, x: int, y: int, alpha: float, count: int) -> None:
+        """y += alpha * x."""
+        self.rt.launch("cublas_saxpy",
+                       (_ceil_div(count, 128), 1, 1), (128, 1, 1),
+                       [x, y, alpha, count])
+
+    def sscal(self, x: int, alpha: float, count: int) -> None:
+        """x *= alpha (through the duplicated ``scale_array`` symbol)."""
+        self.rt.launch("scale_array",
+                       (_ceil_div(count, 128), 1, 1), (128, 1, 1),
+                       [x, x, alpha, count])

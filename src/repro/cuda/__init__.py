@@ -1,0 +1,16 @@
+"""CUDA runtime/driver API layer over the functional and timing models."""
+
+from repro.cuda.fatbinary import EmbeddedPTX, FatBinary, cuobjdump
+from repro.cuda.loader import LoadedProgram, ProgramLoader
+from repro.cuda.runtime import (
+    CudaRuntime, FunctionalBackend, KernelProfile, KernelRunResult)
+from repro.cuda.streams import CudaEvent, CudaStream
+from repro.cuda.textures import (
+    TextureInfo, TextureReference, TextureReferenceAttr, TextureSystem)
+
+__all__ = [
+    "CudaEvent", "CudaRuntime", "CudaStream", "EmbeddedPTX", "FatBinary",
+    "FunctionalBackend", "KernelProfile", "KernelRunResult",
+    "LoadedProgram", "ProgramLoader", "TextureInfo", "TextureReference",
+    "TextureReferenceAttr", "TextureSystem", "cuobjdump",
+]

@@ -1,0 +1,93 @@
+"""Application binaries with embedded PTX, and a ``cuobjdump`` model.
+
+The paper's Section III-A describes two loader problems with cuDNN:
+
+1. cuDNN is *dynamically linked*, and ``cuobjdump`` does not resolve
+   dynamic libraries before searching for PTX — so kernels in
+   ``libcudnn.so`` are simply never found.  The authors' fix was to
+   rebuild the application *statically linked* against the library.
+2. cuDNN's many source files reuse kernel and variable names; after
+   GPGPU-Sim concatenated all extracted PTX into one file, the duplicate
+   definitions broke the program loader.  The fix was to extract and
+   process each embedded PTX file separately.
+
+:class:`FatBinary` models an ELF binary with embedded PTX images and a
+list of dynamically linked libraries; :func:`cuobjdump` models NVIDIA's
+extractor, including its refusal to look inside dynamic libraries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class EmbeddedPTX:
+    """One PTX image embedded in a binary (one compiled source file)."""
+
+    file_id: str
+    text: str
+
+
+@dataclass
+class FatBinary:
+    """An executable or shared library carrying PTX images."""
+
+    name: str
+    embedded: list[EmbeddedPTX] = field(default_factory=list)
+    dynamic_libs: list["FatBinary"] = field(default_factory=list)
+
+    def add_ptx(self, file_id: str, text: str) -> None:
+        self.embedded.append(EmbeddedPTX(file_id=file_id, text=text))
+
+    def link_dynamic(self, library: "FatBinary") -> None:
+        """Record a dynamic dependency (an ``ldd`` entry)."""
+        self.dynamic_libs.append(library)
+
+    def static_link(self) -> "FatBinary":
+        """Produce a statically linked binary (the paper's approach).
+
+        All PTX images from every (transitively) linked library are
+        embedded directly into the new binary, so ``cuobjdump`` can find
+        them without resolving dynamic dependencies.
+        """
+        merged = FatBinary(name=f"{self.name} (static)")
+        merged.embedded.extend(self.embedded)
+        seen = {image.file_id for image in self.embedded}
+        for library in self._walk_libraries():
+            for image in library.embedded:
+                file_id = image.file_id
+                if file_id in seen:
+                    file_id = f"{library.name}:{file_id}"
+                seen.add(file_id)
+                merged.embedded.append(
+                    EmbeddedPTX(file_id=file_id, text=image.text))
+        return merged
+
+    def _walk_libraries(self) -> list["FatBinary"]:
+        ordered: list[FatBinary] = []
+        stack = list(self.dynamic_libs)
+        visited: set[int] = set()
+        while stack:
+            library = stack.pop(0)
+            if id(library) in visited:
+                continue
+            visited.add(id(library))
+            ordered.append(library)
+            stack.extend(library.dynamic_libs)
+        return ordered
+
+
+def cuobjdump(binary: FatBinary, *,
+              resolve_dynamic: bool = False) -> list[EmbeddedPTX]:
+    """Extract embedded PTX images from a binary.
+
+    Like NVIDIA's tool, this does **not** look inside dynamically linked
+    libraries unless *resolve_dynamic* is set (the ``ldd``-based
+    alternative the paper mentions but did not take).
+    """
+    images = list(binary.embedded)
+    if resolve_dynamic:
+        for library in binary._walk_libraries():
+            images.extend(library.embedded)
+    return images

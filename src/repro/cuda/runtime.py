@@ -1,0 +1,367 @@
+"""The CUDA Runtime + Driver API surface (our ``libcudart.so``).
+
+PyTorch-style frameworks reach the simulator exactly the way the paper
+describes: the framework calls runtime-API entry points, the loader has
+already extracted PTX from (statically linked) library binaries, and each
+library call fans out into several opaque kernel launches on streams.
+
+Launches are *asynchronous*: they enqueue onto a stream and run when the
+runtime drains (any synchronising API call).  ``cudaStreamWaitEvent`` —
+the API the paper had to add — gates a stream on an event recorded in
+another stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import CudaError
+from repro.cuda.fatbinary import EmbeddedPTX, FatBinary
+from repro.cuda.loader import LoadedProgram, ProgramLoader
+from repro.cuda.streams import CudaEvent, CudaStream, StreamOp
+from repro.cuda.textures import (
+    TextureInfo, TextureReference, TextureReferenceAttr, TextureSystem)
+from repro.functional.executor import FunctionalEngine
+from repro.functional.memory import CudaArray, GlobalMemory, LinearMemory
+from repro.functional.state import LaunchContext
+from repro.ptx.ast import Kernel
+from repro.ptx.values import write_typed
+from repro.quirks import FIXED, LegacyQuirks
+
+Dim = int | tuple[int, ...]
+
+
+def _dim3(value: Dim) -> tuple[int, int, int]:
+    if isinstance(value, int):
+        return (value, 1, 1)
+    padded = tuple(value) + (1, 1, 1)
+    return padded[:3]  # type: ignore[return-value]
+
+
+@dataclass
+class KernelRunResult:
+    """What one kernel execution reported back."""
+
+    instructions: int = 0
+    cycles: int = 0
+    stats: dict = field(default_factory=dict)
+    samples: object | None = None  # AerialVision sample block (timing mode)
+
+
+@dataclass
+class KernelProfile:
+    """NVProf-style per-launch record."""
+
+    name: str
+    grid: tuple[int, int, int]
+    block: tuple[int, int, int]
+    start: float
+    end: float
+    result: KernelRunResult
+
+    @property
+    def cycles(self) -> int:
+        return self.result.cycles
+
+    @property
+    def instructions(self) -> int:
+        return self.result.instructions
+
+
+class FunctionalBackend:
+    """Functional simulation mode: correctness only, no timing stats."""
+
+    name = "functional"
+
+    def execute(self, launch: LaunchContext) -> KernelRunResult:
+        stats = FunctionalEngine(launch).run()
+        return KernelRunResult(instructions=stats.instructions, cycles=0,
+                               stats={"per_opcode": stats.dynamic_per_opcode})
+
+
+class CudaRuntime:
+    """One simulated device context."""
+
+    def __init__(self, *, quirks: LegacyQuirks = FIXED,
+                 backend: object | None = None,
+                 allow_brace_init: bool = False) -> None:
+        self.quirks = quirks
+        self.global_mem = GlobalMemory()
+        self.loader = ProgramLoader(self.global_mem, quirks,
+                                    allow_brace_init=allow_brace_init)
+        self.program = LoadedProgram()
+        self.textures = TextureSystem(quirks)
+        self.backend = backend or FunctionalBackend()
+        self.default_stream = CudaStream(stream_id=0)
+        self.streams: list[CudaStream] = [self.default_stream]
+        self.now = 0.0
+        self.profiles: list[KernelProfile] = []
+        self.launch_log: list[dict] = []
+        #: Checkpoint hook — when set, kernels with launch ordinal below
+        #: this value have their execution skipped (resume flow, Fig. 5).
+        self.skip_kernels_below: int = 0
+        self._launch_ordinal = 0
+        #: Debug-tool hooks, called around each kernel execution with
+        #: (ordinal, name, grid, block, args).
+        self.before_kernel_hooks: list = []
+        self.after_kernel_hooks: list = []
+
+    # ------------------------------------------------------------------
+    # Program loading
+    # ------------------------------------------------------------------
+    def load_binary(self, binary: FatBinary) -> None:
+        self._merge_program(self.loader.load_binary(binary))
+
+    def load_ptx(self, text: str, file_id: str = "inline") -> None:
+        self._merge_program(self.loader.load_images(
+            [EmbeddedPTX(file_id=file_id, text=text)]))
+
+    def _merge_program(self, extra: LoadedProgram) -> None:
+        if not self.program.modules:
+            self.program = extra
+            return
+        self.program.modules.extend(extra.modules)
+        self.program.kernels_qualified.update(extra.kernels_qualified)
+        for name, kernel in extra.kernels.items():
+            self.program.kernels.setdefault(name, kernel)
+        for name, entry in extra.module_symbols.items():
+            self.program.module_symbols.setdefault(name, entry)
+        if len(extra.const_mem.data) > len(self.program.const_mem.data):
+            self.program.const_mem = extra.const_mem
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def malloc(self, nbytes: int) -> int:
+        return self.global_mem.allocate(nbytes)
+
+    def free(self, addr: int) -> None:
+        self.global_mem.free(addr)
+
+    def memcpy_h2d(self, dst: int, src: bytes | np.ndarray) -> None:
+        self.synchronize()
+        self.global_mem.write(dst, self._as_bytes(src))
+
+    def memcpy_d2h(self, src: int, nbytes: int) -> bytes:
+        self.synchronize()
+        return self.global_mem.read(src, nbytes)
+
+    def memcpy_d2d(self, dst: int, src: int, nbytes: int) -> None:
+        self.synchronize()
+        self.global_mem.write(dst, self.global_mem.read(src, nbytes))
+
+    def memset(self, dst: int, value: int, nbytes: int) -> None:
+        self.synchronize()
+        self.global_mem.write(dst, bytes([value & 0xFF]) * nbytes)
+
+    def memcpy_h2d_async(self, dst: int, src: bytes | np.ndarray,
+                         stream: CudaStream) -> None:
+        data = self._as_bytes(src)
+        stream.enqueue(StreamOp(
+            kind="memcpy", label="h2d",
+            action=lambda: self.global_mem.write(dst, data)))
+
+    @staticmethod
+    def _as_bytes(src: bytes | np.ndarray) -> bytes:
+        if isinstance(src, np.ndarray):
+            return src.tobytes()
+        return bytes(src)
+
+    # Typed convenience wrappers used throughout the examples/tests.
+    def upload_f32(self, values: Sequence[float] | np.ndarray) -> int:
+        array = np.asarray(values, dtype=np.float32)
+        addr = self.malloc(array.nbytes)
+        self.memcpy_h2d(addr, array)
+        return addr
+
+    def download_f32(self, addr: int, count: int) -> np.ndarray:
+        raw = self.memcpy_d2h(addr, 4 * count)
+        return np.frombuffer(raw, dtype=np.float32).copy()
+
+    # ------------------------------------------------------------------
+    # Streams and events
+    # ------------------------------------------------------------------
+    def stream_create(self) -> CudaStream:
+        stream = CudaStream()
+        self.streams.append(stream)
+        return stream
+
+    def event_create(self) -> CudaEvent:
+        return CudaEvent()
+
+    def event_record(self, event: CudaEvent,
+                     stream: CudaStream | None = None) -> None:
+        event.recorded = True
+        (stream or self.default_stream).enqueue(
+            StreamOp(kind="record", event=event))
+
+    def stream_wait_event(self, stream: CudaStream,
+                          event: CudaEvent) -> None:
+        """cudaStreamWaitEvent — the call the paper added to GPGPU-Sim."""
+        if self.quirks.stream_wait_event_unsupported:
+            raise CudaError(
+                "cudaStreamWaitEvent is not implemented in stock "
+                "GPGPU-Sim (added by the paper, Section III-B)")
+        stream.enqueue(StreamOp(kind="wait", event=event))
+
+    def stream_synchronize(self, stream: CudaStream) -> None:
+        self._drain(only=stream)
+
+    def event_synchronize(self, event: CudaEvent) -> None:
+        self.synchronize()
+        if event.recorded and not event.completed:
+            raise CudaError("event recorded but never completed")
+
+    def event_elapsed(self, start: CudaEvent, end: CudaEvent) -> float:
+        return end.timestamp - start.timestamp
+
+    def synchronize(self) -> None:
+        """cudaDeviceSynchronize: drain every stream."""
+        self._drain(only=None)
+
+    def _drain(self, only: CudaStream | None) -> None:
+        targets = [only] if only is not None else self.streams
+        while True:
+            if only is not None and only.idle:
+                return
+            if only is None and all(s.idle for s in self.streams):
+                return
+            progressed = False
+            # Event completion may depend on other streams, so always
+            # consider every stream when draining.
+            for stream in self.streams:
+                while stream.head_ready():
+                    stream.pop_and_run(self.now)
+                    progressed = True
+            del targets
+            if not progressed:
+                blocked = [s.stream_id for s in self.streams if not s.idle]
+                raise CudaError(
+                    f"stream deadlock: streams {blocked} are waiting on "
+                    "events that will never complete")
+
+    # ------------------------------------------------------------------
+    # Kernel launch (Runtime API)
+    # ------------------------------------------------------------------
+    def launch(self, name: str, grid: Dim, block: Dim,
+               args: Sequence[object],
+               stream: CudaStream | None = None) -> None:
+        """cudaLaunchKernel: enqueue a kernel by name."""
+        kernel = self.program.find_kernel(name)
+        self._enqueue_kernel(kernel, name, grid, block, args,
+                             stream or self.default_stream)
+
+    # ------------------------------------------------------------------
+    # Kernel launch (Driver API)
+    # ------------------------------------------------------------------
+    def cu_module_get_function(self, name: str) -> Kernel:
+        return self.program.find_kernel(name)
+
+    def cu_launch_kernel(self, func: Kernel, grid: Dim, block: Dim,
+                         args: Sequence[object],
+                         stream: CudaStream | None = None) -> None:
+        """cuLaunchKernel — the driver-API entry the paper had to add for
+        its ptxjit-based debugging tool."""
+        if self.quirks.cu_launch_kernel_unsupported:
+            raise CudaError(
+                "cuLaunchKernel is not implemented in stock GPGPU-Sim "
+                "(added by the paper, Section III-B)")
+        self._enqueue_kernel(func, func.name, grid, block, args,
+                             stream or self.default_stream)
+
+    def _enqueue_kernel(self, kernel: Kernel, name: str, grid: Dim,
+                        block: Dim, args: Sequence[object],
+                        stream: CudaStream) -> None:
+        grid3 = _dim3(grid)
+        block3 = _dim3(block)
+        param_mem = self._pack_args(kernel, args)
+        ordinal = self._launch_ordinal
+        self._launch_ordinal += 1
+        self.launch_log.append({
+            "ordinal": ordinal, "name": name, "grid": grid3,
+            "block": block3, "args": list(args),
+        })
+
+        def run() -> None:
+            if ordinal < self.skip_kernels_below:
+                return  # checkpoint-resume skips already-executed kernels
+            for hook in self.before_kernel_hooks:
+                hook(ordinal, name, grid3, block3, args)
+            launch = LaunchContext(
+                kernel=kernel, grid_dim=grid3, block_dim=block3,
+                global_mem=self.global_mem, param_mem=param_mem,
+                const_mem=self.program.const_mem,
+                module_symbols=self.program.module_symbols,
+                textures=self.textures.view(),  # type: ignore[arg-type]
+                quirks=self.quirks)
+            start = self.now
+            result = self.backend.execute(launch)
+            self.now += result.cycles or result.instructions
+            self.profiles.append(KernelProfile(
+                name=name, grid=grid3, block=block3, start=start,
+                end=self.now, result=result))
+            for hook in self.after_kernel_hooks:
+                hook(ordinal, name, grid3, block3, args)
+
+        stream.enqueue(StreamOp(kind="kernel", action=run, label=name))
+
+    def _pack_args(self, kernel: Kernel,
+                   args: Sequence[object]) -> LinearMemory:
+        if len(args) != len(kernel.params):
+            raise CudaError(
+                f"kernel {kernel.name!r} expects {len(kernel.params)} "
+                f"arguments, got {len(args)}")
+        param_mem = LinearMemory(max(kernel.param_bytes, 16))
+        for decl, value in zip(kernel.params, args):
+            if isinstance(value, (bytes, bytearray)):
+                param_mem.write(decl.offset, bytes(value))
+            else:
+                payload = write_typed(value, decl.dtype)
+                param_mem.write_uint(decl.offset, payload, decl.dtype.bytes)
+        return param_mem
+
+    # ------------------------------------------------------------------
+    # Textures
+    # ------------------------------------------------------------------
+    def register_texture(self, name: str) -> TextureReference:
+        return self.textures.register_texture(name)
+
+    def bind_texture_to_array(self, ref: TextureReference, array: CudaArray,
+                              info: TextureInfo | None = None,
+                              attrs: TextureReferenceAttr | None = None
+                              ) -> None:
+        self.textures.bind_to_array(ref, array, info, attrs)
+
+    def unbind_texture(self, ref: TextureReference) -> None:
+        self.textures.unbind(ref)
+
+    def malloc_array(self, width: int, height: int) -> CudaArray:
+        return CudaArray(width, height)
+
+    def memcpy_to_array(self, array: CudaArray,
+                        src: bytes | np.ndarray) -> None:
+        array.upload(self._as_bytes(src))
+
+    # ------------------------------------------------------------------
+    # Symbols & profiling
+    # ------------------------------------------------------------------
+    def get_symbol_address(self, name: str) -> int:
+        entry = self.program.module_symbols.get(name)
+        if entry is None or entry[0] != "global":
+            raise CudaError(f"no device global named {name!r}")
+        return entry[1]
+
+    def profile_summary(self) -> dict[str, dict[str, float]]:
+        """Aggregate per-kernel-name cycles/instructions (NVProf-style)."""
+        summary: dict[str, dict[str, float]] = {}
+        for profile in self.profiles:
+            entry = summary.setdefault(
+                profile.name,
+                {"launches": 0, "cycles": 0, "instructions": 0})
+            entry["launches"] += 1
+            entry["cycles"] += profile.cycles
+            entry["instructions"] += profile.instructions
+        return summary

@@ -1,0 +1,74 @@
+"""CUDA streams and events.
+
+cuDNN "uses multiple streams to overlap memory transfers with
+computation" (paper Section III-B); the missing API the authors added was
+``cudaStreamWaitEvent``.  We model each stream as a FIFO of operations
+drained by the runtime; an event-wait op blocks its stream until the
+event has been recorded *and executed*, so cross-stream ordering is
+honoured exactly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+_ids = itertools.count(1)
+
+
+@dataclass
+class CudaEvent:
+    """cudaEvent_t: completion marker with a virtual timestamp."""
+
+    event_id: int = field(default_factory=lambda: next(_ids))
+    recorded: bool = False      # cudaEventRecord has been issued
+    completed: bool = False     # the recording stream reached the marker
+    timestamp: float = 0.0      # virtual time when completed
+
+
+@dataclass
+class StreamOp:
+    """One queued operation: a thunk plus bookkeeping for waits."""
+
+    kind: str                               # "kernel" | "memcpy" | "record" | "wait" | "callback"
+    action: Callable[[], None] | None = None
+    event: CudaEvent | None = None
+    label: str = ""
+
+
+class CudaStream:
+    """cudaStream_t: an in-order operation queue."""
+
+    def __init__(self, stream_id: int | None = None) -> None:
+        self.stream_id = stream_id if stream_id is not None else next(_ids)
+        self.queue: list[StreamOp] = []
+        self.ops_executed = 0
+
+    def enqueue(self, op: StreamOp) -> None:
+        self.queue.append(op)
+
+    @property
+    def idle(self) -> bool:
+        return not self.queue
+
+    def head_ready(self) -> bool:
+        """Can the head op run now? (event waits gate on completion)"""
+        if not self.queue:
+            return False
+        head = self.queue[0]
+        if head.kind == "wait":
+            assert head.event is not None
+            return head.event.completed
+        return True
+
+    def pop_and_run(self, now: float) -> StreamOp:
+        op = self.queue.pop(0)
+        if op.kind == "record":
+            assert op.event is not None
+            op.event.completed = True
+            op.event.timestamp = now
+        elif op.action is not None:
+            op.action()
+        self.ops_executed += 1
+        return op

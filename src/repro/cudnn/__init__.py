@@ -1,0 +1,20 @@
+"""cuDNN-compatible library: descriptors, algorithms, host API, kernels."""
+
+from repro.cudnn.algos import (
+    PAPER_BWD_DATA_ALGOS, PAPER_BWD_FILTER_ALGOS, PAPER_FWD_ALGOS,
+    ConvBwdDataAlgo, ConvBwdFilterAlgo, ConvFwdAlgo)
+from repro.cudnn.api import ApiCall, Cudnn
+from repro.cudnn.descriptors import (
+    ActivationDescriptor, ConvolutionDescriptor, FilterDescriptor,
+    LRNDescriptor, PoolingDescriptor, TensorDescriptor)
+from repro.cudnn.library import (
+    build_application_binary, build_libcublas, build_libcudnn)
+
+__all__ = [
+    "ActivationDescriptor", "ApiCall", "ConvBwdDataAlgo",
+    "ConvBwdFilterAlgo", "ConvFwdAlgo", "ConvolutionDescriptor", "Cudnn",
+    "FilterDescriptor", "LRNDescriptor", "PAPER_BWD_DATA_ALGOS",
+    "PAPER_BWD_FILTER_ALGOS", "PAPER_FWD_ALGOS", "PoolingDescriptor",
+    "TensorDescriptor", "build_application_binary", "build_libcublas",
+    "build_libcudnn",
+]

@@ -1,0 +1,733 @@
+"""The cuDNN-compatible host API.
+
+Every public method mirrors a cuDNN entry point
+(``cudnnConvolutionForward``, ``cudnnPoolingForward``, ...) and — like
+the real library — fans out into one or more opaque PTX kernel launches
+on the runtime.  An ``api_log`` records which launch ordinals belong to
+which API call; the paper's three-level debug bisection (API call →
+kernel → instruction) walks exactly that structure.
+
+All FFT paths use overlap-save tiling with tile size FN (32 for the FFT
+algorithms, 16 for FFT_TILING), accumulating per-frequency-bin CGEMMs
+across tile positions.  Winograd paths implement F(2x2, 3x3).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+
+from repro.errors import CudnnError
+from repro.cuda.runtime import CudaRuntime
+from repro.cudnn.algos import ConvBwdDataAlgo, ConvBwdFilterAlgo, ConvFwdAlgo
+from repro.cudnn.descriptors import (
+    ActivationDescriptor, ConvolutionDescriptor, FilterDescriptor,
+    LRNDescriptor, PoolingDescriptor, TensorDescriptor)
+from repro.cudnn.kernels.lrn import LRN_TEXTURE_NAME
+
+_BLOCK = 128
+
+
+@dataclass
+class ApiCall:
+    """One cuDNN API invocation and the kernel launches it produced."""
+
+    name: str
+    first_ordinal: int
+    last_ordinal: int = -1
+    kernels: list[str] = field(default_factory=list)
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+class Cudnn:
+    """A cudnnHandle_t bound to one simulated device context."""
+
+    def __init__(self, runtime: CudaRuntime) -> None:
+        self.rt = runtime
+        self.api_log: list[ApiCall] = []
+        self._active_call: ApiCall | None = None
+        self._lrn_texref = None
+        #: Debug-tool hook: called with each completed top-level ApiCall.
+        self.on_api_end = None
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def _api_call(self, name: str):
+        call = ApiCall(name=name, first_ordinal=len(self.rt.launch_log))
+        outer = self._active_call
+        if outer is None:
+            self._active_call = call
+            self.api_log.append(call)
+        try:
+            yield call
+        finally:
+            if outer is None:
+                call.last_ordinal = len(self.rt.launch_log) - 1
+                call.kernels = [
+                    entry["name"] for entry in
+                    self.rt.launch_log[call.first_ordinal:
+                                       call.last_ordinal + 1]]
+                self._active_call = None
+                if self.on_api_end is not None:
+                    self.rt.synchronize()
+                    self.on_api_end(call)
+
+    def _launch1d(self, kernel: str, total: int, args: list,
+                  block: int = _BLOCK) -> None:
+        if total <= 0:
+            return
+        self.rt.launch(kernel, (_ceil_div(total, block), 1, 1),
+                       (block, 1, 1), args)
+
+    def _workspace(self, nbytes: int) -> int:
+        return self.rt.malloc(max(nbytes, 4))
+
+    # ------------------------------------------------------------------
+    # Tensor ops
+    # ------------------------------------------------------------------
+    def add_tensor(self, a: int, b: int, out: int, count: int,
+                   alpha: float = 1.0, beta: float = 1.0) -> None:
+        with self._api_call("cudnnAddTensor"):
+            self._launch1d("cudnn_add_tensors",
+                           count, [a, b, out, alpha, beta, count])
+
+    def add_bias(self, y_desc: TensorDescriptor, y: int, bias: int) -> None:
+        with self._api_call("cudnnAddTensor(bias)"):
+            self._launch1d("cudnn_add_bias_nchw", y_desc.size,
+                           [y, bias, y_desc.size, y_desc.h * y_desc.w,
+                            y_desc.c])
+
+    def bias_grad(self, dy_desc: TensorDescriptor, dy: int,
+                  dbias: int) -> None:
+        with self._api_call("cudnnConvolutionBackwardBias"):
+            self._launch1d("cudnn_bias_grad", dy_desc.c,
+                           [dy, dbias, dy_desc.n, dy_desc.c,
+                            dy_desc.h * dy_desc.w])
+
+    def scale(self, x: int, y: int, alpha: float, count: int) -> None:
+        with self._api_call("cudnnScaleTensor"):
+            self._launch1d("scale_array", count, [x, y, alpha, count])
+
+    # ------------------------------------------------------------------
+    # Activations
+    # ------------------------------------------------------------------
+    _ACT_FWD = {"relu": "cudnn_relu_fwd", "tanh": "cudnn_tanh_fwd",
+                "sigmoid": "cudnn_sigmoid_fwd"}
+
+    def activation_forward(self, act: ActivationDescriptor, x: int,
+                           y: int, count: int) -> None:
+        with self._api_call("cudnnActivationForward"):
+            self._launch1d(self._ACT_FWD[act.mode], count, [x, y, count])
+
+    def activation_backward(self, act: ActivationDescriptor, x: int,
+                            y: int, dy: int, dx: int, count: int) -> None:
+        with self._api_call("cudnnActivationBackward"):
+            if act.mode == "relu":
+                self._launch1d("cudnn_relu_bwd", count, [x, dy, dx, count])
+            elif act.mode == "tanh":
+                self._launch1d("cudnn_tanh_bwd", count, [y, dy, dx, count])
+            else:
+                raise CudnnError(
+                    f"activation backward for {act.mode!r} not implemented")
+
+    # ------------------------------------------------------------------
+    # Pooling
+    # ------------------------------------------------------------------
+    def pooling_forward(self, pool: PoolingDescriptor,
+                        x_desc: TensorDescriptor, x: int,
+                        y: int) -> tuple[TensorDescriptor, int]:
+        """Returns (output descriptor, argmax workspace pointer)."""
+        y_desc = pool.output_dims(x_desc)
+        with self._api_call("cudnnPoolingForward"):
+            geometry = [x_desc.n, x_desc.c, x_desc.h, x_desc.w,
+                        y_desc.h, y_desc.w, pool.window, pool.stride]
+            if pool.mode == "max":
+                argmax = self._workspace(4 * y_desc.size)
+                self._launch1d("cudnn_maxpool_fwd", y_desc.size,
+                               [x, y, argmax, *geometry, y_desc.size])
+            else:
+                argmax = 0
+                self._launch1d("cudnn_avgpool_fwd", y_desc.size,
+                               [x, y, *geometry, y_desc.size])
+        return y_desc, argmax
+
+    def pooling_backward(self, pool: PoolingDescriptor,
+                         x_desc: TensorDescriptor,
+                         y_desc: TensorDescriptor, dy: int, argmax: int,
+                         dx: int) -> None:
+        if pool.mode != "max":
+            raise CudnnError("only max-pooling backward is implemented")
+        with self._api_call("cudnnPoolingBackward"):
+            self._launch1d("cudnn_fill_zero", x_desc.size,
+                           [dx, x_desc.size])
+            self._launch1d("cudnn_maxpool_bwd", y_desc.size,
+                           [dy, argmax, dx, y_desc.size])
+
+    # ------------------------------------------------------------------
+    # LRN
+    # ------------------------------------------------------------------
+    def lrn_forward(self, lrn: LRNDescriptor, x_desc: TensorDescriptor,
+                    x: int, y: int, *, use_texture: bool = False) -> int:
+        """Returns the saved 'scale' workspace needed by the backward."""
+        with self._api_call("cudnnLRNCrossChannelForward"):
+            scale = self._workspace(x_desc.nbytes)
+            geometry = [x_desc.n, x_desc.c, x_desc.h, x_desc.w, lrn.nsize]
+            if use_texture:
+                # Stage the input into a cudaArray and bind it, walking
+                # the Section III-C texture plumbing.
+                array = self.rt.malloc_array(
+                    x_desc.w, x_desc.n * x_desc.c * x_desc.h)
+                self.rt.memcpy_to_array(
+                    array, self.rt.memcpy_d2h(x, x_desc.nbytes))
+                ref = self.rt.register_texture(LRN_TEXTURE_NAME)
+                self.rt.bind_texture_to_array(ref, array)
+                self._lrn_texref = ref
+                kernel = "cudnn_lrn_fwd_tex"
+            else:
+                kernel = "cudnn_lrn_fwd"
+            self._launch1d(kernel, x_desc.size,
+                           [x, y, scale, *geometry, lrn.alpha, lrn.beta,
+                            lrn.k, x_desc.size])
+            if use_texture:
+                self.rt.synchronize()
+        return scale
+
+    def lrn_backward(self, lrn: LRNDescriptor, x_desc: TensorDescriptor,
+                     x: int, y: int, dy: int, scale: int, dx: int) -> None:
+        with self._api_call("cudnnLRNCrossChannelBackward"):
+            geometry = [x_desc.n, x_desc.c, x_desc.h, x_desc.w, lrn.nsize]
+            self._launch1d("cudnn_lrn_bwd", x_desc.size,
+                           [x, y, dy, scale, dx, *geometry, lrn.alpha,
+                            lrn.beta, x_desc.size])
+
+    # ------------------------------------------------------------------
+    # Softmax
+    # ------------------------------------------------------------------
+    def softmax_forward(self, x: int, y: int, rows: int,
+                        cols: int) -> None:
+        with self._api_call("cudnnSoftmaxForward"):
+            self._launch1d("cudnn_softmax_fwd", rows, [x, y, rows, cols])
+
+    def nll_loss(self, probs: int, labels: int, loss: int, rows: int,
+                 cols: int) -> None:
+        with self._api_call("cudnnNLLLoss"):
+            self._launch1d("cudnn_nll_loss", rows,
+                           [probs, labels, loss, rows, cols])
+
+    def softmax_nll_backward(self, probs: int, labels: int, dx: int,
+                             rows: int, cols: int,
+                             scale: float) -> None:
+        with self._api_call("cudnnSoftmaxBackward"):
+            total = rows * cols
+            self._launch1d("cudnn_softmax_nll_bwd", total,
+                           [probs, labels, dx, rows, cols, scale, total])
+
+    # ------------------------------------------------------------------
+    # Convolution: forward
+    # ------------------------------------------------------------------
+    def convolution_forward(self, x_desc: TensorDescriptor, x: int,
+                            w_desc: FilterDescriptor, w: int,
+                            conv: ConvolutionDescriptor,
+                            algo: ConvFwdAlgo,
+                            y: int | None = None
+                            ) -> tuple[TensorDescriptor, int]:
+        y_desc = conv.output_dims(x_desc, w_desc)
+        if y is None:
+            y = self.rt.malloc(y_desc.nbytes)
+        with self._api_call(f"cudnnConvolutionForward[{algo.value}]"):
+            if algo is ConvFwdAlgo.IMPLICIT_GEMM:
+                self._conv_fwd_implicit(x_desc, x, w_desc, w, conv, y_desc, y)
+            elif algo is ConvFwdAlgo.GEMM:
+                self._conv_fwd_gemm(x_desc, x, w_desc, w, conv, y_desc, y)
+            elif algo is ConvFwdAlgo.WINOGRAD:
+                self._require_winograd(w_desc, conv)
+                self._winograd_fused(x_desc, x, w_desc, w, conv, y_desc, y)
+            elif algo is ConvFwdAlgo.WINOGRAD_NONFUSED:
+                self._require_winograd(w_desc, conv)
+                self._winograd_nonfused_fwd(
+                    x_desc, x, w_desc, w, conv, y_desc, y)
+            elif algo in (ConvFwdAlgo.FFT, ConvFwdAlgo.FFT_TILING):
+                self._require_unit_stride(conv, "FFT")
+                fn = 32 if algo is ConvFwdAlgo.FFT else 16
+                self._fft_forward(x_desc, x, w_desc, w, conv, y_desc, y, fn)
+            else:  # pragma: no cover - enum is closed
+                raise CudnnError(f"unknown forward algo {algo}")
+        return y_desc, y
+
+    def _geom_args(self, x_desc: TensorDescriptor, w_desc: FilterDescriptor,
+                   conv: ConvolutionDescriptor,
+                   y_desc: TensorDescriptor) -> list[int]:
+        return [x_desc.n, x_desc.c, x_desc.h, x_desc.w, w_desc.k,
+                w_desc.r, w_desc.s, y_desc.h, y_desc.w, conv.pad_h,
+                conv.pad_w, conv.stride_h, conv.stride_w]
+
+    def _conv_fwd_implicit(self, x_desc, x, w_desc, w, conv, y_desc,
+                           y) -> None:
+        self._launch1d("implicit_gemm_fwd", y_desc.size,
+                       [x, w, y, *self._geom_args(x_desc, w_desc, conv,
+                                                  y_desc), y_desc.size])
+
+    def _conv_fwd_gemm(self, x_desc, x, w_desc, w, conv, y_desc,
+                       y) -> None:
+        crs = w_desc.c * w_desc.r * w_desc.s
+        pq = y_desc.h * y_desc.w
+        columns = self._workspace(4 * crs * pq)
+        geometry = [x_desc.c, x_desc.h, x_desc.w, y_desc.h, y_desc.w,
+                    w_desc.r, w_desc.s, conv.pad_h, conv.pad_w,
+                    conv.stride_h, conv.stride_w]
+        for n in range(x_desc.n):
+            image = x + 4 * n * x_desc.c * x_desc.h * x_desc.w
+            out_n = y + 4 * n * w_desc.k * pq
+            self._launch1d("cudnn_im2col", crs * pq,
+                           [image, columns, 1, *geometry, crs * pq])
+            self._sgemm(w, columns, out_n, w_desc.k, pq, crs)
+
+    def _sgemm(self, a: int, b: int, c: int, m: int, n: int, k: int,
+               alpha: float = 1.0, beta: float = 0.0, batch: int = 1,
+               stride_a: int = 0, stride_b: int = 0,
+               stride_c: int = 0) -> None:
+        grid = (_ceil_div(n, 16), _ceil_div(m, 16), batch)
+        self.rt.launch("sgemm_tiled_16x16", grid, (16, 16, 1),
+                       [a, b, c, m, n, k, alpha, beta,
+                        stride_a, stride_b, stride_c])
+
+    # -- Winograd ---------------------------------------------------------
+    @staticmethod
+    def _require_winograd(w_desc: FilterDescriptor,
+                          conv: ConvolutionDescriptor) -> None:
+        if w_desc.r != 3 or w_desc.s != 3:
+            raise CudnnError(
+                "CUDNN_STATUS_NOT_SUPPORTED: Winograd requires 3x3 filters")
+        if conv.stride_h != 1 or conv.stride_w != 1:
+            raise CudnnError(
+                "CUDNN_STATUS_NOT_SUPPORTED: Winograd requires unit stride")
+
+    @staticmethod
+    def _require_unit_stride(conv: ConvolutionDescriptor,
+                             what: str) -> None:
+        if conv.stride_h != 1 or conv.stride_w != 1:
+            raise CudnnError(
+                f"CUDNN_STATUS_NOT_SUPPORTED: {what} requires unit stride")
+
+    def _winograd_fused(self, x_desc, x, w_desc, w, conv, y_desc,
+                        y) -> None:
+        tiles_h = _ceil_div(y_desc.h, 2)
+        tiles_w = _ceil_div(y_desc.w, 2)
+        total = w_desc.k * x_desc.n * tiles_h * tiles_w
+        self._launch1d("winograd_fused_fwd", total,
+                       [x, w, y, x_desc.n, x_desc.c, x_desc.h, x_desc.w,
+                        tiles_h, tiles_w, conv.pad_h, conv.pad_w,
+                        w_desc.k, y_desc.h, y_desc.w, total])
+
+    def _winograd_nonfused_fwd(self, x_desc, x, w_desc, w, conv, y_desc,
+                               y) -> None:
+        tiles_h = _ceil_div(y_desc.h, 2)
+        tiles_w = _ceil_div(y_desc.w, 2)
+        ntiles = x_desc.n * tiles_h * tiles_w
+        c, k = x_desc.c, w_desc.k
+        v_buf = self._workspace(4 * 16 * c * ntiles)
+        u_buf = self._workspace(4 * 16 * k * c)
+        m_buf = self._workspace(4 * 16 * k * ntiles)
+        self._launch1d("winograd_input_transform", c * ntiles,
+                       [x, v_buf, x_desc.n, c, x_desc.h, x_desc.w,
+                        tiles_h, tiles_w, conv.pad_h, conv.pad_w,
+                        c * ntiles])
+        self._launch1d("winograd_filter_transform", k * c,
+                       [w, u_buf, k, c, k * c])
+        self._sgemm(u_buf, v_buf, m_buf, k, ntiles, c, batch=16,
+                    stride_a=k * c, stride_b=c * ntiles,
+                    stride_c=k * ntiles)
+        self._launch1d("winograd_output_transform", k * ntiles,
+                       [m_buf, y, x_desc.n, k, y_desc.h, y_desc.w,
+                        tiles_h, tiles_w, k * ntiles])
+
+    # -- FFT (overlap-save tiling, all directions) -------------------------
+    def _fft_forward(self, x_desc, x, w_desc, w, conv, y_desc, y,
+                     fn: int) -> None:
+        r, s = w_desc.r, w_desc.s
+        if r > fn or s > fn:
+            raise CudnnError(
+                "CUDNN_STATUS_NOT_SUPPORTED: filter larger than FFT tile")
+        bins = fn * fn
+        n_img, c, k = x_desc.n, x_desc.c, w_desc.k
+        r2c = f"fft2d_r2c_{fn}x{fn}"
+        c2r = f"fft2d_c2r_{fn}x{fn}"
+        step_h, step_w = fn - r + 1, fn - s + 1
+
+        # Filter spectra, frequency-major A operand [bin][k*C + c].
+        wtiles = k * c
+        w_spec = self._workspace(8 * wtiles * bins)
+        w_spec_t = self._workspace(8 * wtiles * bins)
+        self.rt.launch(r2c, (wtiles, 1, 1), (fn, 1, 1),
+                       [w, w_spec, k, c, r, s, 0, 0, 1, 1])
+        self._launch1d("fft_transpose_complex", wtiles * bins,
+                       [w_spec, w_spec_t, wtiles, bins, wtiles * bins])
+
+        xtiles = c * n_img
+        ytiles = k * n_img
+        x_spec = self._workspace(8 * xtiles * bins)
+        x_spec_t = self._workspace(8 * xtiles * bins)
+        y_spec_t = self._workspace(8 * ytiles * bins)
+        y_spec = self._workspace(8 * ytiles * bins)
+        for ti in range(_ceil_div(y_desc.h, step_h)):
+            for tj in range(_ceil_div(y_desc.w, step_w)):
+                origin_h = ti * step_h - conv.pad_h
+                origin_w = tj * step_w - conv.pad_w
+                self.rt.launch(r2c, (xtiles, 1, 1), (fn, 1, 1),
+                               [x, x_spec, c, n_img, x_desc.h, x_desc.w,
+                                origin_h, origin_w, 0, 0])
+                self._launch1d("fft_transpose_complex", xtiles * bins,
+                               [x_spec, x_spec_t, xtiles, bins,
+                                xtiles * bins])
+                self.rt.launch("cgemm_strided_batched",
+                               (_ceil_div(n_img, 32), k, bins),
+                               (32, 1, 1),
+                               [w_spec_t, x_spec_t, y_spec_t, k, n_img,
+                                c, 0])
+                self._launch1d("fft_transpose_complex", ytiles * bins,
+                               [y_spec_t, y_spec, bins, ytiles,
+                                ytiles * bins])
+                self.rt.launch(c2r, (ytiles, 1, 1), (fn, 1, 1),
+                               [y_spec, y, k, n_img, y_desc.h, y_desc.w,
+                                r - 1, s - 1, ti * step_h, tj * step_w,
+                                step_h, step_w, 0])
+
+    # ------------------------------------------------------------------
+    # Convolution: backward data
+    # ------------------------------------------------------------------
+    def convolution_backward_data(self, w_desc: FilterDescriptor, w: int,
+                                  dy_desc: TensorDescriptor, dy: int,
+                                  conv: ConvolutionDescriptor,
+                                  algo: ConvBwdDataAlgo,
+                                  dx_desc: TensorDescriptor,
+                                  dx: int | None = None) -> int:
+        if dx is None:
+            dx = self.rt.malloc(dx_desc.nbytes)
+        geometry = self._geom_args(dx_desc, w_desc, conv, dy_desc)
+        with self._api_call(f"cudnnConvolutionBackwardData[{algo.value}]"):
+            if algo is ConvBwdDataAlgo.ALGO_0:
+                self._launch1d("cudnn_fill_zero", dx_desc.size,
+                               [dx, dx_desc.size])
+                self._launch1d("conv_bwd_data_algo0", dy_desc.size,
+                               [dy, w, dx, *geometry, dy_desc.size])
+            elif algo is ConvBwdDataAlgo.ALGO_1:
+                self._launch1d("conv_bwd_data_algo1", dx_desc.size,
+                               [dy, w, dx, *geometry, dx_desc.size])
+            elif algo is ConvBwdDataAlgo.FFT_TILING:
+                self._require_unit_stride(conv, "FFT")
+                self._fft_backward_data(w_desc, w, dy_desc, dy, conv,
+                                        dx_desc, dx, fn=16)
+            elif algo is ConvBwdDataAlgo.WINOGRAD:
+                self._require_winograd(w_desc, conv)
+                self._winograd_bwd_data(w_desc, w, dy_desc, dy, conv,
+                                        dx_desc, dx, fused=True)
+            elif algo is ConvBwdDataAlgo.WINOGRAD_NONFUSED:
+                self._require_winograd(w_desc, conv)
+                self._winograd_bwd_data(w_desc, w, dy_desc, dy, conv,
+                                        dx_desc, dx, fused=False)
+            else:  # pragma: no cover
+                raise CudnnError(f"unknown bwd-data algo {algo}")
+        return dx
+
+    def _winograd_bwd_data(self, w_desc, w, dy_desc, dy, conv, dx_desc,
+                           dx, *, fused: bool) -> None:
+        # dgrad = convolution of dy with spatially rotated, KC-swapped
+        # filters, with pad' = R-1-pad.
+        k, c, r, s = w_desc.k, w_desc.c, w_desc.r, w_desc.s
+        w_rot = self._workspace(4 * w_desc.size)
+        self._launch1d("winograd_rotate_filters", w_desc.size,
+                       [w, w_rot, k, c, r, s, w_desc.size])
+        rot_desc = FilterDescriptor(k=c, c=k, r=r, s=s)
+        conv_t = ConvolutionDescriptor(pad_h=r - 1 - conv.pad_h,
+                                       pad_w=s - 1 - conv.pad_w)
+        if fused:
+            self._winograd_fused(dy_desc, dy, rot_desc, w_rot, conv_t,
+                                 dx_desc, dx)
+        else:
+            self._winograd_nonfused_fwd(dy_desc, dy, rot_desc, w_rot,
+                                        conv_t, dx_desc, dx)
+
+    def _fft_backward_data(self, w_desc, w, dy_desc, dy, conv, dx_desc,
+                           dx, fn: int) -> None:
+        r, s = w_desc.r, w_desc.s
+        if r > fn or s > fn:
+            raise CudnnError(
+                "CUDNN_STATUS_NOT_SUPPORTED: filter larger than FFT tile")
+        bins = fn * fn
+        n_img, c, k = dx_desc.n, dx_desc.c, w_desc.k
+        r2c = f"fft2d_r2c_{fn}x{fn}"
+        c2r = f"fft2d_c2r_{fn}x{fn}"
+        step_h, step_w = fn - r + 1, fn - s + 1
+
+        # Filter spectra as [bin][c*K + k] (C x K per bin), no flip:
+        # dgrad is a true convolution with the original filter.
+        wtiles = c * k
+        w_spec = self._workspace(8 * wtiles * bins)
+        w_spec_t = self._workspace(8 * wtiles * bins)
+        self.rt.launch(r2c, (wtiles, 1, 1), (fn, 1, 1),
+                       [w, w_spec, c, k, r, s, 0, 0, 0, 0])
+        self._launch1d("fft_transpose_complex", wtiles * bins,
+                       [w_spec, w_spec_t, wtiles, bins, wtiles * bins])
+
+        dytiles = k * n_img
+        dxtiles = c * n_img
+        dy_spec = self._workspace(8 * dytiles * bins)
+        dy_spec_t = self._workspace(8 * dytiles * bins)
+        dx_spec_t = self._workspace(8 * dxtiles * bins)
+        dx_spec = self._workspace(8 * dxtiles * bins)
+        for ti in range(_ceil_div(dx_desc.h, step_h)):
+            for tj in range(_ceil_div(dx_desc.w, step_w)):
+                origin_h = ti * step_h + conv.pad_h - (r - 1)
+                origin_w = tj * step_w + conv.pad_w - (s - 1)
+                self.rt.launch(r2c, (dytiles, 1, 1), (fn, 1, 1),
+                               [dy, dy_spec, k, n_img, dy_desc.h,
+                                dy_desc.w, origin_h, origin_w, 0, 0])
+                self._launch1d("fft_transpose_complex", dytiles * bins,
+                               [dy_spec, dy_spec_t, dytiles, bins,
+                                dytiles * bins])
+                self.rt.launch("cgemm_strided_batched",
+                               (_ceil_div(n_img, 32), c, bins),
+                               (32, 1, 1),
+                               [w_spec_t, dy_spec_t, dx_spec_t, c, n_img,
+                                k, 0])
+                self._launch1d("fft_transpose_complex", dxtiles * bins,
+                               [dx_spec_t, dx_spec, bins, dxtiles,
+                                dxtiles * bins])
+                self.rt.launch(c2r, (dxtiles, 1, 1), (fn, 1, 1),
+                               [dx_spec, dx, c, n_img, dx_desc.h,
+                                dx_desc.w, r - 1, s - 1, ti * step_h,
+                                tj * step_w, step_h, step_w, 0])
+
+    # ------------------------------------------------------------------
+    # Convolution: backward filter
+    # ------------------------------------------------------------------
+    def convolution_backward_filter(self, x_desc: TensorDescriptor, x: int,
+                                    dy_desc: TensorDescriptor, dy: int,
+                                    conv: ConvolutionDescriptor,
+                                    algo: ConvBwdFilterAlgo,
+                                    w_desc: FilterDescriptor,
+                                    dw: int | None = None) -> int:
+        if dw is None:
+            dw = self.rt.malloc(w_desc.nbytes)
+        geometry = self._geom_args(x_desc, w_desc, conv, dy_desc)
+        with self._api_call(
+                f"cudnnConvolutionBackwardFilter[{algo.value}]"):
+            if algo is ConvBwdFilterAlgo.ALGO_0:
+                self._launch1d("cudnn_fill_zero", w_desc.size,
+                               [dw, w_desc.size])
+                self._launch1d("conv_bwd_filter_algo0", dy_desc.size,
+                               [x, dy, dw, *geometry, dy_desc.size])
+            elif algo is ConvBwdFilterAlgo.ALGO_1:
+                self._launch1d("conv_bwd_filter_algo1", w_desc.size,
+                               [x, dy, dw, *geometry, w_desc.size])
+            elif algo is ConvBwdFilterAlgo.ALGO_3:
+                self._launch1d("cudnn_fill_zero", w_desc.size,
+                               [dw, w_desc.size])
+                chunks = _ceil_div(x_desc.n, 2)
+                total = w_desc.size
+                self.rt.launch("conv_bwd_filter_algo3",
+                               (_ceil_div(total, _BLOCK), chunks, 1),
+                               (_BLOCK, 1, 1),
+                               [x, dy, dw, *geometry, total])
+            elif algo in (ConvBwdFilterAlgo.FFT,
+                          ConvBwdFilterAlgo.FFT_TILING):
+                self._require_unit_stride(conv, "FFT")
+                fn = 32 if algo is ConvBwdFilterAlgo.FFT else 16
+                self._fft_backward_filter(x_desc, x, dy_desc, dy, conv,
+                                          w_desc, dw, fn)
+            elif algo is ConvBwdFilterAlgo.WINOGRAD_NONFUSED:
+                self._require_winograd(w_desc, conv)
+                self._winograd_bwd_filter(x_desc, x, dy_desc, dy, conv,
+                                          w_desc, dw)
+            else:  # pragma: no cover
+                raise CudnnError(f"unknown bwd-filter algo {algo}")
+        return dw
+
+    def _winograd_bwd_filter(self, x_desc, x, dy_desc, dy, conv, w_desc,
+                             dw) -> None:
+        # dg = G^T [ (B^T d B) ⊙ (A dY A^T) ] G summed over tiles,
+        # realised as a 16-bin batched GEMM over the tile dimension.
+        tiles_h = _ceil_div(dy_desc.h, 2)
+        tiles_w = _ceil_div(dy_desc.w, 2)
+        ntiles = x_desc.n * tiles_h * tiles_w
+        c, k = x_desc.c, w_desc.k
+        v_buf = self._workspace(4 * 16 * ntiles * c)   # [16, T, C]
+        wt_buf = self._workspace(4 * 16 * k * ntiles)  # [16, K, T]
+        s_buf = self._workspace(4 * 16 * k * c)        # [16, K, C]
+        self._launch1d("winograd_input_transform_t", c * ntiles,
+                       [x, v_buf, x_desc.n, c, x_desc.h, x_desc.w,
+                        tiles_h, tiles_w, conv.pad_h, conv.pad_w,
+                        c * ntiles])
+        self._launch1d("winograd_wgrad_dy_transform", k * ntiles,
+                       [dy, wt_buf, x_desc.n, k, dy_desc.h, dy_desc.w,
+                        tiles_h, tiles_w, k * ntiles])
+        self._sgemm(wt_buf, v_buf, s_buf, k, c, ntiles, batch=16,
+                    stride_a=k * ntiles, stride_b=ntiles * c,
+                    stride_c=k * c)
+        self._launch1d("winograd_wgrad_output_transform", k * c,
+                       [s_buf, dw, k, c, k * c])
+
+    def _fft_backward_filter(self, x_desc, x, dy_desc, dy, conv, w_desc,
+                             dw, fn: int) -> None:
+        r, s = w_desc.r, w_desc.s
+        if r > fn or s > fn:
+            raise CudnnError(
+                "CUDNN_STATUS_NOT_SUPPORTED: filter larger than FFT tile")
+        bins = fn * fn
+        n_img, c, k = x_desc.n, x_desc.c, w_desc.k
+        r2c = f"fft2d_r2c_{fn}x{fn}"
+        c2r = f"fft2d_c2r_{fn}x{fn}"
+        step_h, step_w = fn - r + 1, fn - s + 1
+
+        xtiles = n_img * c
+        dytiles = k * n_img
+        dwtiles = k * c
+        x_spec = self._workspace(8 * xtiles * bins)
+        x_spec_t = self._workspace(8 * xtiles * bins)
+        dy_spec = self._workspace(8 * dytiles * bins)
+        dy_spec_t = self._workspace(8 * dytiles * bins)
+        s_spec_t = self._workspace(8 * dwtiles * bins)
+        s_spec = self._workspace(8 * dwtiles * bins)
+        first = True
+        for ti in range(_ceil_div(dy_desc.h, step_h)):
+            for tj in range(_ceil_div(dy_desc.w, step_w)):
+                p0h, p0w = ti * step_h, tj * step_w
+                # x tiles [bin][n*C + c]: B operand rows are images.
+                self.rt.launch(r2c, (xtiles, 1, 1), (fn, 1, 1),
+                               [x, x_spec, n_img, c, x_desc.h, x_desc.w,
+                                p0h - conv.pad_h, p0w - conv.pad_w,
+                                0, 1])
+                self._launch1d("fft_transpose_complex", xtiles * bins,
+                               [x_spec, x_spec_t, xtiles, bins,
+                                xtiles * bins])
+                # dy tiles, flipped: [bin][k*N + n].
+                self.rt.launch(r2c, (dytiles, 1, 1), (fn, 1, 1),
+                               [dy, dy_spec, k, n_img, dy_desc.h,
+                                dy_desc.w, dy_desc.h - p0h - step_h,
+                                dy_desc.w - p0w - step_w, 1, 0])
+                self._launch1d("fft_transpose_complex", dytiles * bins,
+                               [dy_spec, dy_spec_t, dytiles, bins,
+                                dytiles * bins])
+                self.rt.launch("cgemm_strided_batched",
+                               (_ceil_div(c, 32), k, bins), (32, 1, 1),
+                               [dy_spec_t, x_spec_t, s_spec_t, k, c,
+                                n_img, 0 if first else 1])
+                first = False
+        self._launch1d("fft_transpose_complex", dwtiles * bins,
+                       [s_spec_t, s_spec, bins, dwtiles, dwtiles * bins])
+        self.rt.launch(c2r, (dwtiles, 1, 1), (fn, 1, 1),
+                       [s_spec, dw, k, c, r, s, step_h - 1, step_w - 1,
+                        0, 0, r, s, 1])
+
+    # ------------------------------------------------------------------
+    # Batch normalisation (cudnnBatchNormalization*, SPATIAL mode)
+    # ------------------------------------------------------------------
+    def batchnorm_forward_training(self, x_desc: TensorDescriptor,
+                                   x: int, y: int, gamma: int, beta: int,
+                                   eps: float = 1e-5
+                                   ) -> tuple[int, int]:
+        """Compute batch stats, normalise; returns (saved_mean,
+        saved_invstd) workspaces for the backward pass."""
+        with self._api_call("cudnnBatchNormalizationForwardTraining"):
+            c = x_desc.c
+            hw = x_desc.h * x_desc.w
+            mean = self._workspace(4 * c)
+            invstd = self._workspace(4 * c)
+            self._launch1d("cudnn_bn_stats", c,
+                           [x, mean, invstd, x_desc.n, c, hw, eps])
+            self._launch1d("cudnn_bn_fwd", x_desc.size,
+                           [x, y, gamma, beta, mean, invstd, x_desc.n,
+                            c, hw, x_desc.size])
+        return mean, invstd
+
+    def batchnorm_forward_inference(self, x_desc: TensorDescriptor,
+                                    x: int, y: int, gamma: int,
+                                    beta: int, mean: int,
+                                    invstd: int) -> None:
+        """Normalise with provided (running) statistics."""
+        with self._api_call("cudnnBatchNormalizationForwardInference"):
+            self._launch1d("cudnn_bn_fwd", x_desc.size,
+                           [x, y, gamma, beta, mean, invstd, x_desc.n,
+                            x_desc.c, x_desc.h * x_desc.w, x_desc.size])
+
+    def batchnorm_backward(self, x_desc: TensorDescriptor, x: int,
+                           dy: int, dx: int, gamma: int, saved_mean: int,
+                           saved_invstd: int, dgamma: int,
+                           dbeta: int) -> None:
+        with self._api_call("cudnnBatchNormalizationBackward"):
+            c = x_desc.c
+            hw = x_desc.h * x_desc.w
+            self._launch1d("cudnn_bn_bwd_reduce", c,
+                           [x, dy, saved_mean, saved_invstd, dgamma,
+                            dbeta, x_desc.n, c, hw])
+            self._launch1d("cudnn_bn_bwd_dx", x_desc.size,
+                           [x, dy, dx, gamma, saved_mean, saved_invstd,
+                            dgamma, dbeta, x_desc.n, c, hw,
+                            x_desc.size])
+
+    # ------------------------------------------------------------------
+    # FP16 (paper Section III-D.1)
+    # ------------------------------------------------------------------
+    def convert_fp32_to_fp16(self, src: int, count: int) -> int:
+        """Returns a new device buffer of binary16 values."""
+        with self._api_call("cudnnTransformTensor[fp32->fp16]"):
+            dst = self.rt.malloc(2 * count)
+            self._launch1d("cudnn_cvt_fp32_to_fp16", count,
+                           [src, dst, count])
+        return dst
+
+    def convert_fp16_to_fp32(self, src: int, count: int) -> int:
+        with self._api_call("cudnnTransformTensor[fp16->fp32]"):
+            dst = self.rt.malloc(4 * count)
+            self._launch1d("cudnn_cvt_fp16_to_fp32", count,
+                           [src, dst, count])
+        return dst
+
+    def convolution_forward_fp16(self, x_desc: TensorDescriptor, x: int,
+                                 w_desc: FilterDescriptor, w: int,
+                                 conv: ConvolutionDescriptor,
+                                 y: int | None = None
+                                 ) -> tuple[TensorDescriptor, int]:
+        """CUDNN_DATA_HALF convolution: binary16 tensors, FP32 math.
+
+        Only the implicit-GEMM algorithm carries an FP16 build, matching
+        the paper's partial FP16 bring-up (full FP16 across every
+        algorithm family is exactly its stated future work).
+        """
+        y_desc = conv.output_dims(x_desc, w_desc)
+        if y is None:
+            y = self.rt.malloc(2 * y_desc.size)
+        with self._api_call("cudnnConvolutionForward[fp16]"):
+            self._launch1d("implicit_gemm_fwd_fp16", y_desc.size,
+                           [x, w, y, *self._geom_args(x_desc, w_desc,
+                                                      conv, y_desc),
+                            y_desc.size])
+        return y_desc, y
+
+    # ------------------------------------------------------------------
+    # cuBLAS-style helpers used by fully connected layers
+    # ------------------------------------------------------------------
+    def sgemm(self, a: int, b: int, c: int, m: int, n: int, k: int,
+              alpha: float = 1.0, beta: float = 0.0) -> None:
+        with self._api_call("cublasSgemm"):
+            self._sgemm(a, b, c, m, n, k, alpha=alpha, beta=beta)
+
+    def sgemv_t(self, a: int, x: int, y: int, rows: int, cols: int,
+                alpha: float = 1.0, beta: float = 0.0) -> None:
+        with self._api_call("cublasSgemv[T]"):
+            self._launch1d("gemv2T_kernel_val", cols,
+                           [a, x, y, rows, cols, alpha, beta])
+
+    def saxpy(self, x: int, y: int, alpha: float, count: int) -> None:
+        with self._api_call("cublasSaxpy"):
+            self._launch1d("cublas_saxpy", count, [x, y, alpha, count])
+
+    def fill_zero(self, ptr: int, count: int) -> None:
+        with self._api_call("cudnnSetTensor(0)"):
+            self._launch1d("cudnn_fill_zero", count, [ptr, count])
+

@@ -1,0 +1,127 @@
+"""cuDNN-style descriptors (plain dataclasses, validated on creation)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CudnnError
+
+
+@dataclass(frozen=True)
+class TensorDescriptor:
+    """A 4D NCHW float32 tensor shape."""
+
+    n: int
+    c: int
+    h: int
+    w: int
+
+    def __post_init__(self) -> None:
+        if min(self.n, self.c, self.h, self.w) < 1:
+            raise CudnnError(f"invalid tensor shape {self}")
+
+    @property
+    def size(self) -> int:
+        return self.n * self.c * self.h * self.w
+
+    @property
+    def nbytes(self) -> int:
+        return 4 * self.size
+
+    @property
+    def dims(self) -> tuple[int, int, int, int]:
+        return (self.n, self.c, self.h, self.w)
+
+
+@dataclass(frozen=True)
+class FilterDescriptor:
+    """KCRS float32 filter bank."""
+
+    k: int
+    c: int
+    r: int
+    s: int
+
+    def __post_init__(self) -> None:
+        if min(self.k, self.c, self.r, self.s) < 1:
+            raise CudnnError(f"invalid filter shape {self}")
+
+    @property
+    def size(self) -> int:
+        return self.k * self.c * self.r * self.s
+
+    @property
+    def nbytes(self) -> int:
+        return 4 * self.size
+
+
+@dataclass(frozen=True)
+class ConvolutionDescriptor:
+    """Zero-padded, strided cross-correlation (cuDNN's default mode)."""
+
+    pad_h: int = 0
+    pad_w: int = 0
+    stride_h: int = 1
+    stride_w: int = 1
+
+    def __post_init__(self) -> None:
+        if self.pad_h < 0 or self.pad_w < 0:
+            raise CudnnError("negative padding")
+        if self.stride_h < 1 or self.stride_w < 1:
+            raise CudnnError("stride must be >= 1")
+
+    def output_dims(self, x: TensorDescriptor,
+                    w: FilterDescriptor) -> TensorDescriptor:
+        if x.c != w.c:
+            raise CudnnError(
+                f"channel mismatch: input has {x.c}, filter expects {w.c}")
+        out_h = (x.h + 2 * self.pad_h - w.r) // self.stride_h + 1
+        out_w = (x.w + 2 * self.pad_w - w.s) // self.stride_w + 1
+        if out_h < 1 or out_w < 1:
+            raise CudnnError("convolution output would be empty")
+        return TensorDescriptor(x.n, w.k, out_h, out_w)
+
+
+@dataclass(frozen=True)
+class PoolingDescriptor:
+    mode: str = "max"          # "max" | "avg"
+    window: int = 2
+    stride: int = 2
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("max", "avg"):
+            raise CudnnError(f"unknown pooling mode {self.mode!r}")
+        if self.window < 1 or self.stride < 1:
+            raise CudnnError("invalid pooling geometry")
+
+    def output_dims(self, x: TensorDescriptor) -> TensorDescriptor:
+        out_h = (x.h - self.window) // self.stride + 1
+        out_w = (x.w - self.window) // self.stride + 1
+        if out_h < 1 or out_w < 1:
+            raise CudnnError("pooling output would be empty")
+        return TensorDescriptor(x.n, x.c, out_h, out_w)
+
+
+@dataclass(frozen=True)
+class LRNDescriptor:
+    """Cross-channel local response normalisation parameters."""
+
+    nsize: int = 5
+    alpha: float = 1e-4
+    beta: float = 0.75
+    k: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.nsize < 1:
+            raise CudnnError("LRN window must be >= 1")
+        if self.k <= 0:
+            raise CudnnError("LRN k must be positive")
+
+
+@dataclass(frozen=True)
+class ActivationDescriptor:
+    mode: str = "relu"         # "relu" | "tanh" | "sigmoid"
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("relu", "tanh", "sigmoid"):
+            raise CudnnError(f"unknown activation {self.mode!r}")

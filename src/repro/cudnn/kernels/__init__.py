@@ -1,0 +1,16 @@
+"""PTX kernel generators for the cuDNN/cuBLAS clone.
+
+Every function in this package emits *PTX text* via
+:class:`repro.ptx.builder.PTXBuilder`.  The emitted kernels are packed
+into the ``libcudnn.so`` / ``libcublas.so`` fat binaries by
+:mod:`repro.cudnn.library` and reach the simulator only as opaque
+assembly — the same shape as the real precompiled libraries the paper
+taught GPGPU-Sim to run.
+
+Layout conventions shared by all kernels:
+
+* activation tensors are NCHW, contiguous float32;
+* filters are KCRS, contiguous float32;
+* complex data is interleaved (re, im) float32 pairs;
+* all scalar parameters are 32-bit.
+"""

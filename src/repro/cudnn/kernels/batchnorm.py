@@ -1,0 +1,205 @@
+"""Spatial batch normalisation kernels (cudnnBatchNormalization*).
+
+Layout: NCHW activations, per-channel (gamma, beta, mean, var) vectors.
+Forward-training computes batch statistics and saves the inverse
+standard deviation for the backward pass, exactly like cuDNN's
+``savedMean``/``savedInvVariance``.
+"""
+
+from __future__ import annotations
+
+from repro.ptx.builder import PTXBuilder, f32
+from repro.cudnn.kernels.common import div_mod
+
+_DIMS = [("batch", "u32"), ("channels", "u32"), ("hw", "u32")]
+
+
+def _channel_loop_header(b: PTXBuilder):
+    dims = {name: b.ld_param("u32", name) for name, _ in _DIMS}
+    c = b.global_tid_x()
+    b.guard_tid_below(c, dims["channels"])
+    return dims, c
+
+
+def bn_stats() -> str:
+    """mean[c], invstd[c] over the (N, H, W) slice of channel c."""
+    b = PTXBuilder("cudnn_bn_stats",
+                   [("x", "u64"), ("mean", "u64"), ("invstd", "u64"),
+                    *_DIMS, ("eps", "f32")])
+    x = b.ld_param("u64", "x")
+    mean_ptr = b.ld_param("u64", "mean")
+    invstd_ptr = b.ld_param("u64", "invstd")
+    dims, c = _channel_loop_header(b)
+    eps = b.ld_param("f32", "eps")
+
+    total = b.reg("u32")
+    b.ins("mul.lo.s32", total, dims["batch"], dims["hw"])
+    ftotal = b.reg("f32")
+    b.ins("cvt.rn.f32.u32", ftotal, total)
+    acc = b.imm_f32(0.0)
+    acc_sq = b.imm_f32(0.0)
+    n = b.reg("u32")
+    with b.for_range(n, 0, dims["batch"]):
+        base = b.reg("u32")
+        b.ins("mad.lo.s32", base, n, dims["channels"], c)
+        b.ins("mul.lo.s32", base, base, dims["hw"])
+        i = b.reg("u32")
+        with b.for_range(i, 0, dims["hw"]):
+            idx = b.reg("u32")
+            b.ins("add.s32", idx, base, i)
+            value = b.load_global_f32(b.elem_addr(x, idx))
+            b.ins("add.f32", acc, acc, value)
+            b.ins("fma.rn.f32", acc_sq, value, value, acc_sq)
+    mean = b.reg("f32")
+    b.ins("div.rn.f32", mean, acc, ftotal)
+    mean_sq = b.reg("f32")
+    b.ins("div.rn.f32", mean_sq, acc_sq, ftotal)
+    var = b.reg("f32")
+    b.ins("fma.rn.f32", var, mean, mean, f32(0.0))
+    b.ins("sub.f32", var, mean_sq, var)
+    b.ins("max.f32", var, var, f32(0.0))
+    b.ins("add.f32", var, var, eps)
+    invstd = b.reg("f32")
+    b.ins("rsqrt.approx.f32", invstd, var)
+    b.store_global_f32(b.elem_addr(mean_ptr, c), mean)
+    b.store_global_f32(b.elem_addr(invstd_ptr, c), invstd)
+    return b.build()
+
+
+def bn_forward() -> str:
+    """y = gamma[c] * (x - mean[c]) * invstd[c] + beta[c], per element."""
+    b = PTXBuilder("cudnn_bn_fwd",
+                   [("x", "u64"), ("y", "u64"), ("gamma", "u64"),
+                    ("beta", "u64"), ("mean", "u64"), ("invstd", "u64"),
+                    *_DIMS, ("total", "u32")])
+    x = b.ld_param("u64", "x")
+    y = b.ld_param("u64", "y")
+    gamma = b.ld_param("u64", "gamma")
+    beta = b.ld_param("u64", "beta")
+    mean_ptr = b.ld_param("u64", "mean")
+    invstd_ptr = b.ld_param("u64", "invstd")
+    dims = {name: b.ld_param("u32", name) for name, _ in _DIMS}
+    tid = b.global_tid_x()
+    total = b.ld_param("u32", "total")
+    b.guard_tid_below(tid, total)
+
+    chw = b.reg("u32")
+    b.ins("mul.lo.s32", chw, dims["channels"], dims["hw"])
+    _n, c_hw = div_mod(b, tid, chw)
+    c, _i = div_mod(b, c_hw, dims["hw"])
+
+    value = b.load_global_f32(b.elem_addr(x, tid))
+    mu = b.load_global_f32(b.elem_addr(mean_ptr, c))
+    istd = b.load_global_f32(b.elem_addr(invstd_ptr, c))
+    g = b.load_global_f32(b.elem_addr(gamma, c))
+    bt = b.load_global_f32(b.elem_addr(beta, c))
+    centred = b.reg("f32")
+    b.ins("sub.f32", centred, value, mu)
+    xhat = b.reg("f32")
+    b.ins("mul.f32", xhat, centred, istd)
+    result = b.reg("f32")
+    b.ins("fma.rn.f32", result, g, xhat, bt)
+    b.store_global_f32(b.elem_addr(y, tid), result)
+    return b.build()
+
+
+def bn_backward_reduce() -> str:
+    """Per channel: dbeta = sum dy, dgamma = sum dy*xhat."""
+    b = PTXBuilder("cudnn_bn_bwd_reduce",
+                   [("x", "u64"), ("dy", "u64"), ("mean", "u64"),
+                    ("invstd", "u64"), ("dgamma", "u64"),
+                    ("dbeta", "u64"), *_DIMS])
+    x = b.ld_param("u64", "x")
+    dy = b.ld_param("u64", "dy")
+    mean_ptr = b.ld_param("u64", "mean")
+    invstd_ptr = b.ld_param("u64", "invstd")
+    dgamma_ptr = b.ld_param("u64", "dgamma")
+    dbeta_ptr = b.ld_param("u64", "dbeta")
+    dims, c = _channel_loop_header(b)
+
+    mu = b.load_global_f32(b.elem_addr(mean_ptr, c))
+    istd = b.load_global_f32(b.elem_addr(invstd_ptr, c))
+    sum_dy = b.imm_f32(0.0)
+    sum_dy_xhat = b.imm_f32(0.0)
+    n = b.reg("u32")
+    with b.for_range(n, 0, dims["batch"]):
+        base = b.reg("u32")
+        b.ins("mad.lo.s32", base, n, dims["channels"], c)
+        b.ins("mul.lo.s32", base, base, dims["hw"])
+        i = b.reg("u32")
+        with b.for_range(i, 0, dims["hw"]):
+            idx = b.reg("u32")
+            b.ins("add.s32", idx, base, i)
+            dyv = b.load_global_f32(b.elem_addr(dy, idx))
+            xv = b.load_global_f32(b.elem_addr(x, idx))
+            b.ins("add.f32", sum_dy, sum_dy, dyv)
+            xhat = b.reg("f32")
+            b.ins("sub.f32", xhat, xv, mu)
+            b.ins("mul.f32", xhat, xhat, istd)
+            b.ins("fma.rn.f32", sum_dy_xhat, dyv, xhat, sum_dy_xhat)
+    b.store_global_f32(b.elem_addr(dbeta_ptr, c), sum_dy)
+    b.store_global_f32(b.elem_addr(dgamma_ptr, c), sum_dy_xhat)
+    return b.build()
+
+
+def bn_backward_dx() -> str:
+    """dx = gamma*invstd/M * (M*dy - dbeta - xhat*dgamma), per element."""
+    b = PTXBuilder("cudnn_bn_bwd_dx",
+                   [("x", "u64"), ("dy", "u64"), ("dx", "u64"),
+                    ("gamma", "u64"), ("mean", "u64"), ("invstd", "u64"),
+                    ("dgamma", "u64"), ("dbeta", "u64"), *_DIMS,
+                    ("total", "u32")])
+    x = b.ld_param("u64", "x")
+    dy = b.ld_param("u64", "dy")
+    dx = b.ld_param("u64", "dx")
+    gamma = b.ld_param("u64", "gamma")
+    mean_ptr = b.ld_param("u64", "mean")
+    invstd_ptr = b.ld_param("u64", "invstd")
+    dgamma_ptr = b.ld_param("u64", "dgamma")
+    dbeta_ptr = b.ld_param("u64", "dbeta")
+    dims = {name: b.ld_param("u32", name) for name, _ in _DIMS}
+    tid = b.global_tid_x()
+    total = b.ld_param("u32", "total")
+    b.guard_tid_below(tid, total)
+
+    chw = b.reg("u32")
+    b.ins("mul.lo.s32", chw, dims["channels"], dims["hw"])
+    _n, c_hw = div_mod(b, tid, chw)
+    c, _i = div_mod(b, c_hw, dims["hw"])
+    m = b.reg("u32")
+    b.ins("mul.lo.s32", m, dims["batch"], dims["hw"])
+    fm = b.reg("f32")
+    b.ins("cvt.rn.f32.u32", fm, m)
+
+    xv = b.load_global_f32(b.elem_addr(x, tid))
+    dyv = b.load_global_f32(b.elem_addr(dy, tid))
+    mu = b.load_global_f32(b.elem_addr(mean_ptr, c))
+    istd = b.load_global_f32(b.elem_addr(invstd_ptr, c))
+    g = b.load_global_f32(b.elem_addr(gamma, c))
+    dg = b.load_global_f32(b.elem_addr(dgamma_ptr, c))
+    db = b.load_global_f32(b.elem_addr(dbeta_ptr, c))
+
+    xhat = b.reg("f32")
+    b.ins("sub.f32", xhat, xv, mu)
+    b.ins("mul.f32", xhat, xhat, istd)
+    term = b.reg("f32")
+    b.ins("mul.f32", term, dyv, fm)
+    b.ins("sub.f32", term, term, db)
+    correction = b.reg("f32")
+    b.ins("mul.f32", correction, xhat, dg)
+    b.ins("sub.f32", term, term, correction)
+    scale = b.reg("f32")
+    b.ins("mul.f32", scale, g, istd)
+    b.ins("div.rn.f32", scale, scale, fm)
+    result = b.reg("f32")
+    b.ins("mul.f32", result, scale, term)
+    b.store_global_f32(b.elem_addr(dx, tid), result)
+    return b.build()
+
+
+ALL_KERNELS = {
+    "cudnn_bn_stats": bn_stats,
+    "cudnn_bn_fwd": bn_forward,
+    "cudnn_bn_bwd_reduce": bn_backward_reduce,
+    "cudnn_bn_bwd_dx": bn_backward_dx,
+}

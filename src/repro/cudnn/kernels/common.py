@@ -1,0 +1,56 @@
+"""Shared emission idioms for the kernel generators."""
+
+from __future__ import annotations
+
+from repro.ptx.builder import PTXBuilder, f32
+
+#: log2(e), used to express exp(x) as ex2(x * LOG2E).
+LOG2E = 1.4426950408889634
+
+
+def exp_via_ex2(b: PTXBuilder, x: str) -> str:
+    """e**x computed with the SFU ``ex2`` instruction."""
+    scaled = b.reg("f32")
+    b.ins("mul.f32", scaled, x, f32(LOG2E))
+    out = b.reg("f32")
+    b.ins("ex2.approx.f32", out, scaled)
+    return out
+
+
+def tanh_via_ex2(b: PTXBuilder, x: str) -> str:
+    """tanh(x) = 1 - 2 / (exp(2x) + 1), on the SFU pipeline."""
+    two_x = b.reg("f32")
+    b.ins("add.f32", two_x, x, x)
+    e2x = exp_via_ex2(b, two_x)
+    denom = b.reg("f32")
+    b.ins("add.f32", denom, e2x, f32(1.0))
+    frac = b.reg("f32")
+    b.ins("div.rn.f32", frac, f32(2.0), denom)
+    out = b.reg("f32")
+    b.ins("sub.f32", out, f32(1.0), frac)
+    return out
+
+
+def nchw_index(b: PTXBuilder, n: str, c: str, h: str, w: str,
+               channels: str, height: str, width: str) -> str:
+    """((n*C + c)*H + h)*W + w as an s32 register."""
+    t = b.reg("u32")
+    b.ins("mad.lo.s32", t, n, channels, c)
+    t2 = b.reg("u32")
+    b.ins("mad.lo.s32", t2, t, height, h)
+    out = b.reg("u32")
+    b.ins("mad.lo.s32", out, t2, width, w)
+    return out
+
+
+def div_mod(b: PTXBuilder, value: str, divisor: str) -> tuple[str, str]:
+    """(value / divisor, value % divisor) for u32 registers.
+
+    Emits the exact ``div.u32`` / ``rem.u32`` pair whose ``rem``
+    implementation the paper had to fix inside ``fft2d_r2c_32x32``.
+    """
+    quotient = b.reg("u32")
+    b.ins("div.u32", quotient, value, divisor)
+    remainder = b.reg("u32")
+    b.ins("rem.u32", remainder, value, divisor)
+    return quotient, remainder

@@ -1,0 +1,409 @@
+"""FFT convolution kernels: ``fft2d_r2c_32x32`` and friends.
+
+These are the kernels at the centre of the paper's debugging story:
+
+* ``brev`` (bit reverse) — "cuDNN uses the bit reverse instruction ...
+  for FFT-based convolutional kernels", the instruction the paper added;
+  it drives the bit-reversal permutation before the radix-2 stages here.
+* ``rem.u32`` — the faulty remainder "rem.u32 %r149, %r2, %r121" the
+  paper traced *inside* ``fft2d_r2c_32x32``; each butterfly stage below
+  computes its group/position split with exactly a ``div.u32``/``rem.u32``
+  pair, so enabling :attr:`LegacyQuirks.rem_ignores_type` corrupts this
+  kernel first, just as in the paper.
+
+Pipeline (host side in :mod:`repro.cudnn.host`):
+  r2c(images) → r2c(filters, flipped) → transpose to frequency-major →
+  ``cgemm_strided_batched`` per bin → transpose back → c2r (crop + scale).
+
+One thread block per tile; thread *t* FFTs row *t*, barrier, then
+column *t*.  Complex data is interleaved float2 (``ld.global.v2.f32`` —
+the ``float2*`` parameter type the paper shows for this kernel).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.ptx.builder import PTXBuilder, f32
+from repro.cudnn.kernels.common import div_mod
+
+
+def _shared_elem_addr(b: PTXBuilder, sbase: str, index: str) -> str:
+    """Byte address of complex element *index* in shared memory."""
+    addr = b.reg("u64")
+    b.ins("mad.wide.s32", addr, index, "8", sbase)
+    return addr
+
+
+def _select_plane(b: PTXBuilder, a: str, bidx: str, count0: str,
+                  count1: str, swap_plane: str) -> str:
+    """plane = swap ? a*count1 + bidx : bidx*count0 + a.
+
+    Tile index z and tensor plane index can compose (a, bidx) in either
+    order; the host picks whichever makes the frequency-major transpose
+    land directly in CGEMM operand layout.
+    """
+    plane0 = b.reg("u32")
+    b.ins("mad.lo.s32", plane0, bidx, count0, a)
+    plane1 = b.reg("u32")
+    b.ins("mad.lo.s32", plane1, a, count1, bidx)
+    pswap = b.reg("pred")
+    b.ins("setp.ne.u32", pswap, swap_plane, "0")
+    plane = b.reg("u32")
+    b.ins("selp.b32", plane, plane1, plane0, pswap)
+    return plane
+
+
+def _fft_1d(b: PTXBuilder, sbase: str, base_off: str, stride: int,
+            log2n: int, inverse: bool) -> None:
+    """Radix-2 in-place FFT of FN points in shared memory.
+
+    Points live at complex indices ``base_off + i*stride``.
+    """
+    fn = 1 << log2n
+    # --- bit-reversal permutation (brev) ------------------------------
+    i = b.reg("u32")
+    with b.for_range(i, 0, str(fn)):
+        rev = b.reg("u32")
+        b.ins("brev.b32", rev, i)
+        j = b.reg("u32")
+        b.ins("shr.u32", j, rev, str(32 - log2n))
+        swap = b.reg("pred")
+        b.ins("setp.lt.u32", swap, i, j)
+        with b.if_then(swap):
+            idx_i = b.reg("u32")
+            b.ins("mad.lo.s32", idx_i, i, str(stride), base_off)
+            idx_j = b.reg("u32")
+            b.ins("mad.lo.s32", idx_j, j, str(stride), base_off)
+            addr_i = _shared_elem_addr(b, sbase, idx_i)
+            addr_j = _shared_elem_addr(b, sbase, idx_j)
+            re_i, im_i = b.reg("f32"), b.reg("f32")
+            b.ins("ld.shared.v2.f32", "{" + re_i + ", " + im_i + "}",
+                  f"[{addr_i}]")
+            re_j, im_j = b.reg("f32"), b.reg("f32")
+            b.ins("ld.shared.v2.f32", "{" + re_j + ", " + im_j + "}",
+                  f"[{addr_j}]")
+            b.ins("st.shared.v2.f32", f"[{addr_i}]",
+                  "{" + re_j + ", " + im_j + "}")
+            b.ins("st.shared.v2.f32", f"[{addr_j}]",
+                  "{" + re_i + ", " + im_i + "}")
+    # --- butterfly stages ----------------------------------------------
+    sign = 2.0 * math.pi if inverse else -2.0 * math.pi
+    half = b.reg("u32")
+    b.ins("mov.u32", half, "1")
+    m = b.reg("u32")
+    b.ins("mov.u32", m, "2")
+    stage = b.reg("u32")
+    with b.for_range(stage, 0, str(log2n)):
+        k = b.reg("u32")
+        with b.for_range(k, 0, str(fn // 2)):
+            # group/position split: the div.u32 + rem.u32 pair the paper
+            # debugged inside fft2d_r2c_32x32.
+            group, pos = div_mod(b, k, half)
+            idx1 = b.reg("u32")
+            b.ins("mad.lo.s32", idx1, group, m, pos)
+            idx2 = b.reg("u32")
+            b.ins("add.s32", idx2, idx1, half)
+            fpos = b.reg("f32")
+            b.ins("cvt.rn.f32.u32", fpos, pos)
+            fm = b.reg("f32")
+            b.ins("cvt.rn.f32.u32", fm, m)
+            angle = b.reg("f32")
+            b.ins("mul.f32", angle, fpos, f32(sign))
+            b.ins("div.rn.f32", angle, angle, fm)
+            wr = b.reg("f32")
+            b.ins("cos.approx.f32", wr, angle)
+            wi = b.reg("f32")
+            b.ins("sin.approx.f32", wi, angle)
+            off1 = b.reg("u32")
+            b.ins("mad.lo.s32", off1, idx1, str(stride), base_off)
+            off2 = b.reg("u32")
+            b.ins("mad.lo.s32", off2, idx2, str(stride), base_off)
+            addr1 = _shared_elem_addr(b, sbase, off1)
+            addr2 = _shared_elem_addr(b, sbase, off2)
+            ar, ai = b.reg("f32"), b.reg("f32")
+            b.ins("ld.shared.v2.f32", "{" + ar + ", " + ai + "}",
+                  f"[{addr1}]")
+            br, bi = b.reg("f32"), b.reg("f32")
+            b.ins("ld.shared.v2.f32", "{" + br + ", " + bi + "}",
+                  f"[{addr2}]")
+            # t = w * b
+            tr = b.reg("f32")
+            b.ins("mul.f32", tr, wr, br)
+            neg_wi = b.reg("f32")
+            b.ins("neg.f32", neg_wi, wi)
+            b.ins("fma.rn.f32", tr, neg_wi, bi, tr)
+            ti = b.reg("f32")
+            b.ins("mul.f32", ti, wr, bi)
+            b.ins("fma.rn.f32", ti, wi, br, ti)
+            new_br = b.reg("f32")
+            b.ins("sub.f32", new_br, ar, tr)
+            new_bi = b.reg("f32")
+            b.ins("sub.f32", new_bi, ai, ti)
+            new_ar = b.reg("f32")
+            b.ins("add.f32", new_ar, ar, tr)
+            new_ai = b.reg("f32")
+            b.ins("add.f32", new_ai, ai, ti)
+            b.ins("st.shared.v2.f32", f"[{addr1}]",
+                  "{" + new_ar + ", " + new_ai + "}")
+            b.ins("st.shared.v2.f32", f"[{addr2}]",
+                  "{" + new_br + ", " + new_bi + "}")
+        b.ins("shl.b32", half, half, "1")
+        b.ins("shl.b32", m, m, "1")
+
+
+def fft2d_r2c(log2n: int) -> str:
+    """Real-to-complex tiled 2D FFT; one block per (count0, count1) tile.
+
+    Tile z = a*count1 + bidx reads real source at plane (bidx*count0 + a)
+    — images launch with (a=c, bidx=n) so the frequency-major transpose
+    lands in the CGEMM B-operand layout; filters use (a=k, bidx=c) and
+    flip=1 for correlation.
+    """
+    fn = 1 << log2n
+    b = PTXBuilder(f"fft2d_r2c_{fn}x{fn}",
+                   [("src", "u64"), ("dst", "u64"), ("count0", "u32"),
+                    ("count1", "u32"), ("src_h", "u32"), ("src_w", "u32"),
+                    ("origin_h", "u32"), ("origin_w", "u32"),
+                    ("flip", "u32"), ("swap_plane", "u32")])
+    src = b.ld_param("u64", "src")
+    dst = b.ld_param("u64", "dst")
+    count0 = b.ld_param("u32", "count0")
+    count1 = b.ld_param("u32", "count1")
+    src_h = b.ld_param("u32", "src_h")
+    src_w = b.ld_param("u32", "src_w")
+    origin_h = b.ld_param("u32", "origin_h")
+    origin_w = b.ld_param("u32", "origin_w")
+    flip = b.ld_param("u32", "flip")
+    swap_plane = b.ld_param("u32", "swap_plane")
+    b.shared("fft_tile", "f32", 2 * fn * fn, align=8)
+
+    z = b.special("%ctaid.x")
+    t = b.special("%tid.x")
+    a, bidx = div_mod(b, z, count1)
+    plane = _select_plane(b, a, bidx, count0, count1, swap_plane)
+    plane_base = b.reg("u32")
+    hw = b.reg("u32")
+    b.ins("mul.lo.s32", hw, src_h, src_w)
+    b.ins("mul.lo.s32", plane_base, plane, hw)
+
+    sbase = b.reg("u64")
+    b.ins("mov.u64", sbase, "fft_tile")
+
+    flip_pred = b.reg("pred")
+    b.ins("setp.ne.u32", flip_pred, flip, "0")
+
+    # Load row t (zero-padded, optionally flipped).
+    x = b.reg("u32")
+    with b.for_range(x, 0, str(fn)):
+        h = b.reg("s32")
+        b.ins("add.s32", h, origin_h, t)
+        w = b.reg("s32")
+        b.ins("add.s32", w, origin_w, x)
+        # Flip: read src[H-1-h, W-1-w].
+        hf = b.reg("s32")
+        b.ins("sub.s32", hf, src_h, "1")
+        b.ins("sub.s32", hf, hf, h)
+        wf = b.reg("s32")
+        b.ins("sub.s32", wf, src_w, "1")
+        b.ins("sub.s32", wf, wf, w)
+        b.ins("selp.b32", h, hf, h, flip_pred)
+        b.ins("selp.b32", w, wf, w, flip_pred)
+        ok = b.reg("pred")
+        tmp = b.reg("pred")
+        b.ins("setp.ge.s32", ok, h, "0")
+        b.ins("setp.lt.s32", tmp, h, src_h)
+        b.ins("and.pred", ok, ok, tmp)
+        b.ins("setp.ge.s32", tmp, w, "0")
+        b.ins("and.pred", ok, ok, tmp)
+        b.ins("setp.lt.s32", tmp, w, src_w)
+        b.ins("and.pred", ok, ok, tmp)
+        value = b.imm_f32(0.0)
+        idx = b.reg("u32")
+        b.ins("mad.lo.s32", idx, h, src_w, w)
+        b.ins("add.s32", idx, idx, plane_base)
+        b.ins("ld.global.f32", value, f"[{b.elem_addr(src, idx)}]",
+              pred=ok)
+        sidx = b.reg("u32")
+        b.ins("mad.lo.s32", sidx, t, str(fn), x)
+        saddr = _shared_elem_addr(b, sbase, sidx)
+        zero = b.imm_f32(0.0)
+        b.ins("st.shared.v2.f32", f"[{saddr}]",
+              "{" + value + ", " + zero + "}")
+    b.bar_sync()
+
+    # Row FFT (thread t owns row t).
+    row_base = b.reg("u32")
+    b.ins("mul.lo.s32", row_base, t, str(fn))
+    _fft_1d(b, sbase, row_base, 1, log2n, inverse=False)
+    b.bar_sync()
+    # Column FFT (thread t owns column t).
+    col_base = b.reg("u32")
+    b.ins("mov.u32", col_base, t)
+    _fft_1d(b, sbase, col_base, fn, log2n, inverse=False)
+    b.bar_sync()
+
+    # Store row t of the spectrum to dst[z].
+    tile_elems = fn * fn
+    dst_base = b.reg("u32")
+    b.ins("mul.lo.s32", dst_base, z, str(tile_elems))
+    x2 = b.reg("u32")
+    with b.for_range(x2, 0, str(fn)):
+        sidx = b.reg("u32")
+        b.ins("mad.lo.s32", sidx, t, str(fn), x2)
+        saddr = _shared_elem_addr(b, sbase, sidx)
+        re, im = b.reg("f32"), b.reg("f32")
+        b.ins("ld.shared.v2.f32", "{" + re + ", " + im + "}",
+              f"[{saddr}]")
+        didx = b.reg("u32")
+        b.ins("add.s32", didx, dst_base, sidx)
+        daddr = b.elem_addr(dst, didx, elem_bytes=8)
+        b.ins("st.global.v2.f32", f"[{daddr}]", "{" + re + ", " + im + "}")
+    return b.build()
+
+
+def fft2d_c2r(log2n: int) -> str:
+    """Complex-to-real inverse tiled FFT with crop, scale and scatter.
+
+    Tile z = a*count1 + bidx writes real output plane (bidx*count0 + a)
+    — launched with (a=k, bidx=n) for NCHW output.
+    """
+    fn = 1 << log2n
+    b = PTXBuilder(f"fft2d_c2r_{fn}x{fn}",
+                   [("src", "u64"), ("dst", "u64"), ("count0", "u32"),
+                    ("count1", "u32"), ("out_h", "u32"), ("out_w", "u32"),
+                    ("crop_h", "u32"), ("crop_w", "u32"),
+                    ("dest_h", "u32"), ("dest_w", "u32"),
+                    ("valid_h", "u32"), ("valid_w", "u32"),
+                    ("swap_plane", "u32")])
+    src = b.ld_param("u64", "src")
+    dst = b.ld_param("u64", "dst")
+    count0 = b.ld_param("u32", "count0")
+    count1 = b.ld_param("u32", "count1")
+    out_h = b.ld_param("u32", "out_h")
+    out_w = b.ld_param("u32", "out_w")
+    crop_h = b.ld_param("u32", "crop_h")
+    crop_w = b.ld_param("u32", "crop_w")
+    dest_h = b.ld_param("u32", "dest_h")
+    dest_w = b.ld_param("u32", "dest_w")
+    valid_h = b.ld_param("u32", "valid_h")
+    valid_w = b.ld_param("u32", "valid_w")
+    swap_plane = b.ld_param("u32", "swap_plane")
+    b.shared("ifft_tile", "f32", 2 * fn * fn, align=8)
+
+    z = b.special("%ctaid.x")
+    t = b.special("%tid.x")
+    a, bidx = div_mod(b, z, count1)
+    plane = _select_plane(b, a, bidx, count0, count1, swap_plane)
+    sbase = b.reg("u64")
+    b.ins("mov.u64", sbase, "ifft_tile")
+
+    # Load row t of the spectrum.
+    tile_elems = fn * fn
+    src_base = b.reg("u32")
+    b.ins("mul.lo.s32", src_base, z, str(tile_elems))
+    x = b.reg("u32")
+    with b.for_range(x, 0, str(fn)):
+        sidx = b.reg("u32")
+        b.ins("mad.lo.s32", sidx, t, str(fn), x)
+        gidx = b.reg("u32")
+        b.ins("add.s32", gidx, src_base, sidx)
+        gaddr = b.elem_addr(src, gidx, elem_bytes=8)
+        re, im = b.reg("f32"), b.reg("f32")
+        b.ins("ld.global.v2.f32", "{" + re + ", " + im + "}",
+              f"[{gaddr}]")
+        saddr = _shared_elem_addr(b, sbase, sidx)
+        b.ins("st.shared.v2.f32", f"[{saddr}]", "{" + re + ", " + im + "}")
+    b.bar_sync()
+
+    row_base = b.reg("u32")
+    b.ins("mul.lo.s32", row_base, t, str(fn))
+    _fft_1d(b, sbase, row_base, 1, log2n, inverse=True)
+    b.bar_sync()
+    col_base = b.reg("u32")
+    b.ins("mov.u32", col_base, t)
+    _fft_1d(b, sbase, col_base, fn, log2n, inverse=True)
+    b.bar_sync()
+
+    # Thread t writes tile row u = crop_h + (t - some offset)?  Simpler:
+    # thread t owns tile row u = t; output row p = dest_h + (u - crop_h).
+    scale = f32(1.0 / (fn * fn))
+    u_minus = b.reg("s32")
+    b.ins("sub.s32", u_minus, t, crop_h)
+    row_ok = b.reg("pred")
+    tmp = b.reg("pred")
+    b.ins("setp.ge.s32", row_ok, u_minus, "0")
+    b.ins("setp.lt.s32", tmp, u_minus, valid_h)
+    b.ins("and.pred", row_ok, row_ok, tmp)
+    p = b.reg("s32")
+    b.ins("add.s32", p, dest_h, u_minus)
+    b.ins("setp.lt.s32", tmp, p, out_h)
+    b.ins("and.pred", row_ok, row_ok, tmp)
+    with b.if_then(row_ok):
+        plane_base = b.reg("u32")
+        hw = b.reg("u32")
+        b.ins("mul.lo.s32", hw, out_h, out_w)
+        b.ins("mul.lo.s32", plane_base, plane, hw)
+        v = b.reg("u32")
+        with b.for_range(v, 0, str(fn)):
+            v_minus = b.reg("s32")
+            b.ins("sub.s32", v_minus, v, crop_w)
+            col_ok = b.reg("pred")
+            tmp2 = b.reg("pred")
+            b.ins("setp.ge.s32", col_ok, v_minus, "0")
+            b.ins("setp.lt.s32", tmp2, v_minus, valid_w)
+            b.ins("and.pred", col_ok, col_ok, tmp2)
+            q = b.reg("s32")
+            b.ins("add.s32", q, dest_w, v_minus)
+            b.ins("setp.lt.s32", tmp2, q, out_w)
+            b.ins("and.pred", col_ok, col_ok, tmp2)
+            with b.if_then(col_ok):
+                sidx = b.reg("u32")
+                b.ins("mad.lo.s32", sidx, t, str(fn), v)
+                saddr = _shared_elem_addr(b, sbase, sidx)
+                re, im = b.reg("f32"), b.reg("f32")
+                b.ins("ld.shared.v2.f32", "{" + re + ", " + im + "}",
+                      f"[{saddr}]")
+                result = b.reg("f32")
+                b.ins("mul.f32", result, re, scale)
+                oidx = b.reg("u32")
+                b.ins("mad.lo.s32", oidx, p, out_w, q)
+                b.ins("add.s32", oidx, oidx, plane_base)
+                b.store_global_f32(b.elem_addr(dst, oidx), result)
+    return b.build()
+
+
+def transpose_complex() -> str:
+    """dst[c*rows + r] = src[r*cols + c] for complex data.
+
+    Reorders tile-major spectra [tile][bin] into frequency-major
+    [bin][tile] blocks for the per-bin CGEMM, and back.
+    """
+    b = PTXBuilder("fft_transpose_complex",
+                   [("src", "u64"), ("dst", "u64"), ("rows", "u32"),
+                    ("cols", "u32"), ("total", "u32")])
+    src = b.ld_param("u64", "src")
+    dst = b.ld_param("u64", "dst")
+    rows = b.ld_param("u32", "rows")
+    cols = b.ld_param("u32", "cols")
+    tid = b.global_tid_x()
+    total = b.ld_param("u32", "total")
+    b.guard_tid_below(tid, total)
+    r, c = div_mod(b, tid, cols)
+    saddr = b.elem_addr(src, tid, elem_bytes=8)
+    re, im = b.reg("f32"), b.reg("f32")
+    b.ins("ld.global.v2.f32", "{" + re + ", " + im + "}", f"[{saddr}]")
+    didx = b.reg("u32")
+    b.ins("mad.lo.s32", didx, c, rows, r)
+    daddr = b.elem_addr(dst, didx, elem_bytes=8)
+    b.ins("st.global.v2.f32", f"[{daddr}]", "{" + re + ", " + im + "}")
+    return b.build()
+
+
+ALL_KERNELS = {
+    "fft2d_r2c_32x32": lambda: fft2d_r2c(5),
+    "fft2d_r2c_16x16": lambda: fft2d_r2c(4),
+    "fft2d_c2r_32x32": lambda: fft2d_c2r(5),
+    "fft2d_c2r_16x16": lambda: fft2d_c2r(4),
+    "fft_transpose_complex": transpose_complex,
+}

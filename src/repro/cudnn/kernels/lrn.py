@@ -1,0 +1,199 @@
+"""Cross-channel Local Response Normalisation (the LeNet "LRN" kernel).
+
+LRN is one of the per-kernel correlation outliers in the paper's
+Figure 7.  The forward kernel exists in two builds: a plain global-memory
+version and a *texture* version that fetches the input through
+``tex.2d`` — exercising the texture name → texref → cudaArray plumbing
+of Section III-C inside a real cuDNN-style call.
+
+out = x / (k + (alpha/n) * sum_{window} x^2) ** beta
+The denominator ("scale") is saved for the backward pass.
+"""
+
+from __future__ import annotations
+
+from repro.ptx.builder import PTXBuilder, f32
+from repro.cudnn.kernels.common import div_mod
+
+LRN_TEXTURE_NAME = "cudnn_lrn_input_tex"
+
+_GEOM = [
+    ("batch", "u32"), ("channels", "u32"), ("height", "u32"),
+    ("width", "u32"), ("nsize", "u32"),
+]
+
+
+def _pow_f32(b: PTXBuilder, base: str, exponent: str) -> str:
+    """base**exponent = ex2(exponent * lg2(base)), base > 0."""
+    log2b = b.reg("f32")
+    b.ins("lg2.approx.f32", log2b, base)
+    scaled = b.reg("f32")
+    b.ins("mul.f32", scaled, exponent, log2b)
+    out = b.reg("f32")
+    b.ins("ex2.approx.f32", out, scaled)
+    return out
+
+
+def _lrn_forward(name: str, use_texture: bool) -> str:
+    b = PTXBuilder(name,
+                   [("inp", "u64"), ("out", "u64"), ("scale", "u64"),
+                    *_GEOM, ("alpha", "f32"), ("beta", "f32"),
+                    ("kconst", "f32"), ("total", "u32")])
+    inp = b.ld_param("u64", "inp")
+    out = b.ld_param("u64", "out")
+    scale_buf = b.ld_param("u64", "scale")
+    g = {gname: b.ld_param("u32", gname) for gname, _ in _GEOM}
+    alpha = b.ld_param("f32", "alpha")
+    beta = b.ld_param("f32", "beta")
+    kconst = b.ld_param("f32", "kconst")
+    tid = b.global_tid_x()
+    total = b.ld_param("u32", "total")
+    b.guard_tid_below(tid, total)
+
+    hw = b.reg("u32")
+    b.ins("mul.lo.s32", hw, g["height"], g["width"])
+    chw = b.reg("u32")
+    b.ins("mul.lo.s32", chw, g["channels"], hw)
+    n, c_hw = div_mod(b, tid, chw)
+    c, h_w = div_mod(b, c_hw, hw)
+    h, w = div_mod(b, h_w, g["width"])
+
+    half = b.reg("u32")
+    b.ins("div.u32", half, g["nsize"], "2")
+    c_lo = b.reg("s32")
+    b.ins("sub.s32", c_lo, c, half)
+    b.ins("max.s32", c_lo, c_lo, "0")
+    c_hi = b.reg("s32")
+    b.ins("add.s32", c_hi, c, half)
+    last = b.reg("s32")
+    b.ins("sub.s32", last, g["channels"], "1")
+    b.ins("min.s32", c_hi, c_hi, last)
+    b.ins("add.s32", c_hi, c_hi, "1")
+
+    sumsq = b.imm_f32(0.0)
+    cc = b.reg("u32")
+    with b.for_range(cc, c_lo, c_hi):
+        if use_texture:
+            # Texture layout: width = W, height = N*C*H.
+            ty = b.reg("u32")
+            b.ins("mad.lo.s32", ty, n, g["channels"], cc)
+            b.ins("mad.lo.s32", ty, ty, g["height"], h)
+            texel = b.reg("f32")
+            g1, g2, g3 = b.reg("f32"), b.reg("f32"), b.reg("f32")
+            b.ins("tex.2d.v4.f32.s32",
+                  "{" + ", ".join([texel, g1, g2, g3]) + "}",
+                  f"[{LRN_TEXTURE_NAME}, {{{w}, {ty}}}]")
+            value = texel
+        else:
+            idx = b.reg("u32")
+            b.ins("mad.lo.s32", idx, n, g["channels"], cc)
+            b.ins("mad.lo.s32", idx, idx, g["height"], h)
+            b.ins("mad.lo.s32", idx, idx, g["width"], w)
+            value = b.load_global_f32(b.elem_addr(inp, idx))
+        b.ins("fma.rn.f32", sumsq, value, value, sumsq)
+
+    nf = b.reg("f32")
+    b.ins("cvt.rn.f32.u32", nf, g["nsize"])
+    coeff = b.reg("f32")
+    b.ins("div.rn.f32", coeff, alpha, nf)
+    denom = b.reg("f32")
+    b.ins("fma.rn.f32", denom, coeff, sumsq, kconst)
+    b.store_global_f32(b.elem_addr(scale_buf, tid), denom)
+    powered = _pow_f32(b, denom, beta)
+    x_val = b.load_global_f32(b.elem_addr(inp, tid))
+    result = b.reg("f32")
+    b.ins("div.rn.f32", result, x_val, powered)
+    b.store_global_f32(b.elem_addr(out, tid), result)
+    return b.build()
+
+
+def lrn_forward() -> str:
+    return _lrn_forward("cudnn_lrn_fwd", use_texture=False)
+
+
+def lrn_forward_tex() -> str:
+    return _lrn_forward("cudnn_lrn_fwd_tex", use_texture=True)
+
+
+def lrn_backward() -> str:
+    """dx = dy*scale^-beta - (2ab/n) * x * sum_w dy*y/scale."""
+    b = PTXBuilder("cudnn_lrn_bwd",
+                   [("x", "u64"), ("y", "u64"), ("dy", "u64"),
+                    ("scale", "u64"), ("dx", "u64"), *_GEOM,
+                    ("alpha", "f32"), ("beta", "f32"), ("total", "u32")])
+    x = b.ld_param("u64", "x")
+    y = b.ld_param("u64", "y")
+    dy = b.ld_param("u64", "dy")
+    scale_buf = b.ld_param("u64", "scale")
+    dx = b.ld_param("u64", "dx")
+    g = {gname: b.ld_param("u32", gname) for gname, _ in _GEOM}
+    alpha = b.ld_param("f32", "alpha")
+    beta = b.ld_param("f32", "beta")
+    tid = b.global_tid_x()
+    total = b.ld_param("u32", "total")
+    b.guard_tid_below(tid, total)
+
+    hw = b.reg("u32")
+    b.ins("mul.lo.s32", hw, g["height"], g["width"])
+    chw = b.reg("u32")
+    b.ins("mul.lo.s32", chw, g["channels"], hw)
+    n, c_hw = div_mod(b, tid, chw)
+    c, h_w = div_mod(b, c_hw, hw)
+    h, w = div_mod(b, h_w, g["width"])
+
+    half = b.reg("u32")
+    b.ins("div.u32", half, g["nsize"], "2")
+    c_lo = b.reg("s32")
+    b.ins("sub.s32", c_lo, c, half)
+    b.ins("max.s32", c_lo, c_lo, "0")
+    c_hi = b.reg("s32")
+    b.ins("add.s32", c_hi, c, half)
+    last = b.reg("s32")
+    b.ins("sub.s32", last, g["channels"], "1")
+    b.ins("min.s32", c_hi, c_hi, last)
+    b.ins("add.s32", c_hi, c_hi, "1")
+
+    window_sum = b.imm_f32(0.0)
+    cc = b.reg("u32")
+    with b.for_range(cc, c_lo, c_hi):
+        idx = b.reg("u32")
+        b.ins("mad.lo.s32", idx, n, g["channels"], cc)
+        b.ins("mad.lo.s32", idx, idx, g["height"], h)
+        b.ins("mad.lo.s32", idx, idx, g["width"], w)
+        addr_off = b.elem_addr(dy, idx)
+        dyv = b.load_global_f32(addr_off)
+        yv = b.load_global_f32(b.elem_addr(y, idx))
+        sv = b.load_global_f32(b.elem_addr(scale_buf, idx))
+        term = b.reg("f32")
+        b.ins("mul.f32", term, dyv, yv)
+        b.ins("div.rn.f32", term, term, sv)
+        b.ins("add.f32", window_sum, window_sum, term)
+
+    scale_v = b.load_global_f32(b.elem_addr(scale_buf, tid))
+    neg_beta = b.reg("f32")
+    b.ins("neg.f32", neg_beta, beta)
+    pow_term = _pow_f32(b, scale_v, neg_beta)
+    dyv = b.load_global_f32(b.elem_addr(dy, tid))
+    first = b.reg("f32")
+    b.ins("mul.f32", first, dyv, pow_term)
+    nf = b.reg("f32")
+    b.ins("cvt.rn.f32.u32", nf, g["nsize"])
+    coeff = b.reg("f32")
+    b.ins("mul.f32", coeff, alpha, beta)
+    b.ins("mul.f32", coeff, coeff, f32(2.0))
+    b.ins("div.rn.f32", coeff, coeff, nf)
+    xv = b.load_global_f32(b.elem_addr(x, tid))
+    second = b.reg("f32")
+    b.ins("mul.f32", second, coeff, xv)
+    b.ins("mul.f32", second, second, window_sum)
+    result = b.reg("f32")
+    b.ins("sub.f32", result, first, second)
+    b.store_global_f32(b.elem_addr(dx, tid), result)
+    return b.build()
+
+
+ALL_KERNELS = {
+    "cudnn_lrn_fwd": lrn_forward,
+    "cudnn_lrn_fwd_tex": lrn_forward_tex,
+    "cudnn_lrn_bwd": lrn_backward,
+}

@@ -1,0 +1,146 @@
+"""Max/average pooling kernels (cudnnPoolingForward/Backward)."""
+
+from __future__ import annotations
+
+from repro.ptx.builder import PTXBuilder
+from repro.cudnn.kernels.common import div_mod
+
+_GEOM = [
+    ("batch", "u32"), ("channels", "u32"), ("height", "u32"),
+    ("width", "u32"), ("out_h", "u32"), ("out_w", "u32"),
+    ("window", "u32"), ("stride", "u32"),
+]
+
+
+def _load_geom(b: PTXBuilder) -> dict[str, str]:
+    return {name: b.ld_param("u32", name) for name, _ in _GEOM}
+
+
+def maxpool_forward() -> str:
+    """out[n,c,p,q] = max window; records the winning flat input index."""
+    b = PTXBuilder("cudnn_maxpool_fwd",
+                   [("inp", "u64"), ("out", "u64"), ("argmax", "u64"),
+                    *_GEOM, ("total", "u32")])
+    inp = b.ld_param("u64", "inp")
+    out = b.ld_param("u64", "out")
+    argmax = b.ld_param("u64", "argmax")
+    g = _load_geom(b)
+    tid = b.global_tid_x()
+    total = b.ld_param("u32", "total")
+    b.guard_tid_below(tid, total)
+
+    pq = b.reg("u32")
+    b.ins("mul.lo.s32", pq, g["out_h"], g["out_w"])
+    cpq = b.reg("u32")
+    b.ins("mul.lo.s32", cpq, g["channels"], pq)
+    n, c_pq = div_mod(b, tid, cpq)
+    c, p_q = div_mod(b, c_pq, pq)
+    p, q = div_mod(b, p_q, g["out_w"])
+
+    best = b.imm_f32(-3.0e38)
+    best_idx = b.imm_u32(0)
+    r = b.reg("u32")
+    with b.for_range(r, 0, g["window"]):
+        s = b.reg("u32")
+        with b.for_range(s, 0, g["window"]):
+            h = b.reg("u32")
+            b.ins("mad.lo.s32", h, p, g["stride"], r)
+            w = b.reg("u32")
+            b.ins("mad.lo.s32", w, q, g["stride"], s)
+            ok = b.reg("pred")
+            tmp = b.reg("pred")
+            b.ins("setp.lt.s32", ok, h, g["height"])
+            b.ins("setp.lt.s32", tmp, w, g["width"])
+            b.ins("and.pred", ok, ok, tmp)
+            with b.if_then(ok):
+                idx = b.reg("u32")
+                b.ins("mad.lo.s32", idx, n, g["channels"], c)
+                b.ins("mad.lo.s32", idx, idx, g["height"], h)
+                b.ins("mad.lo.s32", idx, idx, g["width"], w)
+                value = b.load_global_f32(b.elem_addr(inp, idx))
+                better = b.reg("pred")
+                b.ins("setp.gt.f32", better, value, best)
+                b.ins("selp.f32", best, value, best, better)
+                b.ins("selp.u32", best_idx, idx, best_idx, better)
+    b.store_global_f32(b.elem_addr(out, tid), best)
+    b.ins("st.global.u32", f"[{b.elem_addr(argmax, tid)}]", best_idx)
+    return b.build()
+
+
+def maxpool_backward() -> str:
+    """dx[argmax[i]] += dy[i] via atomics (windows may overlap)."""
+    b = PTXBuilder("cudnn_maxpool_bwd",
+                   [("dy", "u64"), ("argmax", "u64"), ("dx", "u64"),
+                    ("total", "u32")])
+    dy = b.ld_param("u64", "dy")
+    argmax = b.ld_param("u64", "argmax")
+    dx = b.ld_param("u64", "dx")
+    tid = b.global_tid_x()
+    total = b.ld_param("u32", "total")
+    b.guard_tid_below(tid, total)
+    dyv = b.load_global_f32(b.elem_addr(dy, tid))
+    idx = b.reg("u32")
+    b.ins("ld.global.u32", idx, f"[{b.elem_addr(argmax, tid)}]")
+    addr = b.elem_addr(dx, idx)
+    old = b.reg("f32")
+    b.ins("atom.global.add.f32", old, f"[{addr}]", dyv)
+    return b.build()
+
+
+def avgpool_forward() -> str:
+    """out[n,c,p,q] = mean of the (fully in-bounds part of the) window."""
+    b = PTXBuilder("cudnn_avgpool_fwd",
+                   [("inp", "u64"), ("out", "u64"), *_GEOM,
+                    ("total", "u32")])
+    inp = b.ld_param("u64", "inp")
+    out = b.ld_param("u64", "out")
+    g = _load_geom(b)
+    tid = b.global_tid_x()
+    total = b.ld_param("u32", "total")
+    b.guard_tid_below(tid, total)
+
+    pq = b.reg("u32")
+    b.ins("mul.lo.s32", pq, g["out_h"], g["out_w"])
+    cpq = b.reg("u32")
+    b.ins("mul.lo.s32", cpq, g["channels"], pq)
+    n, c_pq = div_mod(b, tid, cpq)
+    c, p_q = div_mod(b, c_pq, pq)
+    p, q = div_mod(b, p_q, g["out_w"])
+
+    acc = b.imm_f32(0.0)
+    count = b.imm_u32(0)
+    r = b.reg("u32")
+    with b.for_range(r, 0, g["window"]):
+        s = b.reg("u32")
+        with b.for_range(s, 0, g["window"]):
+            h = b.reg("u32")
+            b.ins("mad.lo.s32", h, p, g["stride"], r)
+            w = b.reg("u32")
+            b.ins("mad.lo.s32", w, q, g["stride"], s)
+            ok = b.reg("pred")
+            tmp = b.reg("pred")
+            b.ins("setp.lt.s32", ok, h, g["height"])
+            b.ins("setp.lt.s32", tmp, w, g["width"])
+            b.ins("and.pred", ok, ok, tmp)
+            with b.if_then(ok):
+                idx = b.reg("u32")
+                b.ins("mad.lo.s32", idx, n, g["channels"], c)
+                b.ins("mad.lo.s32", idx, idx, g["height"], h)
+                b.ins("mad.lo.s32", idx, idx, g["width"], w)
+                value = b.load_global_f32(b.elem_addr(inp, idx))
+                b.ins("add.f32", acc, acc, value)
+                b.ins("add.u32", count, count, "1")
+    fcount = b.reg("f32")
+    b.ins("cvt.rn.f32.u32", fcount, count)
+    mean = b.reg("f32")
+    b.ins("div.rn.f32", mean, acc, fcount)
+    b.store_global_f32(b.elem_addr(out, tid), mean)
+    return b.build()
+
+
+ALL_KERNELS = {
+    "cudnn_maxpool_fwd": maxpool_forward,
+    "cudnn_maxpool_bwd": maxpool_backward,
+    "cudnn_avgpool_fwd": avgpool_forward,
+}
+

@@ -1,0 +1,541 @@
+"""Winograd F(2x2, 3x3) convolution kernels — fused and nonfused.
+
+The paper singles Winograd out twice: it is why cuDNN support matters at
+all ("specialized algorithms such as Winograd"), and *Winograd Nonfused*
+is the algorithm with "the highest IPCs for all three types of
+convolution" in Section V, with a load-imbalanced backward-filter
+variant (Figures 20/21).
+
+Transform matrices (Lavin & Gray):
+
+    B^T = [[1,0,-1,0],[0,1,1,0],[0,-1,1,0],[0,1,0,-1]]
+    G   = [[1,0,0],[1/2,1/2,1/2],[1/2,-1/2,1/2],[0,0,1]]
+    A^T = [[1,1,1,0],[0,1,-1,-1]]
+
+The nonfused pipeline is three+ kernels (input transform, filter
+transform, 16-bin batched GEMM via ``sgemm_tiled_16x16``, output
+transform); the fused kernel does everything per (k, tile) thread.
+Backward-filter nonfused uses the exact gradient identity
+``dg = G^T [ (B^T d B) ⊙ (A dY A^T) ] G`` summed over tiles, which maps
+onto the same batched-GEMM skeleton with K*C output parallelism — the
+source of its shader load imbalance.
+"""
+
+from __future__ import annotations
+
+from repro.ptx.builder import PTXBuilder, f32
+from repro.cudnn.kernels.common import div_mod
+
+_HALF = f32(0.5)
+
+
+# ----------------------------------------------------------------------
+# Straight-line transform emitters (operate on register lists)
+# ----------------------------------------------------------------------
+def _bt_d_b(b: PTXBuilder, d: list[str]) -> list[str]:
+    """V = B^T d B for a 4x4 tile held in 16 registers (row-major)."""
+    tmp = [b.reg("f32") for _ in range(16)]
+    for j in range(4):
+        b.ins("sub.f32", tmp[0 * 4 + j], d[0 * 4 + j], d[2 * 4 + j])
+        b.ins("add.f32", tmp[1 * 4 + j], d[1 * 4 + j], d[2 * 4 + j])
+        b.ins("sub.f32", tmp[2 * 4 + j], d[2 * 4 + j], d[1 * 4 + j])
+        b.ins("sub.f32", tmp[3 * 4 + j], d[1 * 4 + j], d[3 * 4 + j])
+    out = [b.reg("f32") for _ in range(16)]
+    for i in range(4):
+        b.ins("sub.f32", out[i * 4 + 0], tmp[i * 4 + 0], tmp[i * 4 + 2])
+        b.ins("add.f32", out[i * 4 + 1], tmp[i * 4 + 1], tmp[i * 4 + 2])
+        b.ins("sub.f32", out[i * 4 + 2], tmp[i * 4 + 2], tmp[i * 4 + 1])
+        b.ins("sub.f32", out[i * 4 + 3], tmp[i * 4 + 1], tmp[i * 4 + 3])
+    return out
+
+
+def _g_g_gt(b: PTXBuilder, g: list[str]) -> list[str]:
+    """U = G g G^T for a 3x3 filter in 9 registers (row-major)."""
+    tmp = [b.reg("f32") for _ in range(12)]  # 4x3
+    for j in range(3):
+        b.ins("mov.f32", tmp[0 * 3 + j], g[0 * 3 + j])
+        total = b.reg("f32")
+        b.ins("add.f32", total, g[0 * 3 + j], g[2 * 3 + j])
+        plus = b.reg("f32")
+        b.ins("add.f32", plus, total, g[1 * 3 + j])
+        minus = b.reg("f32")
+        b.ins("sub.f32", minus, total, g[1 * 3 + j])
+        b.ins("mul.f32", tmp[1 * 3 + j], plus, _HALF)
+        b.ins("mul.f32", tmp[2 * 3 + j], minus, _HALF)
+        b.ins("mov.f32", tmp[3 * 3 + j], g[2 * 3 + j])
+    out = [b.reg("f32") for _ in range(16)]
+    for i in range(4):
+        b.ins("mov.f32", out[i * 4 + 0], tmp[i * 3 + 0])
+        total = b.reg("f32")
+        b.ins("add.f32", total, tmp[i * 3 + 0], tmp[i * 3 + 2])
+        plus = b.reg("f32")
+        b.ins("add.f32", plus, total, tmp[i * 3 + 1])
+        minus = b.reg("f32")
+        b.ins("sub.f32", minus, total, tmp[i * 3 + 1])
+        b.ins("mul.f32", out[i * 4 + 1], plus, _HALF)
+        b.ins("mul.f32", out[i * 4 + 2], minus, _HALF)
+        b.ins("mov.f32", out[i * 4 + 3], tmp[i * 3 + 2])
+    return out
+
+
+def _at_m_a(b: PTXBuilder, m: list[str]) -> list[str]:
+    """Y (2x2) = A^T m A for a 4x4 tile in 16 registers."""
+    tmp = [b.reg("f32") for _ in range(8)]  # 2x4
+    for j in range(4):
+        t = b.reg("f32")
+        b.ins("add.f32", t, m[0 * 4 + j], m[1 * 4 + j])
+        b.ins("add.f32", tmp[0 * 4 + j], t, m[2 * 4 + j])
+        t2 = b.reg("f32")
+        b.ins("sub.f32", t2, m[1 * 4 + j], m[2 * 4 + j])
+        b.ins("sub.f32", tmp[1 * 4 + j], t2, m[3 * 4 + j])
+    out = [b.reg("f32") for _ in range(4)]
+    for i in range(2):
+        t = b.reg("f32")
+        b.ins("add.f32", t, tmp[i * 4 + 0], tmp[i * 4 + 1])
+        b.ins("add.f32", out[i * 2 + 0], t, tmp[i * 4 + 2])
+        t2 = b.reg("f32")
+        b.ins("sub.f32", t2, tmp[i * 4 + 1], tmp[i * 4 + 2])
+        b.ins("sub.f32", out[i * 2 + 1], t2, tmp[i * 4 + 3])
+    return out
+
+
+def _a_dy_at(b: PTXBuilder, dy: list[str]) -> list[str]:
+    """W (4x4) = A dY A^T for a 2x2 output-grad tile in 4 registers.
+
+    A = [[1,0],[1,1],[1,-1],[0,-1]].
+    """
+    tmp = [b.reg("f32") for _ in range(8)]  # 4x2: A @ dY
+    for j in range(2):
+        b.ins("mov.f32", tmp[0 * 2 + j], dy[0 * 2 + j])
+        b.ins("add.f32", tmp[1 * 2 + j], dy[0 * 2 + j], dy[1 * 2 + j])
+        b.ins("sub.f32", tmp[2 * 2 + j], dy[0 * 2 + j], dy[1 * 2 + j])
+        neg = b.reg("f32")
+        b.ins("neg.f32", neg, dy[1 * 2 + j])
+        b.ins("mov.f32", tmp[3 * 2 + j], neg)
+    out = [b.reg("f32") for _ in range(16)]  # 4x4: tmp @ A^T
+    for i in range(4):
+        b.ins("mov.f32", out[i * 4 + 0], tmp[i * 2 + 0])
+        b.ins("add.f32", out[i * 4 + 1], tmp[i * 2 + 0], tmp[i * 2 + 1])
+        b.ins("sub.f32", out[i * 4 + 2], tmp[i * 2 + 0], tmp[i * 2 + 1])
+        neg = b.reg("f32")
+        b.ins("neg.f32", neg, tmp[i * 2 + 1])
+        b.ins("mov.f32", out[i * 4 + 3], neg)
+    return out
+
+
+def _gt_s_g(b: PTXBuilder, s: list[str]) -> list[str]:
+    """dg (3x3) = G^T S G for a 4x4 tile in 16 registers."""
+    tmp = [b.reg("f32") for _ in range(12)]  # 3x4: G^T @ S
+    for j in range(4):
+        halves = b.reg("f32")
+        b.ins("add.f32", halves, s[1 * 4 + j], s[2 * 4 + j])
+        b.ins("mul.f32", halves, halves, _HALF)
+        diff = b.reg("f32")
+        b.ins("sub.f32", diff, s[1 * 4 + j], s[2 * 4 + j])
+        b.ins("mul.f32", diff, diff, _HALF)
+        b.ins("add.f32", tmp[0 * 4 + j], s[0 * 4 + j], halves)
+        b.ins("mov.f32", tmp[1 * 4 + j], diff)
+        b.ins("add.f32", tmp[2 * 4 + j], s[3 * 4 + j], halves)
+    out = [b.reg("f32") for _ in range(9)]  # 3x3: tmp @ G
+    for i in range(3):
+        halves = b.reg("f32")
+        b.ins("add.f32", halves, tmp[i * 4 + 1], tmp[i * 4 + 2])
+        b.ins("mul.f32", halves, halves, _HALF)
+        diff = b.reg("f32")
+        b.ins("sub.f32", diff, tmp[i * 4 + 1], tmp[i * 4 + 2])
+        b.ins("mul.f32", diff, diff, _HALF)
+        b.ins("add.f32", out[i * 3 + 0], tmp[i * 4 + 0], halves)
+        b.ins("mov.f32", out[i * 3 + 1], diff)
+        b.ins("add.f32", out[i * 3 + 2], tmp[i * 4 + 3], halves)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Guarded tile loads
+# ----------------------------------------------------------------------
+_TILE_GEOM = [
+    ("batch", "u32"), ("channels", "u32"), ("height", "u32"),
+    ("width", "u32"), ("tiles_h", "u32"), ("tiles_w", "u32"),
+    ("pad_h", "u32"), ("pad_w", "u32"),
+]
+
+
+def _decompose_tile(b: PTXBuilder, t: str,
+                    g: dict[str, str]) -> tuple[str, str, str]:
+    """t -> (n, tile row, tile col)."""
+    tiles = b.reg("u32")
+    b.ins("mul.lo.s32", tiles, g["tiles_h"], g["tiles_w"])
+    n, t_hw = div_mod(b, t, tiles)
+    th, tw = div_mod(b, t_hw, g["tiles_w"])
+    return n, th, tw
+
+
+def _load_patch_4x4(b: PTXBuilder, image: str, n: str, c: str, th: str,
+                    tw: str, g: dict[str, str]) -> list[str]:
+    """Load a 4x4 input patch at (2*th - pad, 2*tw - pad), zero-padded."""
+    h0 = b.reg("s32")
+    b.ins("mul.lo.s32", h0, th, "2")
+    b.ins("sub.s32", h0, h0, g["pad_h"])
+    w0 = b.reg("s32")
+    b.ins("mul.lo.s32", w0, tw, "2")
+    b.ins("sub.s32", w0, w0, g["pad_w"])
+    nc = b.reg("u32")
+    b.ins("mad.lo.s32", nc, n, g["channels"], c)
+    values: list[str] = []
+    for i in range(4):
+        for j in range(4):
+            h = b.reg("s32")
+            b.ins("add.s32", h, h0, str(i))
+            w = b.reg("s32")
+            b.ins("add.s32", w, w0, str(j))
+            ok = b.reg("pred")
+            tmp = b.reg("pred")
+            b.ins("setp.ge.s32", ok, h, "0")
+            b.ins("setp.lt.s32", tmp, h, g["height"])
+            b.ins("and.pred", ok, ok, tmp)
+            b.ins("setp.ge.s32", tmp, w, "0")
+            b.ins("and.pred", ok, ok, tmp)
+            b.ins("setp.lt.s32", tmp, w, g["width"])
+            b.ins("and.pred", ok, ok, tmp)
+            idx = b.reg("u32")
+            b.ins("mad.lo.s32", idx, nc, g["height"], h)
+            b.ins("mad.lo.s32", idx, idx, g["width"], w)
+            value = b.imm_f32(0.0)
+            b.ins("ld.global.f32", value, f"[{b.elem_addr(image, idx)}]",
+                  pred=ok)
+            values.append(value)
+    return values
+
+
+# ----------------------------------------------------------------------
+# Nonfused pipeline kernels
+# ----------------------------------------------------------------------
+def input_transform(transposed: bool = False) -> str:
+    """V[xi, c, t] = (B^T d B)[xi] per (channel, tile) thread.
+
+    ``transposed`` stores V as [16, T, C] instead (GEMM B-operand layout
+    for the backward-filter pipeline).
+    """
+    name = ("winograd_input_transform_t" if transposed
+            else "winograd_input_transform")
+    b = PTXBuilder(name,
+                   [("image", "u64"), ("v", "u64"), *_TILE_GEOM,
+                    ("total", "u32")])
+    image = b.ld_param("u64", "image")
+    v = b.ld_param("u64", "v")
+    g = {gname: b.ld_param("u32", gname) for gname, _ in _TILE_GEOM}
+    tid = b.global_tid_x()
+    total = b.ld_param("u32", "total")
+    b.guard_tid_below(tid, total)
+
+    tiles = b.reg("u32")
+    b.ins("mul.lo.s32", tiles, g["tiles_h"], g["tiles_w"])
+    ntiles = b.reg("u32")
+    b.ins("mul.lo.s32", ntiles, g["batch"], tiles)
+    c, t = div_mod(b, tid, ntiles)
+    n, th = div_mod(b, t, tiles)
+    th2, tw = div_mod(b, th, g["tiles_w"])
+
+    d = _load_patch_4x4(b, image, n, c, th2, tw, g)
+    out = _bt_d_b(b, d)
+    ct = b.reg("u32")
+    b.ins("mul.lo.s32", ct, g["channels"], ntiles)
+    for xi in range(16):
+        if transposed:
+            # idx = (xi*T + t)*C + c
+            idx = b.reg("u32")
+            b.ins("mad.lo.s32", idx, str(xi), ntiles, t)
+            b.ins("mad.lo.s32", idx, idx, g["channels"], c)
+        else:
+            # idx = (xi*C + c)*T + t
+            idx = b.reg("u32")
+            b.ins("mad.lo.s32", idx, str(xi), g["channels"], c)
+            b.ins("mad.lo.s32", idx, idx, ntiles, t)
+        b.store_global_f32(b.elem_addr(v, idx), out[xi])
+    del ct
+    return b.build()
+
+
+def filter_transform() -> str:
+    """U[xi, k, c] = (G g G^T)[xi] per (k, c) thread."""
+    b = PTXBuilder("winograd_filter_transform",
+                   [("weight", "u64"), ("u", "u64"), ("filters", "u32"),
+                    ("channels", "u32"), ("total", "u32")])
+    weight = b.ld_param("u64", "weight")
+    u = b.ld_param("u64", "u")
+    filters = b.ld_param("u32", "filters")
+    channels = b.ld_param("u32", "channels")
+    tid = b.global_tid_x()
+    total = b.ld_param("u32", "total")
+    b.guard_tid_below(tid, total)
+    k, c = div_mod(b, tid, channels)
+    base = b.reg("u32")
+    b.ins("mul.lo.s32", base, tid, "9")
+    g_regs = []
+    for i in range(9):
+        g_regs.append(b.load_global_f32(b.elem_addr(weight, base), 4 * i))
+    out = _g_g_gt(b, g_regs)
+    kc = b.reg("u32")
+    b.ins("mul.lo.s32", kc, filters, channels)
+    for xi in range(16):
+        idx = b.reg("u32")
+        b.ins("mad.lo.s32", idx, str(xi), kc, tid)
+        b.store_global_f32(b.elem_addr(u, idx), out[xi])
+    del k
+    return b.build()
+
+
+def output_transform() -> str:
+    """out[n,k,p,q] = (A^T m A) per (k, tile) thread, edge-guarded."""
+    b = PTXBuilder("winograd_output_transform",
+                   [("m", "u64"), ("out", "u64"), ("batch", "u32"),
+                    ("filters", "u32"), ("out_h", "u32"), ("out_w", "u32"),
+                    ("tiles_h", "u32"), ("tiles_w", "u32"),
+                    ("total", "u32")])
+    m_buf = b.ld_param("u64", "m")
+    out = b.ld_param("u64", "out")
+    batch = b.ld_param("u32", "batch")
+    filters = b.ld_param("u32", "filters")
+    out_h = b.ld_param("u32", "out_h")
+    out_w = b.ld_param("u32", "out_w")
+    tiles_h = b.ld_param("u32", "tiles_h")
+    tiles_w = b.ld_param("u32", "tiles_w")
+    tid = b.global_tid_x()
+    total = b.ld_param("u32", "total")
+    b.guard_tid_below(tid, total)
+
+    tiles = b.reg("u32")
+    b.ins("mul.lo.s32", tiles, tiles_h, tiles_w)
+    ntiles = b.reg("u32")
+    b.ins("mul.lo.s32", ntiles, batch, tiles)
+    k, t = div_mod(b, tid, ntiles)
+    n, t_hw = div_mod(b, t, tiles)
+    th, tw = div_mod(b, t_hw, tiles_w)
+
+    m_regs = []
+    for xi in range(16):
+        idx = b.reg("u32")
+        b.ins("mad.lo.s32", idx, str(xi), filters, k)
+        b.ins("mad.lo.s32", idx, idx, ntiles, t)
+        m_regs.append(b.load_global_f32(b.elem_addr(m_buf, idx)))
+    y = _at_m_a(b, m_regs)
+    nk = b.reg("u32")
+    b.ins("mad.lo.s32", nk, n, filters, k)
+    for i in range(2):
+        for j in range(2):
+            p = b.reg("u32")
+            b.ins("mad.lo.s32", p, th, "2", str(i))
+            q = b.reg("u32")
+            b.ins("mad.lo.s32", q, tw, "2", str(j))
+            ok = b.reg("pred")
+            tmp = b.reg("pred")
+            b.ins("setp.lt.s32", ok, p, out_h)
+            b.ins("setp.lt.s32", tmp, q, out_w)
+            b.ins("and.pred", ok, ok, tmp)
+            with b.if_then(ok):
+                idx = b.reg("u32")
+                b.ins("mad.lo.s32", idx, nk, out_h, p)
+                b.ins("mad.lo.s32", idx, idx, out_w, q)
+                b.store_global_f32(b.elem_addr(out, idx), y[i * 2 + j])
+    return b.build()
+
+
+def fused_forward() -> str:
+    """Single-kernel Winograd: per (k, tile) thread, filter transform on
+    the fly, channel loop inside (the "Winograd" fused algorithm)."""
+    b = PTXBuilder("winograd_fused_fwd",
+                   [("image", "u64"), ("weight", "u64"), ("out", "u64"),
+                    *_TILE_GEOM, ("filters", "u32"), ("out_h", "u32"),
+                    ("out_w", "u32"), ("total", "u32")])
+    image = b.ld_param("u64", "image")
+    weight = b.ld_param("u64", "weight")
+    out = b.ld_param("u64", "out")
+    g = {gname: b.ld_param("u32", gname) for gname, _ in _TILE_GEOM}
+    filters = b.ld_param("u32", "filters")
+    out_h = b.ld_param("u32", "out_h")
+    out_w = b.ld_param("u32", "out_w")
+    tid = b.global_tid_x()
+    total = b.ld_param("u32", "total")
+    b.guard_tid_below(tid, total)
+
+    tiles = b.reg("u32")
+    b.ins("mul.lo.s32", tiles, g["tiles_h"], g["tiles_w"])
+    ntiles = b.reg("u32")
+    b.ins("mul.lo.s32", ntiles, g["batch"], tiles)
+    k, t = div_mod(b, tid, ntiles)
+    n, t_hw = div_mod(b, t, tiles)
+    th, tw = div_mod(b, t_hw, g["tiles_w"])
+
+    acc = [b.imm_f32(0.0) for _ in range(16)]
+    c = b.reg("u32")
+    with b.for_range(c, 0, g["channels"]):
+        d = _load_patch_4x4(b, image, n, c, th, tw, g)
+        v = _bt_d_b(b, d)
+        wbase = b.reg("u32")
+        b.ins("mad.lo.s32", wbase, k, g["channels"], c)
+        b.ins("mul.lo.s32", wbase, wbase, "9")
+        g_regs = []
+        for i in range(9):
+            g_regs.append(
+                b.load_global_f32(b.elem_addr(weight, wbase), 4 * i))
+        u = _g_g_gt(b, g_regs)
+        for xi in range(16):
+            b.ins("fma.rn.f32", acc[xi], u[xi], v[xi], acc[xi])
+    y = _at_m_a(b, acc)
+    nk = b.reg("u32")
+    b.ins("mad.lo.s32", nk, n, filters, k)
+    for i in range(2):
+        for j in range(2):
+            p = b.reg("u32")
+            b.ins("mad.lo.s32", p, th, "2", str(i))
+            q = b.reg("u32")
+            b.ins("mad.lo.s32", q, tw, "2", str(j))
+            ok = b.reg("pred")
+            tmp = b.reg("pred")
+            b.ins("setp.lt.s32", ok, p, out_h)
+            b.ins("setp.lt.s32", tmp, q, out_w)
+            b.ins("and.pred", ok, ok, tmp)
+            with b.if_then(ok):
+                idx = b.reg("u32")
+                b.ins("mad.lo.s32", idx, nk, out_h, p)
+                b.ins("mad.lo.s32", idx, idx, out_w, q)
+                b.store_global_f32(b.elem_addr(out, idx), y[i * 2 + j])
+    return b.build()
+
+
+# ----------------------------------------------------------------------
+# Backward-filter (wgrad) nonfused kernels
+# ----------------------------------------------------------------------
+def wgrad_dy_transform() -> str:
+    """W[xi, k, t] = (A dY A^T)[xi] per (k, tile) thread."""
+    b = PTXBuilder("winograd_wgrad_dy_transform",
+                   [("dy", "u64"), ("w", "u64"), ("batch", "u32"),
+                    ("filters", "u32"), ("out_h", "u32"), ("out_w", "u32"),
+                    ("tiles_h", "u32"), ("tiles_w", "u32"),
+                    ("total", "u32")])
+    dy = b.ld_param("u64", "dy")
+    w_buf = b.ld_param("u64", "w")
+    batch = b.ld_param("u32", "batch")
+    filters = b.ld_param("u32", "filters")
+    out_h = b.ld_param("u32", "out_h")
+    out_w = b.ld_param("u32", "out_w")
+    tiles_h = b.ld_param("u32", "tiles_h")
+    tiles_w = b.ld_param("u32", "tiles_w")
+    tid = b.global_tid_x()
+    total = b.ld_param("u32", "total")
+    b.guard_tid_below(tid, total)
+
+    tiles = b.reg("u32")
+    b.ins("mul.lo.s32", tiles, tiles_h, tiles_w)
+    ntiles = b.reg("u32")
+    b.ins("mul.lo.s32", ntiles, batch, tiles)
+    k, t = div_mod(b, tid, ntiles)
+    n, t_hw = div_mod(b, t, tiles)
+    th, tw = div_mod(b, t_hw, tiles_w)
+    nk = b.reg("u32")
+    b.ins("mad.lo.s32", nk, n, filters, k)
+
+    dy_regs = []
+    for i in range(2):
+        for j in range(2):
+            p = b.reg("u32")
+            b.ins("mad.lo.s32", p, th, "2", str(i))
+            q = b.reg("u32")
+            b.ins("mad.lo.s32", q, tw, "2", str(j))
+            ok = b.reg("pred")
+            tmp = b.reg("pred")
+            b.ins("setp.lt.s32", ok, p, out_h)
+            b.ins("setp.lt.s32", tmp, q, out_w)
+            b.ins("and.pred", ok, ok, tmp)
+            idx = b.reg("u32")
+            b.ins("mad.lo.s32", idx, nk, out_h, p)
+            b.ins("mad.lo.s32", idx, idx, out_w, q)
+            value = b.imm_f32(0.0)
+            b.ins("ld.global.f32", value, f"[{b.elem_addr(dy, idx)}]",
+                  pred=ok)
+            dy_regs.append(value)
+    out = _a_dy_at(b, dy_regs)
+    for xi in range(16):
+        idx = b.reg("u32")
+        b.ins("mad.lo.s32", idx, str(xi), filters, k)
+        b.ins("mad.lo.s32", idx, idx, ntiles, t)
+        b.store_global_f32(b.elem_addr(w_buf, idx), out[xi])
+    return b.build()
+
+
+def wgrad_output_transform() -> str:
+    """dw[k,c,3,3] = G^T S G per (k, c) thread."""
+    b = PTXBuilder("winograd_wgrad_output_transform",
+                   [("s", "u64"), ("dw", "u64"), ("filters", "u32"),
+                    ("channels", "u32"), ("total", "u32")])
+    s_buf = b.ld_param("u64", "s")
+    dw = b.ld_param("u64", "dw")
+    filters = b.ld_param("u32", "filters")
+    channels = b.ld_param("u32", "channels")
+    tid = b.global_tid_x()
+    total = b.ld_param("u32", "total")
+    b.guard_tid_below(tid, total)
+    kc = b.reg("u32")
+    b.ins("mul.lo.s32", kc, filters, channels)
+    s_regs = []
+    for xi in range(16):
+        idx = b.reg("u32")
+        b.ins("mad.lo.s32", idx, str(xi), kc, tid)
+        s_regs.append(b.load_global_f32(b.elem_addr(s_buf, idx)))
+    out = _gt_s_g(b, s_regs)
+    base = b.reg("u32")
+    b.ins("mul.lo.s32", base, tid, "9")
+    addr = b.elem_addr(dw, base)
+    for i in range(9):
+        b.store_global_f32(addr, out[i], 4 * i)
+    return b.build()
+
+
+def rotate_filters() -> str:
+    """Wrot[c,k,r,s] = W[k,c,R-1-r,S-1-s] — dgrad-as-convolution prep."""
+    b = PTXBuilder("winograd_rotate_filters",
+                   [("w", "u64"), ("wrot", "u64"), ("filters", "u32"),
+                    ("channels", "u32"), ("ksize_h", "u32"),
+                    ("ksize_w", "u32"), ("total", "u32")])
+    w = b.ld_param("u64", "w")
+    wrot = b.ld_param("u64", "wrot")
+    filters = b.ld_param("u32", "filters")
+    channels = b.ld_param("u32", "channels")
+    ksize_h = b.ld_param("u32", "ksize_h")
+    ksize_w = b.ld_param("u32", "ksize_w")
+    tid = b.global_tid_x()
+    total = b.ld_param("u32", "total")
+    b.guard_tid_below(tid, total)
+    rs = b.reg("u32")
+    b.ins("mul.lo.s32", rs, ksize_h, ksize_w)
+    crs = b.reg("u32")
+    b.ins("mul.lo.s32", crs, channels, rs)
+    k, c_rs = div_mod(b, tid, crs)
+    c, r_s = div_mod(b, c_rs, rs)
+    r, s = div_mod(b, r_s, ksize_w)
+    rr = b.reg("u32")
+    b.ins("sub.s32", rr, ksize_h, "1")
+    b.ins("sub.s32", rr, rr, r)
+    ss = b.reg("u32")
+    b.ins("sub.s32", ss, ksize_w, "1")
+    b.ins("sub.s32", ss, ss, s)
+    # destination index: ((c*K + k)*R + rr)*S + ss
+    idx = b.reg("u32")
+    b.ins("mad.lo.s32", idx, c, filters, k)
+    b.ins("mad.lo.s32", idx, idx, ksize_h, rr)
+    b.ins("mad.lo.s32", idx, idx, ksize_w, ss)
+    value = b.load_global_f32(b.elem_addr(w, tid))
+    b.store_global_f32(b.elem_addr(wrot, idx), value)
+    return b.build()
+
+
+ALL_KERNELS = {
+    "winograd_input_transform": input_transform,
+    "winograd_input_transform_t": lambda: input_transform(transposed=True),
+    "winograd_filter_transform": filter_transform,
+    "winograd_output_transform": output_transform,
+    "winograd_fused_fwd": fused_forward,
+    "winograd_wgrad_dy_transform": wgrad_dy_transform,
+    "winograd_wgrad_output_transform": wgrad_output_transform,
+    "winograd_rotate_filters": rotate_filters,
+}

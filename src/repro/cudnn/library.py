@@ -1,0 +1,75 @@
+"""Assemble ``libcudnn.so`` / ``libcublas.so`` fat binaries.
+
+The PTX text for every kernel is generated once and embedded file-by-file
+the way cuDNN's translation units are.  ``scale_array`` is defined in
+*two* files on purpose (with different bodies) — loading these binaries
+through the combined-PTX legacy path therefore fails exactly like the
+paper's Section III-A describes, while per-file extraction succeeds.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.cuda.fatbinary import FatBinary
+from repro.cudnn.kernels import (
+    batchnorm, conv_direct, elementwise, fft, gemm, im2col, lrn, pooling,
+    softmax, winograd)
+
+
+@lru_cache(maxsize=None)
+def build_libcublas() -> FatBinary:
+    lib = FatBinary("libcublas.so")
+    lib.add_ptx("gemm_kernels.cu", "\n".join([
+        gemm.sgemm_tiled(),
+        gemm.gemv2T(),
+        gemm.cgemm_strided_batched(),
+        gemm.scale_array_gemm_variant(),
+    ]))
+    lib.add_ptx("blas_level1.cu", "\n".join([
+        elementwise.axpy(),
+    ]))
+    return lib
+
+
+@lru_cache(maxsize=None)
+def build_libcudnn() -> FatBinary:
+    lib = FatBinary("libcudnn.so")
+    lib.add_ptx("elementwise.cu", "\n".join(
+        fn() for name, fn in elementwise.ALL_KERNELS.items()
+        if name != "cublas_saxpy"))
+    lib.add_ptx("im2col.cu", "\n".join(
+        fn() for fn in im2col.ALL_KERNELS.values()))
+    lib.add_ptx("conv_direct.cu", "\n".join(
+        fn() for fn in conv_direct.ALL_KERNELS.values()))
+    lib.add_ptx("conv_winograd.cu", "\n".join(
+        fn() for fn in winograd.ALL_KERNELS.values()))
+    lib.add_ptx("conv_fft.cu", "\n".join(
+        fn() for fn in fft.ALL_KERNELS.values()))
+    lib.add_ptx("pooling.cu", "\n".join(
+        fn() for fn in pooling.ALL_KERNELS.values()))
+    lib.add_ptx("lrn.cu", "\n".join(
+        fn() for fn in lrn.ALL_KERNELS.values()))
+    lib.add_ptx("softmax.cu", "\n".join(
+        fn() for fn in softmax.ALL_KERNELS.values()))
+    lib.add_ptx("batchnorm.cu", "\n".join(
+        fn() for fn in batchnorm.ALL_KERNELS.values()))
+    # cuDNN links against cuBLAS for its GEMM stages.
+    lib.link_dynamic(build_libcublas())
+    return lib
+
+
+def build_application_binary(name: str = "app",
+                             static: bool = True) -> FatBinary:
+    """An application binary linked against the two libraries.
+
+    ``static=True`` follows the paper's approach (rebuild statically);
+    ``static=False`` models a stock dynamically linked build that only
+    works when the loader resolves dynamic libraries.
+    """
+    app = FatBinary(name)
+    app.link_dynamic(build_libcudnn())
+    app.link_dynamic(build_libcublas())
+    if static:
+        return app.static_link()
+    return app

@@ -1,0 +1,18 @@
+"""Functional-debugging toolkit (paper Section III-D)."""
+
+from repro.debugtool.bisect import (
+    DebugReport, DebugToolError, DifferentialDebugger, InstructionDiff)
+from repro.debugtool.golden import GoldenExecutor, LockstepDiff
+from repro.debugtool.instrument import (
+    InstrumentedKernel, decode_log, instrument_kernel, instrumented_sites)
+from repro.debugtool.ptxjit import ExtractedKernel, KernelExtractor
+from repro.debugtool.ptxprint import (
+    format_instruction, format_kernel, format_operand)
+
+__all__ = [
+    "DebugReport", "DebugToolError", "DifferentialDebugger",
+    "ExtractedKernel", "GoldenExecutor", "InstructionDiff",
+    "InstrumentedKernel", "KernelExtractor",
+    "LockstepDiff", "decode_log", "format_instruction", "format_kernel",
+    "format_operand", "instrument_kernel", "instrumented_sites",
+]

@@ -1,0 +1,168 @@
+"""Lockstep golden execution of a single kernel.
+
+"At a high level, we compare the execution of every instruction executed
+by GPGPU-Sim to the result obtained from executing that instruction on
+hardware, then flag the first instruction with an error."
+
+:class:`GoldenExecutor` plays the hardware role with a second functional
+engine running *fixed* semantics on a cloned memory image.  Both engines
+step warp-for-warp; after every instruction the destination registers
+are compared, so the first faulty instruction is flagged with zero
+instrumentation overhead.  (The instrumentation flow in
+:mod:`repro.debugtool.instrument` is the paper-faithful alternative that
+works through the normal launch path.)
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+
+from repro.functional.executor import AT_BARRIER, FunctionalEngine
+from repro.functional.state import CTAState, LaunchContext
+from repro.quirks import FIXED, LegacyQuirks
+
+
+@dataclass
+class LockstepDiff:
+    pc: int
+    text: str
+    cta: int
+    warp: int
+    register: str
+    lane: int
+    suspect_payload: int
+    reference_payload: int
+
+
+def _clone_launch(launch: LaunchContext,
+                  quirks: LegacyQuirks) -> LaunchContext:
+    global_mem = copy.deepcopy(launch.global_mem)
+    param_mem = copy.deepcopy(launch.param_mem)
+    return LaunchContext(
+        kernel=launch.kernel, grid_dim=launch.grid_dim,
+        block_dim=launch.block_dim, global_mem=global_mem,
+        param_mem=param_mem, const_mem=launch.const_mem,
+        module_symbols=launch.module_symbols,
+        textures=launch.textures, quirks=quirks)
+
+
+class GoldenExecutor:
+    """Run suspect vs reference engines in lockstep over one launch."""
+
+    def __init__(self, launch: LaunchContext, *,
+                 suspect_quirks: LegacyQuirks,
+                 reference_quirks: LegacyQuirks = FIXED,
+                 reference_contract_fp16: bool = False) -> None:
+        self.suspect_launch = _clone_launch(launch, suspect_quirks)
+        self.reference_launch = _clone_launch(launch, reference_quirks)
+        #: hardware ("reference") contracts FP16 mul+add into fused FMA
+        #: — the Section III-D.1 mismatch source.
+        self.reference_contract_fp16 = reference_contract_fp16
+
+    def find_divergence(self, *,
+                        max_steps: int = 2_000_000) -> LockstepDiff | None:
+        suspect = FunctionalEngine(self.suspect_launch)
+        reference = FunctionalEngine(
+            self.reference_launch,
+            contract_fp16=self.reference_contract_fp16)
+        steps = 0
+        for cta_linear in range(self.suspect_launch.num_ctas):
+            s_cta = CTAState(self.suspect_launch, cta_linear)
+            r_cta = CTAState(self.reference_launch, cta_linear)
+            while not r_cta.finished:
+                progressed = False
+                for warp_index, (s_warp, r_warp) in enumerate(
+                        zip(s_cta.warps, r_cta.warps)):
+                    while (not r_warp.finished and not r_warp.at_barrier):
+                        pc = r_warp.simt.pc
+                        try:
+                            s_rec = suspect.step_warp(s_warp)
+                        except Exception as error:  # faulting quirk
+                            from repro.debugtool.ptxprint import (
+                                format_instruction)
+                            inst = reference.kernel.body[s_warp.simt.pc]
+                            return LockstepDiff(
+                                pc=s_warp.simt.pc,
+                                text=(f"suspect faulted: {error} at "
+                                      + format_instruction(inst).strip()),
+                                cta=cta_linear, warp=warp_index,
+                                register="<fault>", lane=-1,
+                                suspect_payload=0, reference_payload=0)
+                        r_rec = reference.step_warp(r_warp)
+                        del s_rec
+                        steps += 1
+                        if steps > max_steps:
+                            raise RuntimeError("lockstep budget exceeded")
+                        if r_rec in (None, AT_BARRIER):
+                            break
+                        progressed = True
+                        if pc in reference._contract_sites:
+                            # The reference fused two instructions into
+                            # one step; advance the suspect over the
+                            # absorbed add/sub before comparing.
+                            if (not s_warp.finished
+                                    and s_warp.simt.pc == pc + 1):
+                                suspect.step_warp(s_warp)
+                            _mul, consumer = \
+                                reference._contract_sites[pc]
+                            diff = self._compare_registers(
+                                pc + 1, consumer, s_warp, r_warp,
+                                cta_linear, warp_index,
+                                r_rec.active_mask)
+                            if diff is not None:
+                                return diff
+                        diff = self._compare(pc, r_rec, s_warp, r_warp,
+                                             cta_linear, warp_index)
+                        if diff is not None:
+                            return diff
+                        if (not r_warp.finished
+                                and s_warp.simt.pc != r_warp.simt.pc):
+                            return LockstepDiff(
+                                pc=pc,
+                                text=("control-flow divergence after "
+                                      + r_rec.inst.text),
+                                cta=cta_linear, warp=warp_index,
+                                register="<pc>", lane=-1,
+                                suspect_payload=s_warp.simt.pc,
+                                reference_payload=r_warp.simt.pc)
+                released = reference.try_release_barrier(r_cta)
+                suspect.try_release_barrier(s_cta)
+                if not progressed and not released:
+                    break
+        return None
+
+    def _compare(self, pc, record, s_warp, r_warp, cta, warp
+                 ) -> LockstepDiff | None:
+        return self._compare_registers(pc, record.inst, s_warp, r_warp,
+                                       cta, warp, record.active_mask)
+
+    def _compare_registers(self, pc, inst, s_warp, r_warp, cta, warp,
+                           active_mask) -> LockstepDiff | None:
+        if not inst.operands:
+            return None
+        dst = inst.operands[0]
+        names: list[str] = []
+        if dst.kind == "reg":
+            names.append(dst.name)
+        elif dst.kind == "vec":
+            names.extend(e.name for e in dst.elems if e.kind == "reg")
+        # Compare through the instruction's own width: correct readers
+        # never see upper union bytes, so neither should the checker.
+        width_mask = (1 << min(inst.dtype.bits, 64)) - 1
+        if inst.dtype.kind == "p":
+            width_mask = 1
+        for name in names:
+            for lane in range(32):
+                if not (active_mask >> lane) & 1:
+                    continue
+                s_value = s_warp.regs[lane].get(name, 0) & width_mask
+                r_value = r_warp.regs[lane].get(name, 0) & width_mask
+                if s_value != r_value:
+                    from repro.debugtool.ptxprint import format_instruction
+                    return LockstepDiff(
+                        pc=pc, text=format_instruction(inst), cta=cta,
+                        warp=warp, register=name, lane=lane,
+                        suspect_payload=s_value,
+                        reference_payload=r_value)
+        return None

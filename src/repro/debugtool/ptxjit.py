@@ -1,0 +1,133 @@
+"""Single-kernel extraction and standalone replay (the ptxjit flow).
+
+The paper's debugging tool captures "the data which is being copied to
+the GPU before a kernel is launched, along with the parameters passed
+into the kernel" and replays individual kernels "using our debugging
+framework, the extracted PTX, and a version of the ptxjit CUDA SDK
+example".  Section VI asks for more of this: "extract specific kernels,
+run them individually ... and study them using higher-level tools like
+NVProf".
+
+:class:`KernelExtractor` runs a workload once, snapshots everything at a
+chosen launch ordinal, and produces a self-contained
+:class:`ExtractedKernel` — printable PTX, grid/block, arguments, and the
+global-memory image — that replays on a fresh runtime through the
+driver-API ``cuLaunchKernel`` under any backend (functional, oracle, or
+cycle-level timing).
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.cuda.fatbinary import FatBinary
+from repro.cuda.runtime import CudaRuntime, KernelProfile
+from repro.cudnn.api import Cudnn
+from repro.cudnn.library import build_application_binary
+from repro.debugtool.bisect import DebugToolError
+from repro.debugtool.ptxprint import format_kernel
+from repro.quirks import FIXED, LegacyQuirks
+
+
+@dataclass
+class ExtractedKernel:
+    """One captured launch, replayable in isolation."""
+
+    name: str
+    ptx: str
+    grid: tuple[int, int, int]
+    block: tuple[int, int, int]
+    args: list
+    memory: dict = field(repr=False, default_factory=dict)
+    ordinal: int = 0
+
+    # -- persistence ------------------------------------------------------
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("wb") as handle:
+            pickle.dump(self, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ExtractedKernel":
+        with Path(path).open("rb") as handle:
+            kernel = pickle.load(handle)
+        if not isinstance(kernel, cls):
+            raise DebugToolError(f"{path} is not an ExtractedKernel")
+        return kernel
+
+    # -- replay -----------------------------------------------------------
+    def replay(self, *, backend=None,
+               quirks: LegacyQuirks = FIXED) -> CudaRuntime:
+        """Launch the kernel standalone; returns the runtime (inspect
+        ``runtime.profiles[-1]`` or read back device buffers)."""
+        runtime = (CudaRuntime(backend=backend, quirks=quirks)
+                   if backend is not None else CudaRuntime(quirks=quirks))
+        runtime.load_ptx(self.ptx, file_id=f"extracted:{self.name}")
+        runtime.global_mem.restore(self.memory)
+        func = runtime.cu_module_get_function(self.name)
+        runtime.cu_launch_kernel(func, self.grid, self.block, self.args)
+        runtime.synchronize()
+        return runtime
+
+    def profile(self, backend) -> KernelProfile:
+        """Replay under *backend* and return the launch profile."""
+        runtime = self.replay(backend=backend)
+        return runtime.profiles[-1]
+
+
+class KernelExtractor:
+    """Runs a workload and captures chosen launches."""
+
+    def __init__(self, workload: Callable[[Cudnn], None], *,
+                 binary: FatBinary | None = None,
+                 quirks: LegacyQuirks = FIXED) -> None:
+        self.workload = workload
+        self.binary = binary or build_application_binary()
+        self.quirks = quirks
+
+    def extract(self, ordinal: int) -> ExtractedKernel:
+        captured: dict = {}
+        runtime = CudaRuntime(quirks=self.quirks)
+        runtime.load_binary(self.binary)
+
+        def before(launch_ordinal, name, grid, block, args) -> None:
+            if launch_ordinal == ordinal and not captured:
+                captured.update(
+                    name=name, grid=grid, block=block, args=list(args),
+                    memory=runtime.global_mem.snapshot())
+
+        runtime.before_kernel_hooks.append(before)
+        dnn = Cudnn(runtime)
+        self.workload(dnn)
+        runtime.synchronize()
+        if not captured:
+            raise DebugToolError(
+                f"workload never launched kernel ordinal {ordinal} "
+                f"(saw {len(runtime.launch_log)} launches)")
+        kernel = runtime.program.find_kernel(captured["name"])
+        return ExtractedKernel(
+            name=captured["name"],
+            ptx=format_kernel(kernel),
+            grid=captured["grid"],
+            block=captured["block"],
+            args=captured["args"],
+            memory=captured["memory"],
+            ordinal=ordinal)
+
+    def extract_all(self, *, limit: int | None = None
+                    ) -> list[ExtractedKernel]:
+        """Capture every launch of the workload (bounded by *limit*)."""
+        runtime = CudaRuntime(quirks=self.quirks)
+        runtime.load_binary(self.binary)
+        dnn = Cudnn(runtime)
+        self.workload(dnn)
+        runtime.synchronize()
+        count = len(runtime.launch_log)
+        if limit is not None:
+            count = min(count, limit)
+        return [self.extract(i) for i in range(count)]

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the repro GPU simulator.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+catch simulator faults without masking genuine Python bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all simulator errors."""
+
+
+class PTXSyntaxError(ReproError):
+    """Raised when PTX text cannot be lexed or parsed."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class PTXNameError(ReproError):
+    """Raised for duplicate or missing symbol names in a PTX module.
+
+    The paper's fix (2) — extracting each embedded PTX file separately —
+    exists precisely because cuDNN's combined PTX triggers this error.
+    """
+
+
+class UnsupportedInstructionError(ReproError):
+    """Raised when the functional simulator meets an unimplemented opcode."""
+
+
+class SimulationFault(ReproError):
+    """Raised for illegal runtime behaviour (bad address, misalignment...)."""
+
+
+class CudaError(ReproError):
+    """Raised by the CUDA runtime/driver API layer (invalid handles etc.)."""
+
+
+class CudnnError(ReproError):
+    """Raised by the cuDNN-compatible library layer."""
+
+
+class TimingDeadlockError(ReproError):
+    """Raised when the performance model makes no progress.
+
+    The paper fixed bugs "in the memory model and in GPUWattch code that
+    caused cuDNN enabled programs to deadlock GPGPU-Sim's timing model";
+    we surface the condition instead of hanging.
+    """
+
+
+class CheckpointError(ReproError):
+    """Raised on malformed or incompatible checkpoint data."""

@@ -1,0 +1,11 @@
+"""Functional (correctness-only) GPU simulation."""
+
+from repro.functional.executor import (
+    AT_BARRIER, ExecRecord, FunctionalEngine, RunStats)
+from repro.functional.memory import CudaArray, GlobalMemory, LinearMemory
+from repro.functional.state import CTAState, LaunchContext, WarpState
+
+__all__ = [
+    "AT_BARRIER", "CTAState", "CudaArray", "ExecRecord", "FunctionalEngine",
+    "GlobalMemory", "LaunchContext", "LinearMemory", "RunStats", "WarpState",
+]

@@ -1,0 +1,108 @@
+"""Control-flow analysis: reconvergence points for divergent branches.
+
+GPGPU-Sim reconverges diverged warps at the *immediate post-dominator*
+(IPDOM) of the branch.  We build the kernel's CFG at basic-block
+granularity, compute immediate dominators of the reversed graph with
+networkx, and record, for every conditional-branch instruction index, the
+instruction index at which its paths rejoin.
+
+A ``reconverge_at_exit`` mode is provided as the ablation DESIGN.md §5.2
+calls out: every divergence then reconverges only at kernel exit, which
+exaggerates divergence in Fig. 22-style plots.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.ptx.ast import Instruction, Kernel, LABEL
+from repro.functional.simt import NO_RECONVERGE
+
+_EXIT = "exit"
+
+
+def _branch_target(kernel: Kernel, inst: Instruction) -> int:
+    for operand in inst.operands:
+        if operand.kind == LABEL:
+            return kernel.labels[operand.name]
+    raise KeyError(f"branch without label operand: {inst.text}")
+
+
+def _leaders(kernel: Kernel) -> list[int]:
+    leaders = {0}
+    for inst in kernel.body:
+        if inst.opcode == "bra":
+            leaders.add(_branch_target(kernel, inst))
+            leaders.add(inst.index + 1)
+        elif inst.opcode in ("exit", "ret"):
+            leaders.add(inst.index + 1)
+    return sorted(i for i in leaders if i < len(kernel.body))
+
+
+def build_cfg(kernel: Kernel) -> nx.DiGraph:
+    """Basic-block CFG; node = leader instruction index, plus EXIT."""
+    leaders = _leaders(kernel)
+    graph = nx.DiGraph()
+    graph.add_node(_EXIT)
+    if not kernel.body:
+        return graph
+    block_of: dict[int, int] = {}
+    for position, leader in enumerate(leaders):
+        end = (leaders[position + 1] if position + 1 < len(leaders)
+               else len(kernel.body))
+        graph.add_node(leader, end=end)
+        for index in range(leader, end):
+            block_of[index] = leader
+    for leader in leaders:
+        end = graph.nodes[leader]["end"]
+        last = kernel.body[end - 1]
+        if last.opcode == "bra":
+            target = _branch_target(kernel, last)
+            graph.add_edge(leader, block_of[target])
+            if last.pred is not None:
+                if end < len(kernel.body):
+                    graph.add_edge(leader, block_of[end])
+                else:
+                    graph.add_edge(leader, _EXIT)
+        elif last.opcode in ("exit", "ret"):
+            graph.add_edge(leader, _EXIT)
+        elif end < len(kernel.body):
+            graph.add_edge(leader, block_of[end])
+        else:
+            graph.add_edge(leader, _EXIT)
+    graph.graph["block_of"] = block_of
+    return graph
+
+
+def compute_reconvergence(kernel: Kernel, *,
+                          reconverge_at_exit: bool = False) -> dict[int, int]:
+    """Map conditional-branch instruction index → reconvergence pc.
+
+    ``NO_RECONVERGE`` means the paths only rejoin at kernel exit.
+    """
+    result: dict[int, int] = {}
+    branches = [inst.index for inst in kernel.body
+                if inst.opcode == "bra" and inst.pred is not None]
+    if not branches:
+        return result
+    if reconverge_at_exit:
+        return {index: NO_RECONVERGE for index in branches}
+
+    graph = build_cfg(kernel)
+    block_of = graph.graph["block_of"]
+    reversed_graph = graph.reverse(copy=True)
+    # Immediate dominators on the reversed CFG == immediate post-dominators.
+    ipdom = nx.immediate_dominators(reversed_graph, _EXIT)
+    for index in branches:
+        block = block_of[index]
+        join = ipdom.get(block, _EXIT)
+        if join == block:
+            join = _EXIT  # unreachable-from-exit corner; be conservative
+        result[index] = NO_RECONVERGE if join == _EXIT else int(join)
+    return result
+
+
+def prepare_kernel(kernel: Kernel, *, reconverge_at_exit: bool = False) -> None:
+    """Attach reconvergence metadata to a kernel (idempotent)."""
+    kernel.reconvergence = compute_reconvergence(
+        kernel, reconverge_at_exit=reconverge_at_exit)

@@ -1,0 +1,326 @@
+"""Warp-lockstep functional execution engine.
+
+The engine owns SIMT control flow (branches, reconvergence, exit,
+barriers) and defers everything else to the dispatch table in
+:mod:`repro.ptx.instructions`.  It serves two masters:
+
+* **Functional simulation mode** — :meth:`FunctionalEngine.run` executes
+  the whole grid CTA-by-CTA as fast as possible (the mode the paper says
+  is 7-8x faster than performance simulation).
+* **Performance simulation mode** — the timing model issues one warp
+  instruction at a time through :meth:`step_warp` and uses the returned
+  :class:`ExecRecord` (opcode class, per-lane memory addresses) to charge
+  cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.errors import SimulationFault, TimingDeadlockError
+from repro.functional.cfg import prepare_kernel
+from repro.functional.state import CTAState, LaunchContext, WarpState
+from repro.functional.simt import NO_RECONVERGE
+from repro.ptx import ast
+from repro.ptx.instructions import BAR, CTRL, OP_CLASS, lookup
+
+#: Sentinel returned by step_warp when the warp is parked at a barrier.
+AT_BARRIER = "barrier"
+
+#: mask -> tuple of active lane indices (masks repeat heavily).
+_LANES_CACHE: dict[int, tuple[int, ...]] = {}
+
+
+def lanes_of(mask: int) -> tuple[int, ...]:
+    lanes = _LANES_CACHE.get(mask)
+    if lanes is None:
+        lanes = tuple(lane for lane in range(32) if mask & (1 << lane))
+        _LANES_CACHE[mask] = lanes
+    return lanes
+
+
+@dataclass
+class ExecRecord:
+    """What the timing model needs to know about one issued instruction."""
+
+    pc: int
+    inst: ast.Instruction
+    active_mask: int
+    active_lanes: int
+    op_class: str
+    mem_accesses: tuple[tuple[str, int, int, bool], ...] = ()
+    warp: WarpState | None = None
+
+    @property
+    def is_memory(self) -> bool:
+        return bool(self.mem_accesses)
+
+
+@dataclass
+class RunStats:
+    """Aggregate counts from a functional run."""
+
+    instructions: int = 0
+    warps_launched: int = 0
+    ctas_launched: int = 0
+    dynamic_per_opcode: dict[str, int] = field(default_factory=dict)
+
+
+class FunctionalEngine:
+    """Executes one kernel launch, warp-lockstep."""
+
+    def __init__(self, launch: LaunchContext, *,
+                 on_exec: Callable[[ExecRecord], None] | None = None,
+                 reconverge_at_exit: bool = False,
+                 contract_fp16: bool = False) -> None:
+        self.launch = launch
+        self.kernel = launch.kernel
+        self.on_exec = on_exec
+        self.contract_fp16 = contract_fp16
+        if (not self.kernel.reconvergence
+                and any(i.opcode == "bra" and i.pred is not None
+                        for i in self.kernel.body)):
+            prepare_kernel(self.kernel,
+                           reconverge_at_exit=reconverge_at_exit)
+        self._body = self.kernel.body
+        self._body_len = len(self._body)
+        quirks = launch.quirks
+        if (quirks.rem_ignores_type or quirks.bfe_unsigned_only
+                or quirks.brev_unsupported or quirks.fp16_unsupported):
+            # Legacy semantics in play: take the reference interpreter
+            # everywhere so quirky behaviour is modelled exactly.
+            self._fast = [None] * self._body_len
+        else:
+            fast = getattr(self.kernel, "_fastpath", None)
+            if fast is None or len(fast) != self._body_len:
+                from repro.functional.fastpath import compile_kernel
+                fast = compile_kernel(self.kernel)
+                self.kernel._fastpath = fast
+            self._fast = fast
+        self._contract_sites = (
+            self._find_fp16_contractions() if contract_fp16 else {})
+
+    # ------------------------------------------------------------------
+    # Single-instruction stepping (used by both modes)
+    # ------------------------------------------------------------------
+    def step_warp(self, warp: WarpState) -> ExecRecord | str | None:
+        """Execute the next instruction of *warp*.
+
+        Returns an :class:`ExecRecord`, ``AT_BARRIER`` if the warp parked
+        at a barrier, or ``None`` if the warp has finished.
+        """
+        if warp.finished:
+            return None
+        if warp.at_barrier:
+            return AT_BARRIER
+        pc = warp.simt.pc
+        if pc >= self._body_len:
+            # Fell off the end of the kernel: implicit exit.
+            warp.simt.retire_lanes(warp.simt.active_mask)
+            return None
+        inst = self._body[pc]
+        mask = warp.simt.active_mask
+        lanes = lanes_of(mask)
+        if inst.pred is not None:
+            regs = warp.regs
+            name = inst.pred
+            if inst.pred_negated:
+                lanes = [lane for lane in lanes
+                         if not regs[lane].get(name, 0) & 1]
+            else:
+                lanes = [lane for lane in lanes
+                         if regs[lane].get(name, 0) & 1]
+        opcode = inst.opcode
+        self.launch.clock += 1
+        warp.instructions_executed += 1
+        record = ExecRecord(
+            pc=pc, inst=inst, active_mask=mask, active_lanes=len(lanes),
+            op_class=OP_CLASS.get(opcode, "alu"), warp=warp)
+
+        if pc in self._contract_sites and lanes:
+            # NVIDIA's assembler turns this FP16 mul + add/sub pair into
+            # a fused SASS FMA with full intermediate precision — the
+            # mismatch the paper traced and left as future work.
+            self._exec_contracted(warp, pc, lanes)
+            warp.instructions_executed += 1  # the absorbed add/sub
+            warp.simt.advance(pc + 2)
+            if self.on_exec is not None:
+                self.on_exec(record)
+            return record
+        if opcode == "bra":
+            self._exec_branch(warp, inst, pc, lanes)
+        elif opcode in ("exit", "ret"):
+            self._exec_exit(warp, pc, lanes)
+        elif opcode == "bar":
+            warp.at_barrier = True
+            record.op_class = BAR
+        else:
+            if lanes:
+                warp.mem_trace.clear()
+                fast = self._fast[pc]
+                if fast is not None:
+                    fast(warp, lanes)
+                else:
+                    lookup(opcode)(inst, warp, lanes)
+                if warp.mem_trace:
+                    record.mem_accesses = tuple(warp.mem_trace)
+            warp.simt.advance(pc + 1)
+        if self.on_exec is not None:
+            self.on_exec(record)
+        return record
+
+    def _exec_branch(self, warp: WarpState, inst: ast.Instruction,
+                     pc: int, lanes: list[int]) -> None:
+        target = None
+        for operand in inst.operands:
+            if operand.kind == ast.LABEL:
+                target = self.kernel.labels[operand.name]
+                break
+        if target is None:
+            raise SimulationFault(f"bra without target: {inst.text}")
+        active_mask = warp.simt.active_mask
+        taken_mask = 0
+        for lane in lanes:
+            taken_mask |= 1 << lane
+        not_taken_mask = active_mask & ~taken_mask
+        if not_taken_mask == 0:
+            warp.simt.advance(target)
+        elif taken_mask == 0:
+            warp.simt.advance(pc + 1)
+        else:
+            rpc = self.kernel.reconvergence.get(pc, NO_RECONVERGE)
+            warp.simt.diverge(rpc, target, taken_mask, pc + 1,
+                              not_taken_mask)
+
+    def _find_fp16_contractions(self) -> dict[int, tuple]:
+        """pcs where an f16 mul is immediately consumed by an f16
+        add/sub of its destination (the assembler's fusion pattern)."""
+        sites: dict[int, tuple] = {}
+        body = self._body
+        for index in range(len(body) - 1):
+            mul, nxt = body[index], body[index + 1]
+            if (mul.opcode != "mul" or mul.dtype.name != "f16"
+                    or mul.has_mod("wide") or mul.has_mod("hi")):
+                continue
+            if nxt.opcode not in ("add", "sub") or nxt.dtype.name != "f16":
+                continue
+            if mul.pred is not None or nxt.pred is not None:
+                continue
+            dst = mul.operands[0]
+            if dst.kind != ast.REG:
+                continue
+            uses = [op for op in nxt.operands[1:]
+                    if op.kind == ast.REG and op.name == dst.name]
+            if not uses:
+                continue
+            sites[index] = (mul, nxt)
+        return sites
+
+    def _exec_contracted(self, warp: WarpState, pc: int,
+                         lanes) -> None:
+        from repro.ptx.dtypes import F16
+        from repro.ptx.instructions.common import write_union
+        from repro.ptx.values import write_typed
+        mul, nxt = self._contract_sites[pc]
+        a_op, b_op = mul.operands[1], mul.operands[2]
+        for lane in lanes:
+            a = warp.operand_value(a_op, F16, lane)
+            b = warp.operand_value(b_op, F16, lane)
+            product_full = a * b  # NOT rounded to f16: the fused extra
+            # Architecturally the mul destination still gets the rounded
+            # product (only the consumer sees the fused value).
+            write_union(warp, mul.operands[0].name,
+                        write_typed(product_full, F16), 16, lane)
+            sources = []
+            for op in nxt.operands[1:]:
+                if op.kind == ast.REG and op.name == mul.operands[0].name:
+                    sources.append(product_full)
+                else:
+                    sources.append(warp.operand_value(op, F16, lane))
+            if nxt.opcode == "add":
+                result = sources[0] + sources[1]
+            else:
+                result = sources[0] - sources[1]
+            write_union(warp, nxt.operands[0].name,
+                        write_typed(result, F16), 16, lane)
+
+    def _exec_exit(self, warp: WarpState, pc: int, lanes: list[int]) -> None:
+        exit_mask = 0
+        for lane in lanes:
+            exit_mask |= 1 << lane
+        warp.simt.retire_lanes(exit_mask)
+        if not warp.simt.empty and warp.simt.pc == pc:
+            warp.simt.advance(pc + 1)
+
+    # ------------------------------------------------------------------
+    # Barriers
+    # ------------------------------------------------------------------
+    def try_release_barrier(self, cta: CTAState) -> bool:
+        """Release the CTA barrier if every live warp has arrived."""
+        live = [warp for warp in cta.warps if not warp.finished]
+        if not live or not all(warp.at_barrier for warp in live):
+            return False
+        for warp in live:
+            warp.at_barrier = False
+            warp.simt.advance(warp.simt.pc + 1)
+        return True
+
+    # ------------------------------------------------------------------
+    # Functional-mode whole-grid execution
+    # ------------------------------------------------------------------
+    def iter_ctas(self) -> Iterator[CTAState]:
+        for cta_linear in range(self.launch.num_ctas):
+            yield CTAState(self.launch, cta_linear)
+
+    def run_cta(self, cta: CTAState, stats: RunStats | None = None,
+                max_warp_instructions: int | None = None) -> None:
+        """Run one CTA to completion (or to an instruction budget)."""
+        while not cta.finished:
+            progressed = False
+            for warp in cta.warps:
+                if warp.finished or warp.at_barrier:
+                    continue
+                if (max_warp_instructions is not None
+                        and warp.instructions_executed
+                        >= max_warp_instructions):
+                    continue
+                budget = (max_warp_instructions
+                          - warp.instructions_executed
+                          if max_warp_instructions is not None else None)
+                progressed |= self._run_warp_slice(warp, stats, budget)
+            if self.try_release_barrier(cta):
+                progressed = True
+            if not progressed:
+                if max_warp_instructions is not None:
+                    return  # budget exhausted mid-CTA (checkpoint slice)
+                raise TimingDeadlockError(
+                    f"CTA {cta.cta_linear} deadlocked: live warps stuck "
+                    "at a barrier that can never be released")
+
+    def _run_warp_slice(self, warp: WarpState, stats: RunStats | None,
+                        budget: int | None) -> bool:
+        """Run a warp until it finishes, parks, or exhausts *budget*."""
+        executed = 0
+        while not warp.finished and not warp.at_barrier:
+            if budget is not None and executed >= budget:
+                break
+            result = self.step_warp(warp)
+            if result is None or result == AT_BARRIER:
+                break
+            executed += 1
+            if stats is not None:
+                stats.instructions += 1
+                opcode = result.inst.opcode
+                stats.dynamic_per_opcode[opcode] = (
+                    stats.dynamic_per_opcode.get(opcode, 0) + 1)
+        return executed > 0
+
+    def run(self) -> RunStats:
+        """Execute the whole grid in functional simulation mode."""
+        stats = RunStats()
+        for cta in self.iter_ctas():
+            stats.ctas_launched += 1
+            stats.warps_launched += len(cta.warps)
+            self.run_cta(cta, stats)
+        return stats

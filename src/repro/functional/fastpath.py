@@ -1,0 +1,571 @@
+"""Instruction specialisation ("JIT-lite") for the functional core.
+
+The generic dispatch path in :mod:`repro.ptx.instructions` interprets
+operands afresh on every execution; this module compiles each static
+instruction *once per kernel* into a closure with its operand accessors
+pre-resolved.  Semantics are identical — the generic implementations
+remain the reference (and the fallback for anything not specialised
+here), and a test compares both paths instruction-for-instruction.
+
+Key payload-level identity exploited: for add/sub/mul.lo/mad.lo and the
+bitwise ops, signed and unsigned variants coincide modulo 2^width, so
+integer closures work directly on raw payloads.
+
+Closures intentionally check :class:`LegacyQuirks` only where a quirk
+can change semantics (``rem``); quirky kernels otherwise fall back.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.ptx import ast
+from repro.ptx.dtypes import DType
+from repro.ptx.values import (
+    MASK64, bits_to_f32, bits_to_f64, f32_to_bits, f64_to_bits, mask,
+    to_signed)
+from repro.ptx.instructions.common import (
+    float_div, float_max, float_min, int_div, int_rem)
+
+LaneFn = Callable[[object, list[int]], None]
+
+_SPECIAL_PREFIXES = ("%tid", "%ntid", "%ctaid", "%nctaid", "%laneid",
+                     "%warpid", "%clock")
+
+
+def _is_special(name: str) -> bool:
+    return name.startswith(_SPECIAL_PREFIXES)
+
+
+# ----------------------------------------------------------------------
+# Operand accessors
+# ----------------------------------------------------------------------
+def _payload_reader(op: ast.Operand, dtype: DType):
+    """(warp, lane) -> raw payload, or None if unsupported."""
+    if op.kind == ast.REG:
+        name = op.name
+        if _is_special(name):
+            return lambda warp, lane, n=name: warp.reg_payload(n, lane)
+        return lambda warp, lane, n=name: warp.regs[lane].get(n, 0)
+    if op.kind == ast.IMM:
+        if op.imm_float:
+            if not dtype.is_float:
+                return None
+            if dtype.bits == 32:
+                value = f32_to_bits(bits_to_f64(op.payload))
+            elif dtype.bits == 64:
+                value = op.payload
+            else:
+                return None
+            return lambda warp, lane, v=value: v
+        value = op.payload
+        return lambda warp, lane, v=value: v
+    return None
+
+
+def _value_reader(op: ast.Operand, dtype: DType):
+    """(warp, lane) -> typed Python value, or None if unsupported."""
+    raw = _payload_reader(op, dtype)
+    if raw is None:
+        return None
+    if dtype.is_float:
+        if dtype.bits == 32:
+            return lambda warp, lane, r=raw: bits_to_f32(r(warp, lane))
+        if dtype.bits == 64:
+            return lambda warp, lane, r=raw: bits_to_f64(r(warp, lane))
+        return None
+    if dtype.is_signed:
+        bits = dtype.bits
+        return lambda warp, lane, r=raw, b=bits: to_signed(r(warp, lane), b)
+    width_mask = mask(dtype.bits)
+    return lambda warp, lane, r=raw, m=width_mask: r(warp, lane) & m
+
+
+def _payload_writer(name: str, bits: int):
+    """(warp, lane, payload) with union-preserving sub-64-bit writes."""
+    if bits >= 64:
+        def write64(warp, lane, payload, n=name):
+            warp.regs[lane][n] = payload & MASK64
+        return write64
+    keep = MASK64 ^ mask(bits)
+    width_mask = mask(bits)
+
+    def write(warp, lane, payload, n=name, k=keep, m=width_mask):
+        regs = warp.regs[lane]
+        regs[n] = (regs.get(n, 0) & k) | (payload & m)
+    return write
+
+
+def _float_writer(name: str, bits: int):
+    payload_writer = _payload_writer(name, bits)
+    if bits == 32:
+        def write32(warp, lane, value, w=payload_writer):
+            w(warp, lane, f32_to_bits(value))
+        return write32
+    if bits == 64:
+        def write64(warp, lane, value, w=payload_writer):
+            w(warp, lane, f64_to_bits(value))
+        return write64
+    return None
+
+
+# ----------------------------------------------------------------------
+# Per-opcode compilers.  Each returns a LaneFn or None (=> fallback).
+# ----------------------------------------------------------------------
+_INT_BINOPS_PAYLOAD = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+}
+
+_FLOAT_BINOPS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "div": float_div,
+    "min": float_min,
+    "max": float_max,
+}
+
+_SFU_UNARY = {
+    "ex2": lambda v: (2.0 ** v if v < 1024
+                      else (math.nan if v != v else math.inf)),
+    "lg2": lambda v: (math.log2(v) if v > 0
+                      else (-math.inf if v == 0 else math.nan)),
+    "sin": lambda v: math.nan if math.isinf(v) else math.sin(v),
+    "cos": lambda v: math.nan if math.isinf(v) else math.cos(v),
+    "sqrt": lambda v: math.sqrt(v) if v >= 0 else math.nan,
+    "rsqrt": lambda v: (1.0 / math.sqrt(v) if v > 0
+                        else (math.inf if v == 0 else math.nan)),
+    "rcp": lambda v: (1.0 / v if v != 0 else math.copysign(math.inf, v)),
+}
+
+_CMP_INT = {
+    "eq": lambda a, b: a == b, "ne": lambda a, b: a != b,
+    "lt": lambda a, b: a < b, "le": lambda a, b: a <= b,
+    "gt": lambda a, b: a > b, "ge": lambda a, b: a >= b,
+    "lo": lambda a, b: a < b, "ls": lambda a, b: a <= b,
+    "hi": lambda a, b: a > b, "hs": lambda a, b: a >= b,
+}
+
+
+def _compile_int_binary(inst: ast.Instruction) -> LaneFn | None:
+    fn = _INT_BINOPS_PAYLOAD.get(inst.opcode)
+    if fn is None:
+        return None
+    dtype = inst.dtype
+    dst, a, b = inst.operands
+    ra = _payload_reader(a, dtype)
+    rb = _payload_reader(b, dtype)
+    if ra is None or rb is None:
+        return None
+    write = _payload_writer(dst.name, dtype.bits)
+
+    def run(warp, lanes, ra=ra, rb=rb, write=write, fn=fn):
+        for lane in lanes:
+            write(warp, lane, fn(ra(warp, lane), rb(warp, lane)))
+    return run
+
+
+def _compile_float_binary(inst: ast.Instruction) -> LaneFn | None:
+    fn = _FLOAT_BINOPS.get(inst.opcode)
+    if fn is None or inst.dtype.bits not in (32, 64):
+        return None
+    dtype = inst.dtype
+    dst, a, b = inst.operands
+    ra = _value_reader(a, dtype)
+    rb = _value_reader(b, dtype)
+    write = _float_writer(dst.name, dtype.bits)
+    if ra is None or rb is None or write is None:
+        return None
+
+    def run(warp, lanes, ra=ra, rb=rb, write=write, fn=fn):
+        for lane in lanes:
+            write(warp, lane, fn(ra(warp, lane), rb(warp, lane)))
+    return run
+
+
+def _compile_mul_mad_int(inst: ast.Instruction) -> LaneFn | None:
+    dtype = inst.dtype
+    wide = inst.has_mod("wide")
+    hi = inst.has_mod("hi")
+    if hi:
+        return None  # rare; fallback handles it
+    operands = inst.operands
+    dst = operands[0]
+    if wide:
+        read_dtype = dtype
+        out_bits = dtype.bits * 2
+        signed = dtype.is_signed
+        ra = _value_reader(operands[1], read_dtype)
+        rb = _value_reader(operands[2], read_dtype)
+        del signed
+    else:
+        out_bits = dtype.bits
+        ra = _payload_reader(operands[1], dtype)
+        rb = _payload_reader(operands[2], dtype)
+    if ra is None or rb is None:
+        return None
+    write = _payload_writer(dst.name, out_bits)
+    if inst.opcode == "mul":
+        def run_mul(warp, lanes, ra=ra, rb=rb, write=write):
+            for lane in lanes:
+                write(warp, lane, ra(warp, lane) * rb(warp, lane))
+        return run_mul
+    # mad: third source read at the output width.
+    cdtype = DType(dtype.kind, out_bits) if wide else dtype
+    if wide:
+        rc = _value_reader(operands[3], cdtype)
+    else:
+        rc = _payload_reader(operands[3], dtype)
+    if rc is None:
+        return None
+
+    def run_mad(warp, lanes, ra=ra, rb=rb, rc=rc, write=write):
+        for lane in lanes:
+            write(warp, lane,
+                  ra(warp, lane) * rb(warp, lane) + rc(warp, lane))
+    return run_mad
+
+
+def _compile_fma(inst: ast.Instruction) -> LaneFn | None:
+    dtype = inst.dtype
+    if not dtype.is_float or dtype.bits not in (32, 64):
+        return None
+    dst, a, b, c = inst.operands
+    ra = _value_reader(a, dtype)
+    rb = _value_reader(b, dtype)
+    rc = _value_reader(c, dtype)
+    write = _float_writer(dst.name, dtype.bits)
+    if None in (ra, rb, rc, write):
+        return None
+
+    def run(warp, lanes, ra=ra, rb=rb, rc=rc, write=write):
+        for lane in lanes:
+            write(warp, lane,
+                  ra(warp, lane) * rb(warp, lane) + rc(warp, lane))
+    return run
+
+
+def _compile_divrem_int(inst: ast.Instruction) -> LaneFn | None:
+    dtype = inst.dtype
+    if dtype.is_float:
+        return None
+    dst, a, b = inst.operands
+    ra = _value_reader(a, dtype)
+    rb = _value_reader(b, dtype)
+    if ra is None or rb is None:
+        return None
+    write = _payload_writer(dst.name, dtype.bits)
+    fn = int_div if inst.opcode == "div" else int_rem
+    if inst.opcode == "rem":
+        # The quirky path must read raw u64 payloads (stale bytes and
+        # all), so quirky launches bypass the fast path entirely.
+        pa = _payload_reader(a, dtype)
+        pb = _payload_reader(b, dtype)
+
+        def run_rem(warp, lanes, ra=ra, rb=rb, pa=pa, pb=pb,
+                    write=write, fn=fn):
+            if warp.cta.launch.quirks.rem_ignores_type:
+                for lane in lanes:
+                    lhs = pa(warp, lane) & MASK64
+                    rhs = pb(warp, lane) & MASK64
+                    warp.regs[lane][inst_dst] = lhs % rhs if rhs else lhs
+                return
+            for lane in lanes:
+                write(warp, lane, fn(ra(warp, lane), rb(warp, lane)))
+        inst_dst = dst.name
+        return run_rem
+
+    def run(warp, lanes, ra=ra, rb=rb, write=write, fn=fn):
+        for lane in lanes:
+            write(warp, lane, fn(ra(warp, lane), rb(warp, lane)))
+    return run
+
+
+def _compile_mov(inst: ast.Instruction) -> LaneFn | None:
+    dtype = inst.dtype
+    if dtype.kind == "p":
+        return None
+    dst, src = inst.operands
+    if dst.kind != ast.REG or src.kind == ast.VEC:
+        return None
+    if src.kind == ast.SYM:
+        return None  # needs symbol resolution; fallback is fine
+    read = _payload_reader(src, dtype)
+    if read is None:
+        return None
+    write = _payload_writer(dst.name, dtype.bits)
+
+    def run(warp, lanes, read=read, write=write):
+        for lane in lanes:
+            write(warp, lane, read(warp, lane))
+    return run
+
+
+def _compile_setp(inst: ast.Instruction) -> LaneFn | None:
+    cmp = inst.cmp or "eq"
+    dtype = inst.dtype
+    dst, a, b = inst.operands
+    fn = _CMP_INT.get(cmp)
+    if fn is None:
+        return None
+    if dtype.is_float:
+        # NaN-aware compare needed; only eq/ne/lt/le/gt/ge reach here.
+        ra = _value_reader(a, dtype)
+        rb = _value_reader(b, dtype)
+        if ra is None or rb is None:
+            return None
+
+        def run_float(warp, lanes, ra=ra, rb=rb, fn=fn, cmp=cmp,
+                      name=dst.name):
+            for lane in lanes:
+                va, vb = ra(warp, lane), rb(warp, lane)
+                if va != va or vb != vb:  # NaN
+                    result = cmp == "ne"
+                else:
+                    result = fn(va, vb)
+                warp.regs[lane][name] = 1 if result else 0
+        return run_float
+    ra = _value_reader(a, dtype)
+    rb = _value_reader(b, dtype)
+    if ra is None or rb is None:
+        return None
+
+    def run(warp, lanes, ra=ra, rb=rb, fn=fn, name=dst.name):
+        for lane in lanes:
+            warp.regs[lane][name] = (
+                1 if fn(ra(warp, lane), rb(warp, lane)) else 0)
+    return run
+
+
+def _compile_selp(inst: ast.Instruction) -> LaneFn | None:
+    dtype = inst.dtype
+    dst, a, b, pred = inst.operands
+    ra = _payload_reader(a, dtype)
+    rb = _payload_reader(b, dtype)
+    if ra is None or rb is None or pred.kind != ast.REG:
+        return None
+    if dtype.is_float and any(
+            op.kind == ast.IMM and op.imm_float for op in (a, b)):
+        # float immediates already encoded per dtype by _payload_reader
+        pass
+    write = _payload_writer(dst.name, dtype.bits)
+
+    def run(warp, lanes, ra=ra, rb=rb, write=write, pname=pred.name):
+        for lane in lanes:
+            chosen = ra if warp.regs[lane].get(pname, 0) & 1 else rb
+            write(warp, lane, chosen(warp, lane))
+    return run
+
+
+def _compile_sfu(inst: ast.Instruction) -> LaneFn | None:
+    fn = _SFU_UNARY.get(inst.opcode)
+    dtype = inst.dtype
+    if fn is None or not dtype.is_float or dtype.bits != 32:
+        return None
+    dst, a = inst.operands
+    ra = _value_reader(a, dtype)
+    write = _float_writer(dst.name, dtype.bits)
+    if ra is None or write is None:
+        return None
+
+    def run(warp, lanes, ra=ra, write=write, fn=fn):
+        for lane in lanes:
+            try:
+                write(warp, lane, fn(ra(warp, lane)))
+            except (OverflowError, ValueError):
+                write(warp, lane, math.nan)
+    return run
+
+
+def _compile_shift(inst: ast.Instruction) -> LaneFn | None:
+    dtype = inst.dtype
+    dst, a, b = inst.operands
+    bits = dtype.bits
+    rb = _payload_reader(b, dtype)
+    write = _payload_writer(dst.name, bits)
+    if rb is None:
+        return None
+    if inst.opcode == "shl":
+        ra = _payload_reader(a, dtype)
+        if ra is None:
+            return None
+
+        def run_shl(warp, lanes, ra=ra, rb=rb, write=write, bits=bits):
+            for lane in lanes:
+                amount = rb(warp, lane) & 0xFFFFFFFF
+                if amount >= bits:
+                    write(warp, lane, 0)
+                else:
+                    write(warp, lane, ra(warp, lane) << amount)
+        return run_shl
+    if inst.opcode == "shr":
+        ra = _value_reader(a, dtype)
+        if ra is None:
+            return None
+        signed = dtype.is_signed
+
+        def run_shr(warp, lanes, ra=ra, rb=rb, write=write, bits=bits,
+                    signed=signed):
+            for lane in lanes:
+                amount = rb(warp, lane) & 0xFFFFFFFF
+                value = ra(warp, lane)
+                if amount >= bits:
+                    result = -1 if (signed and value < 0) else 0
+                else:
+                    result = value >> amount
+                write(warp, lane, result & mask(bits))
+        return run_shr
+    return None
+
+
+def _compile_ld_st(inst: ast.Instruction) -> LaneFn | None:
+    # Scalar, non-vector, register-base or symbol-base loads/stores.
+    if inst.has_mod("v2") or inst.has_mod("v4"):
+        return None
+    dtype = inst.dtype
+    nbytes = dtype.bytes
+    space = inst.space
+    if space in (None, "generic"):
+        return None
+    if inst.opcode == "ld":
+        dst, mem = inst.operands
+        if dst.kind != ast.REG or mem.kind != ast.MEM:
+            return None
+        signed = dtype.is_signed and dtype.bits < 64
+        bits = dtype.bits
+
+        def run_ld(warp, lanes, name=mem.name, off=mem.offset,
+                   reg_base=mem.is_reg_base, space=space, nbytes=nbytes,
+                   dname=dst.name, signed=signed, bits=bits):
+            trace = warp.mem_trace
+            for lane in lanes:
+                if reg_base:
+                    addr = (warp.regs[lane].get(name, 0) + off) & MASK64
+                else:
+                    _sp, base = warp.symbol_address(name)
+                    addr = base + off
+                trace.append((space, addr, nbytes, False))
+                raw = warp.load(space, addr, nbytes, lane)
+                if signed:
+                    raw = to_signed(raw, bits) & MASK64
+                warp.regs[lane][dname] = raw
+        return run_ld
+    if inst.opcode == "st":
+        mem, src = inst.operands
+        if mem.kind != ast.MEM:
+            return None
+        read = _payload_reader(src, dtype)
+        if read is None:
+            return None
+        width_mask = mask(dtype.bits)
+
+        def run_st(warp, lanes, name=mem.name, off=mem.offset,
+                   reg_base=mem.is_reg_base, space=space, nbytes=nbytes,
+                   read=read, m=width_mask):
+            trace = warp.mem_trace
+            for lane in lanes:
+                if reg_base:
+                    addr = (warp.regs[lane].get(name, 0) + off) & MASK64
+                else:
+                    _sp, base = warp.symbol_address(name)
+                    addr = base + off
+                trace.append((space, addr, nbytes, True))
+                warp.store(space, addr, read(warp, lane) & m, nbytes, lane)
+        return run_st
+    return None
+
+
+def _compile_cvt(inst: ast.Instruction) -> LaneFn | None:
+    if len(inst.dtypes) < 2:
+        return None
+    dst_t, src_t = inst.dtypes[0], inst.dtypes[1]
+    if 16 in (dst_t.bits, src_t.bits) and (dst_t.is_float
+                                           or src_t.is_float):
+        return None  # fp16 goes through the quirk-aware generic path
+    if inst.has_mod("sat"):
+        return None
+    dst, src = inst.operands
+    read = _value_reader(src, src_t)
+    if read is None or dst.kind != ast.REG:
+        return None
+    if dst_t.is_float:
+        write = _float_writer(dst.name, dst_t.bits)
+        if write is None:
+            return None
+
+        def run_to_float(warp, lanes, read=read, write=write):
+            for lane in lanes:
+                write(warp, lane, float(read(warp, lane)))
+        return run_to_float
+    write = _payload_writer(dst.name, dst_t.bits)
+    if src_t.is_float:
+        rounders = {"rni": round, "rzi": math.trunc, "rmi": math.floor,
+                    "rpi": math.ceil}
+        rounding = math.trunc
+        for modifier in inst.modifiers:
+            if modifier in rounders:
+                rounding = rounders[modifier]
+                break
+
+        def run_to_int(warp, lanes, read=read, write=write,
+                       rounding=rounding):
+            for lane in lanes:
+                value = read(warp, lane)
+                if value != value:
+                    write(warp, lane, 0)
+                else:
+                    write(warp, lane, int(rounding(value)))
+        return run_to_int
+
+    def run_int(warp, lanes, read=read, write=write):
+        for lane in lanes:
+            write(warp, lane, read(warp, lane))
+    return run_int
+
+
+_COMPILERS: dict[str, Callable[[ast.Instruction], LaneFn | None]] = {}
+for _op in ("add", "sub", "and", "or", "xor"):
+    _COMPILERS[_op] = _compile_int_binary
+for _op in ("mul", "mad"):
+    _COMPILERS[_op] = _compile_mul_mad_int
+for _op in ("div", "rem"):
+    _COMPILERS[_op] = _compile_divrem_int
+for _op in _SFU_UNARY:
+    _COMPILERS[_op] = _compile_sfu
+_COMPILERS.update({
+    "fma": _compile_fma,
+    "mov": _compile_mov,
+    "setp": _compile_setp,
+    "selp": _compile_selp,
+    "shl": _compile_shift,
+    "shr": _compile_shift,
+    "ld": _compile_ld_st,
+    "st": _compile_ld_st,
+    "cvt": _compile_cvt,
+})
+
+
+def compile_instruction(inst: ast.Instruction) -> LaneFn | None:
+    """Return a specialised executor for *inst*, or None for fallback."""
+    opcode = inst.opcode
+    dtype = inst.dtype
+    if opcode in ("add", "sub", "mul", "div", "min", "max") \
+            and dtype.is_float:
+        return _compile_float_binary(inst)
+    compiler = _COMPILERS.get(opcode)
+    if compiler is None:
+        return None
+    try:
+        return compiler(inst)
+    except (KeyError, IndexError, ValueError):
+        return None
+
+
+def compile_kernel(kernel) -> list[LaneFn | None]:
+    """Compile every instruction of a kernel body (None = fallback)."""
+    return [compile_instruction(inst) for inst in kernel.body]

@@ -1,0 +1,172 @@
+"""Memory spaces for the functional simulator.
+
+Global memory is a paged sparse byte store with a bump allocator — the
+same role ``cudaMalloc``'d device memory plays on hardware.  Allocation
+sizes are tracked so the debug tool can do what the paper describes:
+"we also modified GPGPU-Sim to obtain the size of any GPU memory buffers
+pointed to by these pointers".
+
+Shared, local, param and const spaces are small linear arenas.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import SimulationFault
+
+PAGE_BITS = 12
+PAGE_SIZE = 1 << PAGE_BITS
+GLOBAL_BASE = 0x1000_0000
+
+
+class GlobalMemory:
+    """Sparse paged global memory with allocation tracking."""
+
+    def __init__(self) -> None:
+        self._pages: dict[int, bytearray] = {}
+        self._next = GLOBAL_BASE
+        self._allocations: dict[int, int] = {}
+
+    # -- allocation ----------------------------------------------------
+    def allocate(self, nbytes: int, align: int = 256) -> int:
+        if nbytes <= 0:
+            raise SimulationFault(f"cannot allocate {nbytes} bytes")
+        base = (self._next + align - 1) // align * align
+        self._next = base + nbytes
+        self._allocations[base] = nbytes
+        return base
+
+    def free(self, addr: int) -> None:
+        if addr not in self._allocations:
+            raise SimulationFault(f"free of unallocated address {addr:#x}")
+        del self._allocations[addr]
+
+    def allocation_containing(self, addr: int) -> tuple[int, int] | None:
+        """Return (base, size) of the allocation holding *addr*, if any."""
+        for base, size in self._allocations.items():
+            if base <= addr < base + size:
+                return base, size
+        return None
+
+    @property
+    def allocations(self) -> dict[int, int]:
+        return dict(self._allocations)
+
+    # -- byte access ---------------------------------------------------
+    def _page(self, page_id: int) -> bytearray:
+        page = self._pages.get(page_id)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[page_id] = page
+        return page
+
+    def read(self, addr: int, nbytes: int) -> bytes:
+        page_id = addr >> PAGE_BITS
+        offset = addr & (PAGE_SIZE - 1)
+        if offset + nbytes <= PAGE_SIZE:
+            return bytes(self._page(page_id)[offset:offset + nbytes])
+        out = bytearray()
+        while nbytes:
+            take = min(nbytes, PAGE_SIZE - offset)
+            out += self._page(page_id)[offset:offset + take]
+            nbytes -= take
+            page_id += 1
+            offset = 0
+        return bytes(out)
+
+    def write(self, addr: int, data: bytes) -> None:
+        page_id = addr >> PAGE_BITS
+        offset = addr & (PAGE_SIZE - 1)
+        nbytes = len(data)
+        if offset + nbytes <= PAGE_SIZE:
+            self._page(page_id)[offset:offset + nbytes] = data
+            return
+        pos = 0
+        while pos < nbytes:
+            take = min(nbytes - pos, PAGE_SIZE - offset)
+            self._page(page_id)[offset:offset + take] = data[pos:pos + take]
+            pos += take
+            page_id += 1
+            offset = 0
+
+    def read_uint(self, addr: int, nbytes: int) -> int:
+        return int.from_bytes(self.read(addr, nbytes), "little")
+
+    def write_uint(self, addr: int, value: int, nbytes: int) -> None:
+        self.write(addr, (value & ((1 << (8 * nbytes)) - 1))
+                   .to_bytes(nbytes, "little"))
+
+    # -- snapshot (checkpoint Data2) ------------------------------------
+    def snapshot(self) -> dict:
+        return {
+            "pages": {pid: bytes(data) for pid, data in self._pages.items()},
+            "next": self._next,
+            "allocations": dict(self._allocations),
+        }
+
+    def restore(self, state: dict) -> None:
+        self._pages = {int(pid): bytearray(data)
+                       for pid, data in state["pages"].items()}
+        self._next = state["next"]
+        self._allocations = {int(a): s
+                             for a, s in state["allocations"].items()}
+
+
+class LinearMemory:
+    """A fixed-size little arena (shared/local/param/const spaces)."""
+
+    def __init__(self, size: int) -> None:
+        self.data = bytearray(size)
+
+    def _check(self, addr: int, nbytes: int) -> None:
+        if addr < 0 or addr + nbytes > len(self.data):
+            raise SimulationFault(
+                f"access [{addr}, {addr + nbytes}) outside arena of "
+                f"{len(self.data)} bytes")
+
+    def read(self, addr: int, nbytes: int) -> bytes:
+        self._check(addr, nbytes)
+        return bytes(self.data[addr:addr + nbytes])
+
+    def write(self, addr: int, data: bytes) -> None:
+        self._check(addr, len(data))
+        self.data[addr:addr + len(data)] = data
+
+    def read_uint(self, addr: int, nbytes: int) -> int:
+        self._check(addr, nbytes)
+        return int.from_bytes(self.data[addr:addr + nbytes], "little")
+
+    def write_uint(self, addr: int, value: int, nbytes: int) -> None:
+        self._check(addr, nbytes)
+        self.data[addr:addr + nbytes] = (
+            (value & ((1 << (8 * nbytes)) - 1)).to_bytes(nbytes, "little"))
+
+
+class CudaArray:
+    """A 2D texture-backing array of float32 texels (point sampling).
+
+    Channels beyond the first read as zero; LeNet's texture use in cuDNN
+    is single-channel float data, which is all our kernels exercise.
+    """
+
+    def __init__(self, width: int, height: int) -> None:
+        self.width = width
+        self.height = height
+        self.data = bytearray(4 * width * height)
+
+    def upload(self, raw: bytes) -> None:
+        if len(raw) != len(self.data):
+            raise SimulationFault(
+                f"cudaArray upload size {len(raw)} != {len(self.data)}")
+        self.data[:] = raw
+
+    def download(self) -> bytes:
+        return bytes(self.data)
+
+    def fetch(self, x: int, y: int) -> float:
+        """Point-sample with clamp-to-edge addressing."""
+        xi = min(self.width - 1, max(0, x))
+        yi = min(self.height - 1, max(0, y))
+        offset = 4 * (yi * self.width + xi)
+        return struct.unpack_from("<f", self.data, offset)[0]

@@ -1,0 +1,88 @@
+"""SIMT reconvergence stack.
+
+Each warp carries a stack of ``(pc, rpc, mask)`` entries.  Execution
+always proceeds from the top entry.  On a divergent branch the top entry
+is rewritten to the reconvergence point (the branch's immediate
+post-dominator, precomputed by :mod:`repro.functional.cfg`) and one entry
+per taken path is pushed.  When the top entry's ``pc`` reaches its
+``rpc``, it is popped and the paths have reconverged.
+
+The GPGPU-Sim manual calls this structure "the SIMT stack (which is used
+to handle branch divergence within a warp)"; it is part of the Data1
+state the paper's checkpointing saves per warp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+NO_RECONVERGE = -1
+
+
+@dataclass
+class SimtEntry:
+    pc: int
+    rpc: int
+    mask: int
+
+
+@dataclass
+class SimtStack:
+    entries: list[SimtEntry] = field(default_factory=list)
+
+    @classmethod
+    def initial(cls, mask: int) -> "SimtStack":
+        return cls([SimtEntry(pc=0, rpc=NO_RECONVERGE, mask=mask)])
+
+    @property
+    def top(self) -> SimtEntry:
+        return self.entries[-1]
+
+    @property
+    def empty(self) -> bool:
+        return not self.entries
+
+    @property
+    def active_mask(self) -> int:
+        return self.entries[-1].mask if self.entries else 0
+
+    @property
+    def pc(self) -> int:
+        return self.entries[-1].pc if self.entries else NO_RECONVERGE
+
+    def advance(self, next_pc: int) -> None:
+        """Move the top entry to *next_pc*, popping reconverged entries."""
+        self.entries[-1].pc = next_pc
+        while self.entries and self.entries[-1].pc == self.entries[-1].rpc:
+            self.entries.pop()
+
+    def diverge(self, rpc: int, taken_pc: int, taken_mask: int,
+                fallthrough_pc: int, fallthrough_mask: int) -> None:
+        """Split the top entry into two paths reconverging at *rpc*."""
+        top = self.entries[-1]
+        top.pc = rpc
+        if rpc == top.rpc:
+            # Both paths rejoin exactly where the current entry already
+            # reconverges; reuse it instead of stacking an empty frame.
+            self.entries.pop()
+        if fallthrough_mask:
+            self.entries.append(
+                SimtEntry(pc=fallthrough_pc, rpc=rpc, mask=fallthrough_mask))
+        if taken_mask:
+            self.entries.append(
+                SimtEntry(pc=taken_pc, rpc=rpc, mask=taken_mask))
+
+    def retire_lanes(self, mask: int) -> None:
+        """Remove exited lanes from every entry (thread ``exit``)."""
+        keep = ~mask
+        for entry in self.entries:
+            entry.mask &= keep
+        self.entries = [e for e in self.entries if e.mask]
+
+    # -- checkpoint serialisation (part of Data1) -----------------------
+    def snapshot(self) -> list[tuple[int, int, int]]:
+        return [(e.pc, e.rpc, e.mask) for e in self.entries]
+
+    @classmethod
+    def restore(cls, state: list[tuple[int, int, int]]) -> "SimtStack":
+        return cls([SimtEntry(pc, rpc, mask) for pc, rpc, mask in state])

@@ -1,0 +1,23 @@
+"""A TensorFlow-style static-graph frontend (paper Section III-E).
+
+The paper got PyTorch running but TensorFlow stalled: its
+``_pywrap_tensorflow_internal.so`` PTX "uses syntax that is not
+supported by GPGPU-Sim to initialize arrays using curly braces ({}).
+Thus, adding this support is left to future work."
+
+This package completes that future work end to end:
+
+* :func:`build_pywrap_library` produces the TF-style library whose PTX
+  *does* use curly-brace global initialisers — loading it with the
+  stock parser fails exactly like the paper describes, and succeeds
+  with ``allow_brace_init=True``.
+* :class:`Graph`/:class:`Session` are a miniature deferred-execution
+  frontend (placeholders, constants, conv2d, bias_add, relu, max_pool,
+  dense, softmax) that dispatches through the same cuDNN/cuBLAS clone
+  the PyTorch-style :mod:`repro.nn` uses.
+"""
+
+from repro.graph.frontend import Graph, Session
+from repro.graph.library import build_pywrap_library
+
+__all__ = ["Graph", "Session", "build_pywrap_library"]

@@ -1,0 +1,234 @@
+"""Deferred-execution graph frontend dispatching to the cuDNN clone."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cuda.runtime import CudaRuntime
+from repro.cudnn.algos import ConvFwdAlgo
+from repro.cudnn.api import Cudnn
+from repro.cudnn.descriptors import (
+    ActivationDescriptor, ConvolutionDescriptor, FilterDescriptor,
+    PoolingDescriptor, TensorDescriptor)
+from repro.errors import ReproError
+from repro.graph.library import build_pywrap_library
+from repro.nn.tensor import DeviceTensor
+
+_ids = itertools.count()
+
+
+class GraphError(ReproError):
+    pass
+
+
+@dataclass(frozen=True)
+class Node:
+    """One graph operation (immutable; evaluation is Session state)."""
+
+    op: str
+    inputs: tuple["Node", ...] = ()
+    attrs: tuple = ()
+    node_id: int = field(default_factory=lambda: next(_ids))
+
+    @property
+    def attr_dict(self) -> dict:
+        return dict(self.attrs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.op}#{self.node_id}>"
+
+
+class Graph:
+    """A static computation graph, tf.Graph style."""
+
+    def __init__(self) -> None:
+        self.nodes: list[Node] = []
+
+    def _add(self, op: str, inputs: tuple[Node, ...] = (),
+             **attrs) -> Node:
+        node = Node(op=op, inputs=inputs,
+                    attrs=tuple(sorted(attrs.items())))
+        self.nodes.append(node)
+        return node
+
+    # -- sources ---------------------------------------------------------
+    def placeholder(self, shape: tuple[int, ...], name: str = "") -> Node:
+        return self._add("placeholder", shape=tuple(shape),
+                         name=name or f"ph{len(self.nodes)}")
+
+    def constant(self, value: np.ndarray) -> Node:
+        value = np.ascontiguousarray(value, dtype=np.float32)
+        return self._add("constant", value=value.tobytes(),
+                         shape=value.shape)
+
+    # -- ops ---------------------------------------------------------------
+    def conv2d(self, x: Node, filters: Node, *, padding: int = 0,
+               stride: int = 1,
+               algo: ConvFwdAlgo = ConvFwdAlgo.IMPLICIT_GEMM) -> Node:
+        return self._add("conv2d", (x, filters), padding=padding,
+                         stride=stride, algo=algo.value)
+
+    def bias_add(self, x: Node, bias: Node) -> Node:
+        return self._add("bias_add", (x, bias))
+
+    def relu(self, x: Node) -> Node:
+        return self._add("relu", (x,))
+
+    def tanh(self, x: Node) -> Node:
+        return self._add("tanh", (x,))
+
+    def max_pool(self, x: Node, *, window: int = 2,
+                 stride: int | None = None) -> Node:
+        return self._add("max_pool", (x,), window=window,
+                         stride=stride or window)
+
+    def flatten(self, x: Node) -> Node:
+        return self._add("flatten", (x,))
+
+    def dense(self, x: Node, weights: Node, bias: Node | None = None
+              ) -> Node:
+        inputs = (x, weights) + ((bias,) if bias is not None else ())
+        return self._add("dense", inputs)
+
+    def softmax(self, x: Node) -> Node:
+        return self._add("softmax", (x,))
+
+    def scale_and_shift(self, x: Node) -> Node:
+        """The TF-library kernel with brace-initialised constants."""
+        return self._add("scale_and_shift", (x,))
+
+
+class Session:
+    """tf.Session: owns the runtime, loads the TF-style library.
+
+    Loading requires curly-brace initialiser support; constructing a
+    Session on a runtime without ``allow_brace_init=True`` raises the
+    same parse error that stopped the paper's TensorFlow bring-up.
+    """
+
+    def __init__(self, runtime: CudaRuntime | None = None) -> None:
+        self.rt = runtime or CudaRuntime(allow_brace_init=True)
+        self.rt.load_binary(build_pywrap_library())
+        self.dnn = Cudnn(self.rt)
+
+    # ------------------------------------------------------------------
+    def run(self, fetch: Node,
+            feed: dict[Node, np.ndarray] | None = None) -> np.ndarray:
+        feed = feed or {}
+        cache: dict[int, tuple[DeviceTensor, tuple[int, ...]]] = {}
+        tensor = self._evaluate(fetch, feed, cache)
+        return tensor[0].numpy().reshape(tensor[1])
+
+    # ------------------------------------------------------------------
+    def _evaluate(self, node: Node, feed, cache):
+        if node.node_id in cache:
+            return cache[node.node_id]
+        handler = getattr(self, f"_op_{node.op}", None)
+        if handler is None:
+            raise GraphError(f"unknown op {node.op!r}")
+        inputs = [self._evaluate(child, feed, cache)
+                  for child in node.inputs]
+        result = handler(node, inputs, feed)
+        cache[node.node_id] = result
+        return result
+
+    # -- op handlers -------------------------------------------------------
+    def _op_placeholder(self, node, _inputs, feed):
+        if node not in feed:
+            raise GraphError(
+                f"placeholder {node.attr_dict.get('name')!r} not fed")
+        value = np.ascontiguousarray(feed[node], dtype=np.float32)
+        want = tuple(node.attr_dict["shape"])
+        if value.shape != want:
+            raise GraphError(
+                f"fed shape {value.shape} != declared {want}")
+        return (DeviceTensor.from_numpy(self.rt, value), value.shape)
+
+    def _op_constant(self, node, _inputs, _feed):
+        attrs = node.attr_dict
+        value = np.frombuffer(attrs["value"], dtype=np.float32).reshape(
+            attrs["shape"])
+        return (DeviceTensor.from_numpy(self.rt, value), value.shape)
+
+    def _op_conv2d(self, node, inputs, _feed):
+        (x, x_shape), (w, w_shape) = inputs
+        attrs = node.attr_dict
+        conv = ConvolutionDescriptor(
+            pad_h=attrs["padding"], pad_w=attrs["padding"],
+            stride_h=attrs["stride"], stride_w=attrs["stride"])
+        y_desc, y_ptr = self.dnn.convolution_forward(
+            TensorDescriptor(*x_shape), x.ptr,
+            FilterDescriptor(*w_shape), w.ptr, conv,
+            ConvFwdAlgo(attrs["algo"]))
+        return (DeviceTensor(self.rt, y_desc.dims, ptr=y_ptr),
+                y_desc.dims)
+
+    def _op_bias_add(self, _node, inputs, _feed):
+        (x, x_shape), (bias, _bias_shape) = inputs
+        self.dnn.add_bias(TensorDescriptor(*x_shape), x.ptr, bias.ptr)
+        return (x, x_shape)
+
+    def _op_relu(self, _node, inputs, _feed):
+        (x, shape) = inputs[0]
+        y = DeviceTensor(self.rt, shape)
+        self.dnn.activation_forward(ActivationDescriptor("relu"),
+                                    x.ptr, y.ptr, x.size)
+        return (y, shape)
+
+    def _op_tanh(self, _node, inputs, _feed):
+        (x, shape) = inputs[0]
+        y = DeviceTensor(self.rt, shape)
+        self.dnn.activation_forward(ActivationDescriptor("tanh"),
+                                    x.ptr, y.ptr, x.size)
+        return (y, shape)
+
+    def _op_max_pool(self, node, inputs, _feed):
+        (x, shape) = inputs[0]
+        attrs = node.attr_dict
+        pool = PoolingDescriptor(mode="max", window=attrs["window"],
+                                 stride=attrs["stride"])
+        x_desc = TensorDescriptor(*shape)
+        y_desc = pool.output_dims(x_desc)
+        y = DeviceTensor(self.rt, y_desc.dims)
+        self.dnn.pooling_forward(pool, x_desc, x.ptr, y.ptr)
+        return (y, y_desc.dims)
+
+    def _op_flatten(self, _node, inputs, _feed):
+        (x, shape) = inputs[0]
+        n = shape[0]
+        flat = (n, int(np.prod(shape[1:])))
+        return (x.view(flat), flat)
+
+    def _op_dense(self, _node, inputs, _feed):
+        (x, x_shape), (w, w_shape) = inputs[0], inputs[1]
+        n, in_features = x_shape
+        in_w, out_features = w_shape
+        if in_features != in_w:
+            raise GraphError(
+                f"dense shape mismatch: {x_shape} @ {w_shape}")
+        y = DeviceTensor(self.rt, (n, out_features))
+        self.dnn.sgemm(x.ptr, w.ptr, y.ptr, n, out_features, in_features)
+        if len(inputs) == 3:
+            bias = inputs[2][0]
+            self.dnn.add_bias(TensorDescriptor(n, out_features, 1, 1),
+                              y.ptr, bias.ptr)
+        return (y, (n, out_features))
+
+    def _op_softmax(self, _node, inputs, _feed):
+        (x, shape) = inputs[0]
+        rows, cols = shape
+        y = DeviceTensor(self.rt, shape)
+        self.dnn.softmax_forward(x.ptr, y.ptr, rows, cols)
+        return (y, shape)
+
+    def _op_scale_and_shift(self, _node, inputs, _feed):
+        (x, shape) = inputs[0]
+        y = DeviceTensor(self.rt, shape)
+        total = x.size
+        self.rt.launch("tf_scale_and_shift",
+                       ((total + 127) // 128, 1, 1), (128, 1, 1),
+                       [x.ptr, y.ptr, total])
+        return (y, shape)

@@ -1,0 +1,59 @@
+"""The TF-style shared library with brace-initialised PTX globals."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.cuda.fatbinary import FatBinary
+from repro.cudnn.library import build_libcublas, build_libcudnn
+
+#: The kernel TensorFlow-style code ships: a scale-and-shift whose
+#: coefficients live in a curly-brace-initialised module global — the
+#: exact PTX syntax GPGPU-Sim could not parse (paper Section III-E).
+PYWRAP_PTX = """
+.version 6.0
+.target sm_60
+.address_size 64
+
+.global .f32 tf_affine_consts[2] = {0.5, 1.0};
+
+.visible .entry tf_scale_and_shift(
+    .param .u64 src,
+    .param .u64 dst,
+    .param .u32 n
+)
+{
+    .reg .b32 %r<5>;
+    .reg .b64 %rd<6>;
+    .reg .f32 %f<5>;
+    .reg .pred %p<1>;
+    ld.param.u64 %rd0, [src];
+    ld.param.u64 %rd1, [dst];
+    ld.param.u32 %r0, [n];
+    mov.u32 %r1, %ctaid.x;
+    mov.u32 %r2, %ntid.x;
+    mov.u32 %r3, %tid.x;
+    mad.lo.s32 %r4, %r1, %r2, %r3;
+    setp.ge.s32 %p0, %r4, %r0;
+    @%p0 exit;
+    mov.u64 %rd2, tf_affine_consts;
+    ld.global.f32 %f0, [%rd2];
+    ld.global.f32 %f1, [%rd2+4];
+    mad.wide.s32 %rd3, %r4, 4, %rd0;
+    mad.wide.s32 %rd4, %r4, 4, %rd1;
+    ld.global.f32 %f2, [%rd3];
+    fma.rn.f32 %f3, %f2, %f0, %f1;
+    st.global.f32 [%rd4], %f3;
+    exit;
+}
+"""
+
+
+@lru_cache(maxsize=None)
+def build_pywrap_library() -> FatBinary:
+    """``_pywrap_tensorflow_internal.so``: TF kernels + cuDNN/cuBLAS."""
+    lib = FatBinary("_pywrap_tensorflow_internal.so")
+    lib.add_ptx("tf_kernels.cu", PYWRAP_PTX)
+    lib.link_dynamic(build_libcudnn())
+    lib.link_dynamic(build_libcublas())
+    return lib

@@ -1,0 +1,145 @@
+"""Correlation experiments (paper Section IV, Figures 6 and 7).
+
+Runs the MNIST workload twice — once on the virtual-hardware oracle
+("NVProf on the GTX 1050") and once on the cycle-level timing model —
+then compares total and per-kernel execution time.  The paper reports
+the simulator within ~30% overall with 72% correlation, with LRN, CGEMM,
+GEMV2T, Winograd and the fft2d kernels as the per-kernel outliers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cuda.runtime import CudaRuntime
+from repro.harness.hwmodel import HardwareOracleBackend
+from repro.timing.backend import TimingBackend
+from repro.timing.config import GPUConfig, GTX1050
+from repro.workloads.mnist_sample import MnistSample, MnistSampleConfig
+
+#: The kernels Figure 7 singles out (families, matched by substring).
+FIGURE7_KERNELS = ["lrn", "cgemm", "gemv2T", "winograd",
+                   "fft2d_r2c_32x32", "fft2d_r2c_16x16",
+                   "fft2d_c2r_32x32"]
+
+
+@dataclass
+class KernelCorrelation:
+    name: str
+    hw_cycles: float
+    sim_cycles: float
+    launches: int
+
+    @property
+    def ratio(self) -> float:
+        return self.sim_cycles / self.hw_cycles if self.hw_cycles else 0.0
+
+
+@dataclass
+class CorrelationResult:
+    hw_total: float
+    sim_total: float
+    per_kernel: list[KernelCorrelation] = field(default_factory=list)
+
+    @property
+    def total_ratio(self) -> float:
+        """Simulated / hardware execution time (Fig. 6's two bars)."""
+        return self.sim_total / self.hw_total if self.hw_total else 0.0
+
+    @property
+    def total_error(self) -> float:
+        """|sim - hw| / hw — the paper reports "within 30%"."""
+        return abs(self.total_ratio - 1.0)
+
+    @property
+    def correlation(self) -> float:
+        """Pearson correlation of per-kernel cycle counts (paper: 72%)."""
+        if len(self.per_kernel) < 2:
+            return 1.0
+        hw = np.array([k.hw_cycles for k in self.per_kernel])
+        sim = np.array([k.sim_cycles for k in self.per_kernel])
+        if hw.std() == 0 or sim.std() == 0:
+            return 1.0
+        return float(np.corrcoef(hw, sim)[0, 1])
+
+    def outliers(self, threshold: float = 0.25) -> list[KernelCorrelation]:
+        """Kernels whose sim/hw ratio deviates more than *threshold*."""
+        return [k for k in self.per_kernel
+                if abs(k.ratio - 1.0) > threshold]
+
+    def family(self, substring: str) -> KernelCorrelation | None:
+        matches = [k for k in self.per_kernel if substring in k.name]
+        if not matches:
+            return None
+        return KernelCorrelation(
+            name=substring,
+            hw_cycles=sum(k.hw_cycles for k in matches),
+            sim_cycles=sum(k.sim_cycles for k in matches),
+            launches=sum(k.launches for k in matches))
+
+    def figure7_rows(self) -> list[tuple[str, float, float]]:
+        """(kernel family, hw=100, sim relative) rows like Figure 7."""
+        rows = []
+        for name in FIGURE7_KERNELS:
+            entry = self.family(name)
+            if entry is not None and entry.hw_cycles > 0:
+                rows.append((name, 100.0, 100.0 * entry.ratio))
+        return rows
+
+    def render(self) -> str:
+        lines = [
+            "Fig 6 — MNIST execution-time correlation",
+            f"  hardware (oracle): {self.hw_total:12.0f} cycles (=100%)",
+            f"  simulation:        {self.sim_total:12.0f} cycles "
+            f"({100 * self.total_ratio:.1f}%)",
+            f"  per-kernel correlation: {100 * self.correlation:.0f}%",
+            "",
+            "Fig 7 — per-kernel relative execution time (hw = 100)",
+        ]
+        for name, hw, sim in self.figure7_rows():
+            lines.append(f"  {name:18s} hw={hw:6.1f}  sim={sim:6.1f}")
+        return "\n".join(lines)
+
+
+def _collect(runtime: CudaRuntime) -> dict[str, tuple[float, int]]:
+    summary = runtime.profile_summary()
+    return {name: (entry["cycles"], entry["launches"])
+            for name, entry in summary.items()}
+
+
+def run_mnist_correlation(
+        config: GPUConfig = GTX1050, *,
+        sample_config: MnistSampleConfig | None = None,
+        max_cycles: int = 50_000_000) -> CorrelationResult:
+    """Run MNIST on the oracle and the timing model, then compare."""
+    # Hardware (oracle) pass.
+    hw_rt = CudaRuntime(backend=HardwareOracleBackend(config))
+    hw_sample = MnistSample(hw_rt, sample_config)
+    hw_result = hw_sample.run(self_check=True)
+    if not hw_result.self_check_passed:
+        raise AssertionError("MNIST self-check failed on the oracle run")
+    hw_cycles = _collect(hw_rt)
+
+    # Simulator pass (performance mode).
+    sim_rt = CudaRuntime(backend=TimingBackend(config,
+                                               max_cycles=max_cycles))
+    sim_sample = MnistSample(sim_rt, sample_config)
+    sim_result = sim_sample.run(self_check=False)
+    if not np.allclose(sim_result.logits, hw_result.logits, atol=1e-3):
+        raise AssertionError(
+            "functional divergence between oracle and timing runs")
+    sim_cycles = _collect(sim_rt)
+
+    per_kernel = []
+    for name in sorted(set(hw_cycles) | set(sim_cycles)):
+        hw_c, launches = hw_cycles.get(name, (0.0, 0))
+        sim_c, _ = sim_cycles.get(name, (0.0, 0))
+        per_kernel.append(KernelCorrelation(
+            name=name, hw_cycles=hw_c, sim_cycles=sim_c,
+            launches=launches))
+    return CorrelationResult(
+        hw_total=sum(k.hw_cycles for k in per_kernel),
+        sim_total=sum(k.sim_cycles for k in per_kernel),
+        per_kernel=per_kernel)

@@ -1,0 +1,78 @@
+"""NVProf-style profiling output.
+
+The paper positions NVProf as the closest related tool ("NVProf and
+GPGPU-Sim give many similar statistics, including instructions per cycle
+and the number of instructions executed...").  :class:`NVProfLike`
+renders a ``nvprof``-format GPU-activities table from any runtime's
+per-launch profiles (oracle or timing backend), so extracted kernels can
+be "studied using higher-level tools like NVProf" (Section VI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cuda.runtime import CudaRuntime
+
+
+@dataclass
+class ProfilerRow:
+    name: str
+    time_pct: float
+    total_cycles: float
+    calls: int
+    avg: float
+    min: float
+    max: float
+    instructions: int
+
+    @property
+    def ipc(self) -> float:
+        return (self.instructions / self.total_cycles
+                if self.total_cycles else 0.0)
+
+
+class NVProfLike:
+    """Aggregates a runtime's kernel profiles into an nvprof table."""
+
+    def __init__(self, runtime: CudaRuntime) -> None:
+        self.runtime = runtime
+
+    def rows(self) -> list[ProfilerRow]:
+        grouped: dict[str, list] = {}
+        for profile in self.runtime.profiles:
+            grouped.setdefault(profile.name, []).append(profile)
+        total = sum(p.result.cycles or p.result.instructions
+                    for p in self.runtime.profiles) or 1
+        rows = []
+        for name, profiles in grouped.items():
+            costs = [p.result.cycles or p.result.instructions
+                     for p in profiles]
+            instructions = sum(p.result.instructions for p in profiles)
+            rows.append(ProfilerRow(
+                name=name,
+                time_pct=100.0 * sum(costs) / total,
+                total_cycles=float(sum(costs)),
+                calls=len(profiles),
+                avg=sum(costs) / len(costs),
+                min=float(min(costs)),
+                max=float(max(costs)),
+                instructions=instructions))
+        rows.sort(key=lambda row: -row.total_cycles)
+        return rows
+
+    def render(self, *, top: int | None = None) -> str:
+        rows = self.rows()
+        if top is not None:
+            rows = rows[:top]
+        lines = [
+            "==PROF== Profiling result (simulated cycles):",
+            f"{'Time(%)':>8} {'Time':>12} {'Calls':>6} {'Avg':>10} "
+            f"{'Min':>10} {'Max':>10}  Name",
+        ]
+        for row in rows:
+            lines.append(
+                f"{row.time_pct:7.2f}% {row.total_cycles:12.0f} "
+                f"{row.calls:6d} {row.avg:10.1f} {row.min:10.0f} "
+                f"{row.max:10.0f}  {row.name}")
+        return "\n".join(lines)

@@ -1,0 +1,16 @@
+"""Miniature deep-learning framework dispatching to the cuDNN clone."""
+
+from repro.nn.datasets import render_digit, synthetic_mnist
+from repro.nn.lenet import LeNet, LeNetConfig
+from repro.nn.modules import (
+    Activation, BatchNorm2d, Conv2d, Flatten, LRN, Linear, MaxPool2d,
+    Module, ReLU, SGD, Sequential, SoftmaxCrossEntropy, Tanh)
+from repro.nn.reference import reference_forward
+from repro.nn.tensor import DeviceTensor
+
+__all__ = [
+    "Activation", "BatchNorm2d", "Conv2d", "DeviceTensor", "Flatten", "LRN", "LeNet",
+    "LeNetConfig", "Linear", "MaxPool2d", "Module", "ReLU", "SGD",
+    "Sequential", "SoftmaxCrossEntropy", "Tanh", "reference_forward",
+    "render_digit", "synthetic_mnist",
+]

@@ -1,0 +1,135 @@
+"""LeNet for MNIST — the paper's correlation workload (Section IV).
+
+The layer stack follows NVIDIA's cuDNN MNIST sample: two conv+pool
+stages, an LRN (the "wide variety of cuDNN layers such as LRN and
+Winograd" the paper uses MNIST to exercise), and two fully connected
+layers.  Convolution algorithms are configurable per layer so the same
+model drives the Winograd / FFT / GEMM kernels of Figures 6-7.
+
+``reduced`` builds a small-geometry variant for fast unit tests and
+timing-mode experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cudnn.algos import ConvBwdDataAlgo, ConvBwdFilterAlgo, ConvFwdAlgo
+from repro.cudnn.api import Cudnn
+from repro.nn.modules import (
+    Conv2d, Flatten, LRN, Linear, MaxPool2d, Module, ReLU, Sequential,
+    SoftmaxCrossEntropy, Tanh)
+from repro.nn.tensor import DeviceTensor
+
+
+@dataclass
+class LeNetConfig:
+    input_hw: int = 28
+    in_channels: int = 1
+    conv1_channels: int = 20
+    conv2_channels: int = 50
+    conv_kernel: int = 5
+    fc_hidden: int = 128
+    classes: int = 10
+    with_lrn: bool = True
+    lrn_texture: bool = False
+    activation: str = "relu"
+    conv1_fwd: ConvFwdAlgo = ConvFwdAlgo.FFT
+    conv2_fwd: ConvFwdAlgo = ConvFwdAlgo.IMPLICIT_GEMM
+    bwd_data: ConvBwdDataAlgo = ConvBwdDataAlgo.ALGO_1
+    bwd_filter: ConvBwdFilterAlgo = ConvBwdFilterAlgo.ALGO_1
+    seed: int = 7
+    extra: dict = field(default_factory=dict)
+
+    @classmethod
+    def reduced(cls, **overrides) -> "LeNetConfig":
+        """Small geometry: 12x12 inputs, thin layers (test/CI scale)."""
+        base = dict(input_hw=12, conv1_channels=4, conv2_channels=6,
+                    conv_kernel=3, fc_hidden=32, classes=10,
+                    conv1_fwd=ConvFwdAlgo.WINOGRAD_NONFUSED,
+                    conv2_fwd=ConvFwdAlgo.IMPLICIT_GEMM)
+        base.update(overrides)
+        return cls(**base)
+
+
+class LeNet:
+    """The full model plus its loss head."""
+
+    def __init__(self, dnn: Cudnn, config: LeNetConfig | None = None
+                 ) -> None:
+        self.dnn = dnn
+        self.config = config or LeNetConfig()
+        c = self.config
+        rng = np.random.default_rng(c.seed)
+        act = ReLU if c.activation == "relu" else Tanh
+
+        layers: list[Module] = [
+            Conv2d(dnn, c.in_channels, c.conv1_channels, c.conv_kernel,
+                   fwd_algo=c.conv1_fwd, bwd_data_algo=c.bwd_data,
+                   bwd_filter_algo=c.bwd_filter, rng=rng),
+            MaxPool2d(dnn, 2),
+        ]
+        if c.with_lrn:
+            layers.append(LRN(dnn, use_texture=c.lrn_texture))
+        layers += [
+            Conv2d(dnn, c.conv1_channels, c.conv2_channels, c.conv_kernel,
+                   fwd_algo=c.conv2_fwd, bwd_data_algo=c.bwd_data,
+                   bwd_filter_algo=c.bwd_filter, rng=rng),
+            MaxPool2d(dnn, 2),
+            Flatten(),
+        ]
+        flat = self._flat_features()
+        layers += [
+            Linear(dnn, flat, c.fc_hidden, rng=rng),
+            act(dnn),
+            Linear(dnn, c.fc_hidden, c.classes, rng=rng),
+        ]
+        self.net = Sequential(*layers)
+        self.loss = SoftmaxCrossEntropy(dnn)
+
+    def _flat_features(self) -> int:
+        c = self.config
+        hw = c.input_hw
+        hw = hw - c.conv_kernel + 1     # conv1 (valid)
+        hw //= 2                        # pool1
+        hw = hw - c.conv_kernel + 1     # conv2
+        hw //= 2                        # pool2
+        if hw < 1:
+            raise ValueError(
+                f"input {c.input_hw} too small for this geometry")
+        return c.conv2_channels * hw * hw
+
+    # ------------------------------------------------------------------
+    def forward(self, images: np.ndarray) -> np.ndarray:
+        """images: (N, C, H, W) float32 -> logits (N, classes)."""
+        x = DeviceTensor.from_numpy(self.dnn.rt, images)
+        return self.net(x).numpy()
+
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        return np.argmax(self.forward(images), axis=1)
+
+    def train_step(self, images: np.ndarray, labels: np.ndarray,
+                   optimizer) -> float:
+        x = DeviceTensor.from_numpy(self.dnn.rt, images)
+        logits = self.net(x)
+        loss, _probs = self.loss.forward(logits, labels)
+        dlogits = self.loss.backward()
+        self.net.backward(dlogits)
+        optimizer.step()
+        return loss
+
+    def parameters(self):
+        return self.net.parameters()
+
+    def self_check(self, images: np.ndarray,
+                   atol: float = 1e-2) -> bool:
+        """The MNIST sample's self-checking code: compare the simulated
+        forward pass against an independent NumPy evaluation of the same
+        weights (returns True when every logit matches)."""
+        from repro.nn.reference import reference_forward
+        simulated = self.forward(images)
+        expected = reference_forward(self, images)
+        return bool(np.allclose(simulated, expected, atol=atol,
+                                rtol=1e-3))

@@ -1,0 +1,428 @@
+"""Layers for the miniature deep-learning framework.
+
+Each module's ``forward``/``backward`` dispatches to the cuDNN-clone API,
+so a training step is a stream of opaque PTX kernel launches — the
+workload shape the paper simulates.  Backpropagation is a reverse-order
+module chain (caching whatever the cuDNN calls need), mirroring how
+framework autograd ultimately bottoms out in cudnnConvolutionBackward*.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.cudnn.algos import ConvBwdDataAlgo, ConvBwdFilterAlgo, ConvFwdAlgo
+from repro.cudnn.api import Cudnn
+from repro.cudnn.descriptors import (
+    ActivationDescriptor, ConvolutionDescriptor, FilterDescriptor,
+    LRNDescriptor, PoolingDescriptor, TensorDescriptor)
+from repro.nn.tensor import DeviceTensor
+
+
+class Module:
+    """Base layer: forward caches whatever backward needs."""
+
+    def forward(self, x: DeviceTensor) -> DeviceTensor:
+        raise NotImplementedError
+
+    def backward(self, dy: DeviceTensor) -> DeviceTensor:
+        raise NotImplementedError
+
+    def parameters(self) -> list[tuple[DeviceTensor, DeviceTensor]]:
+        """(weight, gradient) pairs."""
+        return []
+
+    def __call__(self, x: DeviceTensor) -> DeviceTensor:
+        return self.forward(x)
+
+
+def _tensor_desc(t: DeviceTensor) -> TensorDescriptor:
+    if len(t.shape) != 4:
+        raise ValueError(f"expected NCHW tensor, got shape {t.shape}")
+    return TensorDescriptor(*t.shape)
+
+
+class Conv2d(Module):
+    """cudnnConvolutionForward/Backward* with selectable algorithms."""
+
+    def __init__(self, dnn: Cudnn, in_channels: int, out_channels: int,
+                 kernel_size: int, *, padding: int = 0, stride: int = 1,
+                 bias: bool = True,
+                 fwd_algo: ConvFwdAlgo = ConvFwdAlgo.IMPLICIT_GEMM,
+                 bwd_data_algo: ConvBwdDataAlgo = ConvBwdDataAlgo.ALGO_1,
+                 bwd_filter_algo: ConvBwdFilterAlgo = (
+                     ConvBwdFilterAlgo.ALGO_1),
+                 rng: np.random.Generator | None = None) -> None:
+        self.dnn = dnn
+        self.rt = dnn.rt
+        self.w_desc = FilterDescriptor(out_channels, in_channels,
+                                       kernel_size, kernel_size)
+        self.conv = ConvolutionDescriptor(pad_h=padding, pad_w=padding,
+                                          stride_h=stride, stride_w=stride)
+        self.fwd_algo = fwd_algo
+        self.bwd_data_algo = bwd_data_algo
+        self.bwd_filter_algo = bwd_filter_algo
+        rng = rng or np.random.default_rng(0)
+        fan_in = in_channels * kernel_size * kernel_size
+        scale = math.sqrt(2.0 / fan_in)
+        init = rng.standard_normal(
+            (out_channels, in_channels, kernel_size,
+             kernel_size)).astype(np.float32) * scale
+        self.weight = DeviceTensor.from_numpy(self.rt, init)
+        self.dweight = DeviceTensor.zeros(self.rt, self.weight.shape)
+        self.bias = (DeviceTensor.zeros(self.rt, (out_channels,))
+                     if bias else None)
+        self.dbias = (DeviceTensor.zeros(self.rt, (out_channels,))
+                      if bias else None)
+        self._x: DeviceTensor | None = None
+
+    def forward(self, x: DeviceTensor) -> DeviceTensor:
+        self._x = x
+        x_desc = _tensor_desc(x)
+        y_desc, y_ptr = self.dnn.convolution_forward(
+            x_desc, x.ptr, self.w_desc, self.weight.ptr, self.conv,
+            self.fwd_algo)
+        y = DeviceTensor(self.rt, y_desc.dims, ptr=y_ptr)
+        if self.bias is not None:
+            self.dnn.add_bias(y_desc, y.ptr, self.bias.ptr)
+        return y
+
+    def backward(self, dy: DeviceTensor) -> DeviceTensor:
+        assert self._x is not None, "forward() must run before backward()"
+        x = self._x
+        x_desc = _tensor_desc(x)
+        dy_desc = _tensor_desc(dy)
+        if self.bias is not None:
+            self.dnn.bias_grad(dy_desc, dy.ptr, self.dbias.ptr)
+        self.dnn.convolution_backward_filter(
+            x_desc, x.ptr, dy_desc, dy.ptr, self.conv,
+            self.bwd_filter_algo, self.w_desc, self.dweight.ptr)
+        dx = DeviceTensor(self.rt, x.shape)
+        self.dnn.convolution_backward_data(
+            self.w_desc, self.weight.ptr, dy_desc, dy.ptr, self.conv,
+            self.bwd_data_algo, x_desc, dx.ptr)
+        return dx
+
+    def parameters(self) -> list[tuple[DeviceTensor, DeviceTensor]]:
+        params = [(self.weight, self.dweight)]
+        if self.bias is not None:
+            params.append((self.bias, self.dbias))
+        return params
+
+
+class MaxPool2d(Module):
+    def __init__(self, dnn: Cudnn, window: int = 2,
+                 stride: int | None = None) -> None:
+        self.dnn = dnn
+        self.pool = PoolingDescriptor(mode="max", window=window,
+                                      stride=stride or window)
+        self._x_desc: TensorDescriptor | None = None
+        self._y_desc: TensorDescriptor | None = None
+        self._argmax = 0
+
+    def forward(self, x: DeviceTensor) -> DeviceTensor:
+        self._x_desc = _tensor_desc(x)
+        y_desc = self.pool.output_dims(self._x_desc)
+        y = DeviceTensor(self.dnn.rt, y_desc.dims)
+        self._y_desc, self._argmax = self.dnn.pooling_forward(
+            self.pool, self._x_desc, x.ptr, y.ptr)
+        return y
+
+    def backward(self, dy: DeviceTensor) -> DeviceTensor:
+        assert self._x_desc is not None and self._y_desc is not None
+        dx = DeviceTensor(self.dnn.rt, self._x_desc.dims)
+        self.dnn.pooling_backward(self.pool, self._x_desc, self._y_desc,
+                                  dy.ptr, self._argmax, dx.ptr)
+        return dx
+
+
+class Activation(Module):
+    def __init__(self, dnn: Cudnn, mode: str = "relu") -> None:
+        self.dnn = dnn
+        self.act = ActivationDescriptor(mode=mode)
+        self._x: DeviceTensor | None = None
+        self._y: DeviceTensor | None = None
+
+    def forward(self, x: DeviceTensor) -> DeviceTensor:
+        self._x = x
+        y = DeviceTensor(self.dnn.rt, x.shape)
+        self.dnn.activation_forward(self.act, x.ptr, y.ptr, x.size)
+        self._y = y
+        return y
+
+    def backward(self, dy: DeviceTensor) -> DeviceTensor:
+        assert self._x is not None and self._y is not None
+        dx = DeviceTensor(self.dnn.rt, self._x.shape)
+        self.dnn.activation_backward(self.act, self._x.ptr, self._y.ptr,
+                                     dy.ptr, dx.ptr, self._x.size)
+        return dx
+
+
+class ReLU(Activation):
+    def __init__(self, dnn: Cudnn) -> None:
+        super().__init__(dnn, "relu")
+
+
+class Tanh(Activation):
+    def __init__(self, dnn: Cudnn) -> None:
+        super().__init__(dnn, "tanh")
+
+
+class LRN(Module):
+    """Cross-channel LRN; set ``use_texture`` to fetch the input through
+    the texture unit (Section III-C's code path)."""
+
+    def __init__(self, dnn: Cudnn, nsize: int = 5, alpha: float = 1e-4,
+                 beta: float = 0.75, k: float = 2.0, *,
+                 use_texture: bool = False) -> None:
+        self.dnn = dnn
+        self.lrn = LRNDescriptor(nsize=nsize, alpha=alpha, beta=beta, k=k)
+        self.use_texture = use_texture
+        self._x: DeviceTensor | None = None
+        self._y: DeviceTensor | None = None
+        self._scale = 0
+
+    def forward(self, x: DeviceTensor) -> DeviceTensor:
+        self._x = x
+        y = DeviceTensor(self.dnn.rt, x.shape)
+        self._scale = self.dnn.lrn_forward(
+            self.lrn, _tensor_desc(x), x.ptr, y.ptr,
+            use_texture=self.use_texture)
+        self._y = y
+        return y
+
+    def backward(self, dy: DeviceTensor) -> DeviceTensor:
+        assert self._x is not None and self._y is not None
+        dx = DeviceTensor(self.dnn.rt, self._x.shape)
+        self.dnn.lrn_backward(self.lrn, _tensor_desc(self._x),
+                              self._x.ptr, self._y.ptr, dy.ptr,
+                              self._scale, dx.ptr)
+        return dx
+
+
+class BatchNorm2d(Module):
+    """Spatial batch normalisation through the cudnnBatchNormalization*
+    calls, with device-side running statistics."""
+
+    def __init__(self, dnn: Cudnn, channels: int, *, eps: float = 1e-5,
+                 momentum: float = 0.1) -> None:
+        self.dnn = dnn
+        self.rt = dnn.rt
+        self.channels = channels
+        self.eps = eps
+        self.momentum = momentum
+        self.training = True
+        self.gamma = DeviceTensor.from_numpy(
+            self.rt, np.ones(channels, np.float32))
+        self.beta = DeviceTensor.zeros(self.rt, (channels,))
+        self.dgamma = DeviceTensor.zeros(self.rt, (channels,))
+        self.dbeta = DeviceTensor.zeros(self.rt, (channels,))
+        self.running_mean = DeviceTensor.zeros(self.rt, (channels,))
+        self.running_invstd = DeviceTensor.from_numpy(
+            self.rt, np.ones(channels, np.float32))
+        self._x: DeviceTensor | None = None
+        self._saved: tuple[int, int] | None = None
+
+    def forward(self, x: DeviceTensor) -> DeviceTensor:
+        desc = _tensor_desc(x)
+        if desc.c != self.channels:
+            raise ValueError(
+                f"BatchNorm2d({self.channels}) got {desc.c} channels")
+        y = DeviceTensor(self.rt, x.shape)
+        if self.training:
+            self._x = x
+            mean, invstd = self.dnn.batchnorm_forward_training(
+                desc, x.ptr, y.ptr, self.gamma.ptr, self.beta.ptr,
+                self.eps)
+            self._saved = (mean, invstd)
+            # running = (1-m)*running + m*batch, on device.
+            for running, batch in ((self.running_mean, mean),
+                                   (self.running_invstd, invstd)):
+                self.dnn.add_tensor(batch, running.ptr, running.ptr,
+                                    self.channels, alpha=self.momentum,
+                                    beta=1.0 - self.momentum)
+        else:
+            self.dnn.batchnorm_forward_inference(
+                desc, x.ptr, y.ptr, self.gamma.ptr, self.beta.ptr,
+                self.running_mean.ptr, self.running_invstd.ptr)
+        return y
+
+    def backward(self, dy: DeviceTensor) -> DeviceTensor:
+        assert self._x is not None and self._saved is not None, \
+            "training forward() must precede backward()"
+        desc = _tensor_desc(self._x)
+        dx = DeviceTensor(self.rt, self._x.shape)
+        mean, invstd = self._saved
+        self.dnn.batchnorm_backward(
+            desc, self._x.ptr, dy.ptr, dx.ptr, self.gamma.ptr, mean,
+            invstd, self.dgamma.ptr, self.dbeta.ptr)
+        return dx
+
+    def parameters(self) -> list[tuple[DeviceTensor, DeviceTensor]]:
+        return [(self.gamma, self.dgamma), (self.beta, self.dbeta)]
+
+
+class Flatten(Module):
+    """NCHW -> (N, CHW) view."""
+
+    def __init__(self) -> None:
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: DeviceTensor) -> DeviceTensor:
+        self._shape = x.shape
+        n = x.shape[0]
+        return x.view((n, x.size // n))
+
+    def backward(self, dy: DeviceTensor) -> DeviceTensor:
+        assert self._shape is not None
+        return dy.view(self._shape)
+
+
+class Linear(Module):
+    """Fully connected layer: y = x @ W + b, with W stored (in, out).
+
+    Batch-1 inference uses the ``gemv2T_kernel_val`` kernel (the GEMV2T
+    of the paper's Figure 7); batched paths use tiled SGEMM plus explicit
+    transposes for the gradients.
+    """
+
+    def __init__(self, dnn: Cudnn, in_features: int, out_features: int,
+                 rng: np.random.Generator | None = None) -> None:
+        self.dnn = dnn
+        self.rt = dnn.rt
+        self.in_features = in_features
+        self.out_features = out_features
+        rng = rng or np.random.default_rng(0)
+        scale = math.sqrt(2.0 / in_features)
+        init = rng.standard_normal(
+            (in_features, out_features)).astype(np.float32) * scale
+        self.weight = DeviceTensor.from_numpy(self.rt, init)
+        self.dweight = DeviceTensor.zeros(self.rt, self.weight.shape)
+        self.bias = DeviceTensor.zeros(self.rt, (out_features,))
+        self.dbias = DeviceTensor.zeros(self.rt, (out_features,))
+        self._x: DeviceTensor | None = None
+
+    def forward(self, x: DeviceTensor) -> DeviceTensor:
+        if len(x.shape) != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"Linear expects (N, {self.in_features}), got {x.shape}")
+        self._x = x
+        n = x.shape[0]
+        y = DeviceTensor(self.rt, (n, self.out_features))
+        if n == 1:
+            self.dnn.sgemv_t(self.weight.ptr, x.ptr, y.ptr,
+                             self.in_features, self.out_features,
+                             alpha=1.0, beta=0.0)
+        else:
+            self.dnn.sgemm(x.ptr, self.weight.ptr, y.ptr, n,
+                           self.out_features, self.in_features)
+        # y += bias (broadcast over rows): reuse the NCHW bias kernel
+        # with H*W == 1 so "channels" are the output features.
+        self.dnn.add_bias(TensorDescriptor(n, self.out_features, 1, 1),
+                          y.ptr, self.bias.ptr)
+        return y
+
+    def backward(self, dy: DeviceTensor) -> DeviceTensor:
+        assert self._x is not None
+        x = self._x
+        n = x.shape[0]
+        # dbias = column sums of dy.
+        self.dnn.bias_grad(TensorDescriptor(n, self.out_features, 1, 1),
+                           dy.ptr, self.dbias.ptr)
+        # dW (in,out) = x^T (in,N) @ dy (N,out)
+        xt = DeviceTensor(self.rt, (self.in_features, n))
+        self._transpose(x.ptr, xt.ptr, n, self.in_features)
+        self.dnn.sgemm(xt.ptr, dy.ptr, self.dweight.ptr,
+                       self.in_features, self.out_features, n)
+        # dx (N,in) = dy (N,out) @ W^T (out,in)
+        wt = DeviceTensor(self.rt, (self.out_features, self.in_features))
+        self._transpose(self.weight.ptr, wt.ptr, self.in_features,
+                        self.out_features)
+        dx = DeviceTensor(self.rt, x.shape)
+        self.dnn.sgemm(dy.ptr, wt.ptr, dx.ptr, n, self.in_features,
+                       self.out_features)
+        return dx
+
+    def _transpose(self, src: int, dst: int, rows: int, cols: int) -> None:
+        total = rows * cols
+        self.dnn._launch1d("cudnn_transpose", total,
+                           [src, dst, rows, cols, total])
+
+    def parameters(self) -> list[tuple[DeviceTensor, DeviceTensor]]:
+        return [(self.weight, self.dweight), (self.bias, self.dbias)]
+
+
+class Sequential(Module):
+    def __init__(self, *layers: Module) -> None:
+        self.layers = list(layers)
+
+    def forward(self, x: DeviceTensor) -> DeviceTensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def backward(self, dy: DeviceTensor) -> DeviceTensor:
+        for layer in reversed(self.layers):
+            dy = layer.backward(dy)
+        return dy
+
+    def parameters(self) -> list[tuple[DeviceTensor, DeviceTensor]]:
+        return [pair for layer in self.layers
+                for pair in layer.parameters()]
+
+
+class SoftmaxCrossEntropy:
+    """Softmax + NLL loss with the fused backward kernel."""
+
+    def __init__(self, dnn: Cudnn) -> None:
+        self.dnn = dnn
+        self.rt = dnn.rt
+        self._probs: DeviceTensor | None = None
+        self._labels: int = 0
+        self._rows = 0
+        self._cols = 0
+
+    def forward(self, logits: DeviceTensor,
+                labels: np.ndarray) -> tuple[float, np.ndarray]:
+        """Returns (mean loss, probability matrix)."""
+        rows, cols = logits.shape
+        self._rows, self._cols = rows, cols
+        probs = DeviceTensor(self.rt, (rows, cols))
+        self.dnn.softmax_forward(logits.ptr, probs.ptr, rows, cols)
+        labels32 = np.ascontiguousarray(labels, dtype=np.uint32)
+        self._labels = self.rt.malloc(4 * rows)
+        self.rt.memcpy_h2d(self._labels, labels32)
+        loss_buf = self.rt.malloc(4 * rows)
+        self.dnn.nll_loss(probs.ptr, self._labels, loss_buf, rows, cols)
+        losses = self.rt.download_f32(loss_buf, rows)
+        self._probs = probs
+        return float(losses.mean()), probs.numpy()
+
+    def backward(self) -> DeviceTensor:
+        assert self._probs is not None
+        dx = DeviceTensor(self.rt, (self._rows, self._cols))
+        self.dnn.softmax_nll_backward(self._probs.ptr, self._labels,
+                                      dx.ptr, self._rows, self._cols,
+                                      1.0 / self._rows)
+        return dx
+
+
+class SGD:
+    """Plain SGD through the cublasSaxpy kernel (w += -lr * dw)."""
+
+    def __init__(self, dnn: Cudnn,
+                 params: list[tuple[DeviceTensor, DeviceTensor]],
+                 lr: float = 0.01) -> None:
+        self.dnn = dnn
+        self.params = params
+        self.lr = lr
+
+    def step(self) -> None:
+        for weight, grad in self.params:
+            self.dnn.saxpy(grad.ptr, weight.ptr, -self.lr, weight.size)
+
+    def zero_grad(self) -> None:
+        for _weight, grad in self.params:
+            self.dnn.fill_zero(grad.ptr, grad.size)

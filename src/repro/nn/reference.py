@@ -1,0 +1,96 @@
+"""Independent NumPy evaluation of the model stack.
+
+This is the "self-checking code at the end of the application" role the
+paper leans on for functional verification — a second implementation of
+every layer, sharing only the weights with the simulated model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.modules import (
+    Activation, Conv2d, Flatten, LRN, Linear, MaxPool2d, Sequential)
+
+
+def conv2d_ref(x: np.ndarray, w: np.ndarray, bias: np.ndarray | None,
+               pad: int, stride: int) -> np.ndarray:
+    n, c, h, width = x.shape
+    k, _, r, s = w.shape
+    p = (h + 2 * pad - r) // stride + 1
+    q = (width + 2 * pad - s) // stride + 1
+    xp = np.zeros((n, c, h + 2 * pad, width + 2 * pad), dtype=np.float64)
+    xp[:, :, pad:pad + h, pad:pad + width] = x
+    out = np.zeros((n, k, p, q), dtype=np.float64)
+    for pi in range(p):
+        for qi in range(q):
+            patch = xp[:, :, pi * stride:pi * stride + r,
+                       qi * stride:qi * stride + s]
+            out[:, :, pi, qi] = np.einsum("ncrs,kcrs->nk", patch, w)
+    if bias is not None:
+        out += bias[None, :, None, None]
+    return out
+
+
+def maxpool_ref(x: np.ndarray, window: int, stride: int) -> np.ndarray:
+    n, c, h, w = x.shape
+    p = (h - window) // stride + 1
+    q = (w - window) // stride + 1
+    out = np.zeros((n, c, p, q), dtype=x.dtype)
+    for pi in range(p):
+        for qi in range(q):
+            out[:, :, pi, qi] = x[:, :, pi * stride:pi * stride + window,
+                                  qi * stride:qi * stride + window
+                                  ].max(axis=(2, 3))
+    return out
+
+
+def lrn_ref(x: np.ndarray, nsize: int, alpha: float, beta: float,
+            k: float) -> np.ndarray:
+    n, c, h, w = x.shape
+    half = nsize // 2
+    out = np.zeros_like(x, dtype=np.float64)
+    for ci in range(c):
+        lo = max(0, ci - half)
+        hi = min(c, ci + half + 1)
+        sumsq = (x[:, lo:hi] ** 2).sum(axis=1)
+        denom = (k + (alpha / nsize) * sumsq) ** beta
+        out[:, ci] = x[:, ci] / denom
+    return out
+
+
+def softmax_ref(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def reference_forward(model, images: np.ndarray) -> np.ndarray:
+    """Evaluate ``model.net`` layer-by-layer in NumPy."""
+    x = images.astype(np.float64)
+    net: Sequential = model.net
+    for layer in net.layers:
+        if isinstance(layer, Conv2d):
+            bias = layer.bias.numpy() if layer.bias is not None else None
+            x = conv2d_ref(x, layer.weight.numpy().astype(np.float64),
+                           bias, layer.conv.pad_h, layer.conv.stride_h)
+        elif isinstance(layer, MaxPool2d):
+            x = maxpool_ref(x, layer.pool.window, layer.pool.stride)
+        elif isinstance(layer, LRN):
+            d = layer.lrn
+            x = lrn_ref(x, d.nsize, d.alpha, d.beta, d.k)
+        elif isinstance(layer, Flatten):
+            x = x.reshape(x.shape[0], -1)
+        elif isinstance(layer, Linear):
+            x = x @ layer.weight.numpy().astype(np.float64)
+            x = x + layer.bias.numpy()
+        elif isinstance(layer, Activation):
+            if layer.act.mode == "relu":
+                x = np.maximum(x, 0.0)
+            elif layer.act.mode == "tanh":
+                x = np.tanh(x)
+            else:
+                x = 1.0 / (1.0 + np.exp(-x))
+        else:
+            raise TypeError(f"no reference for layer {type(layer)}")
+    return x

@@ -1,0 +1,61 @@
+"""Device tensors for the miniature framework.
+
+A :class:`DeviceTensor` owns a device allocation inside the simulated
+GPU's global memory (obtained through the CUDA runtime, exactly the path
+PyTorch's ``_C.so`` takes via ``libcudart.so`` in the paper's Section
+III-E).  Host round-trips go through ``cudaMemcpy``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cuda.runtime import CudaRuntime
+
+
+class DeviceTensor:
+    """A float32 NCHW (or flat) tensor living in simulated device memory."""
+
+    def __init__(self, runtime: CudaRuntime, shape: tuple[int, ...],
+                 ptr: int | None = None) -> None:
+        self.rt = runtime
+        self.shape = tuple(int(s) for s in shape)
+        self.size = int(np.prod(self.shape)) if self.shape else 1
+        self.ptr = ptr if ptr is not None else runtime.malloc(4 * self.size)
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def from_numpy(cls, runtime: CudaRuntime,
+                   array: np.ndarray) -> "DeviceTensor":
+        array = np.ascontiguousarray(array, dtype=np.float32)
+        tensor = cls(runtime, array.shape)
+        runtime.memcpy_h2d(tensor.ptr, array)
+        return tensor
+
+    @classmethod
+    def zeros(cls, runtime: CudaRuntime,
+              shape: tuple[int, ...]) -> "DeviceTensor":
+        tensor = cls(runtime, shape)
+        runtime.memcpy_h2d(tensor.ptr, np.zeros(tensor.size, np.float32))
+        return tensor
+
+    # -- host access --------------------------------------------------------
+    def numpy(self) -> np.ndarray:
+        return self.rt.download_f32(self.ptr, self.size).reshape(self.shape)
+
+    def copy_from(self, array: np.ndarray) -> None:
+        array = np.ascontiguousarray(array, dtype=np.float32)
+        if array.size != self.size:
+            raise ValueError(
+                f"size mismatch: tensor {self.shape}, array {array.shape}")
+        self.rt.memcpy_h2d(self.ptr, array)
+
+    # -- shape helpers --------------------------------------------------------
+    def view(self, shape: tuple[int, ...]) -> "DeviceTensor":
+        """Reinterpret without copying (same device buffer)."""
+        if int(np.prod(shape)) != self.size:
+            raise ValueError(f"cannot view {self.shape} as {shape}")
+        return DeviceTensor(self.rt, shape, ptr=self.ptr)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DeviceTensor(shape={self.shape}, ptr={self.ptr:#x})"

@@ -1,0 +1,13 @@
+"""GPUWattch-style component power model.
+
+Converts the timing model's event counts into the six-way average-power
+breakdown of the paper's Figure 8: Core, L1 cache, L2 cache, NOC, DRAM,
+and Idle.  Per-event energies are calibrated so that a computationally
+intensive CNN spends roughly 65% of power in the core (dominated by the
+ALUs) with a further ~25% in idle/static power — the headline numbers of
+Section IV-A — while memory-bound kernels shift the balance toward DRAM.
+"""
+
+from repro.power.model import PowerBreakdown, PowerModel
+
+__all__ = ["PowerBreakdown", "PowerModel"]

@@ -1,0 +1,97 @@
+"""Event-energy power model (see package docstring)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.timing.config import GPUConfig
+from repro.timing.stats import KernelStats
+
+COMPONENTS = ("core", "l1", "l2", "noc", "dram", "idle")
+
+
+@dataclass(frozen=True)
+class EnergyTable:
+    """Per-event dynamic energies (picojoules) and static powers (watts).
+
+    Values are in the range published for GDDR5-era GPUs (tens of pJ per
+    thread-op, ~10-20 pJ/bit for DRAM) — close enough that the *shares*
+    match GPUWattch's MNIST breakdown.
+    """
+
+    alu_op_pj: float = 240.0           # per thread-instruction, whole
+    sfu_op_pj: float = 900.0           # datapath+RF+fetch share included
+    l1_access_pj: float = 330.0        # per 128B transaction
+    shared_access_pj: float = 160.0
+    l2_access_pj: float = 650.0
+    noc_flit_pj: float = 400.0
+    dram_access_pj: float = 5200.0     # per 128B burst
+    dram_row_open_pj: float = 3600.0
+
+    idle_static_w: float = 6.0        # whole-chip baseline
+    core_static_per_sm_w: float = 0.55
+
+
+@dataclass
+class PowerBreakdown:
+    """Average watts per component over one simulated kernel/workload."""
+
+    watts: dict[str, float] = field(default_factory=dict)
+    total: float = 0.0
+    energy_joules: float = 0.0
+    seconds: float = 0.0
+
+    def share(self, component: str) -> float:
+        return self.watts.get(component, 0.0) / self.total if self.total else 0.0
+
+    def as_rows(self) -> list[tuple[str, float, float]]:
+        return [(name, self.watts.get(name, 0.0), self.share(name))
+                for name in COMPONENTS]
+
+
+class PowerModel:
+    """Aggregates KernelStats into a Figure-8 style power breakdown."""
+
+    def __init__(self, config: GPUConfig,
+                 energies: EnergyTable | None = None) -> None:
+        self.config = config
+        self.energies = energies or EnergyTable()
+
+    def breakdown(self, stats_list: list[KernelStats]) -> PowerBreakdown:
+        e = self.energies
+        cycles = sum(s.cycles for s in stats_list)
+        if cycles == 0:
+            return PowerBreakdown(watts={name: 0.0 for name in COMPONENTS})
+        seconds = cycles / (self.config.clock_ghz * 1e9)
+
+        pj = {name: 0.0 for name in COMPONENTS}
+        for s in stats_list:
+            # Thread-level op counts: warp ops carry ~active-lane energy.
+            thread_ops = s.instructions
+            sfu_thread_ops = s.sfu_ops * 32
+            pj["core"] += thread_ops * e.alu_op_pj
+            pj["core"] += sfu_thread_ops * e.sfu_op_pj
+            pj["core"] += s.shared_ops * 32 * e.shared_access_pj
+            transactions = (s.gmem_read_transactions
+                            + s.gmem_write_transactions)
+            pj["l1"] += transactions * e.l1_access_pj
+            pj["l2"] += (s.l2_hits + s.l2_misses) * e.l2_access_pj
+            pj["noc"] += s.noc_flits * e.noc_flit_pj
+            dram = s.dram_reads + s.dram_writes
+            row_opens = dram - s.dram_row_hits
+            pj["dram"] += dram * e.dram_access_pj
+            pj["dram"] += row_opens * e.dram_row_open_pj
+
+        watts = {name: pj[name] * 1e-12 / seconds for name in COMPONENTS}
+        # Static contributions: active SMs burn core static power; the
+        # chip-wide baseline is reported as "Idle" exactly as GPUWattch
+        # separates it.
+        active_fraction = (sum(s.active_sm_cycles for s in stats_list)
+                           / cycles)
+        watts["core"] += (self.config.num_sms * active_fraction
+                          * self.energies.core_static_per_sm_w)
+        watts["idle"] += self.energies.idle_static_w
+        total = sum(watts.values())
+        energy = total * seconds
+        return PowerBreakdown(watts=watts, total=total,
+                              energy_joules=energy, seconds=seconds)

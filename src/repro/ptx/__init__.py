@@ -1,0 +1,6 @@
+"""PTX front end: dtypes, lexer, parser, AST, instruction semantics."""
+
+from repro.ptx.dtypes import DType, dtype_from_name
+from repro.ptx.parser import parse_module
+
+__all__ = ["DType", "dtype_from_name", "parse_module"]

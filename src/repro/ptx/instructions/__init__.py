@@ -1,0 +1,96 @@
+"""Functional semantics dispatch table for the PTX subset.
+
+``DISPATCH`` maps a base opcode to its warp-level implementation with
+signature ``fn(inst, warp, lanes)``.  Control-flow opcodes (``bra``,
+``exit``, ``ret``, ``bar``) are intentionally absent — the executor owns
+the SIMT stack and handles them itself.  ``OP_CLASS`` classifies opcodes
+for the timing model's pipelines.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import UnsupportedInstructionError
+from repro.ptx import ast
+from repro.ptx.instructions import (
+    arithmetic, bits, compare, convert, memory, special)
+
+ExecFn = Callable[[ast.Instruction, object, list[int]], None]
+
+
+def _nop(inst: ast.Instruction, warp, lanes) -> None:
+    del inst, warp, lanes
+
+
+DISPATCH: dict[str, ExecFn] = {
+    "add": arithmetic.exec_add,
+    "sub": arithmetic.exec_sub,
+    "mul": arithmetic.exec_mul,
+    "mad": arithmetic.exec_mad,
+    "fma": arithmetic.exec_fma,
+    "div": arithmetic.exec_div,
+    "rem": arithmetic.exec_rem,
+    "abs": arithmetic.exec_abs,
+    "neg": arithmetic.exec_neg,
+    "min": arithmetic.exec_min,
+    "max": arithmetic.exec_max,
+    "sad": arithmetic.exec_sad,
+    "and": bits.exec_and,
+    "or": bits.exec_or,
+    "xor": bits.exec_xor,
+    "not": bits.exec_not,
+    "shl": bits.exec_shl,
+    "shr": bits.exec_shr,
+    "brev": bits.exec_brev,
+    "bfe": bits.exec_bfe,
+    "bfi": bits.exec_bfi,
+    "popc": bits.exec_popc,
+    "clz": bits.exec_clz,
+    "setp": compare.exec_setp,
+    "selp": compare.exec_selp,
+    "slct": compare.exec_slct,
+    "mov": convert.exec_mov,
+    "cvt": convert.exec_cvt,
+    "cvta": convert.exec_cvta,
+    "ld": memory.exec_ld,
+    "ldu": memory.exec_ld,
+    "st": memory.exec_st,
+    "atom": memory.exec_atom,
+    "red": memory.exec_red,
+    "tex": memory.exec_tex,
+    "sqrt": special.exec_sqrt,
+    "rsqrt": special.exec_rsqrt,
+    "rcp": special.exec_rcp,
+    "ex2": special.exec_ex2,
+    "lg2": special.exec_lg2,
+    "sin": special.exec_sin,
+    "cos": special.exec_cos,
+    "membar": _nop,
+    "fence": _nop,
+}
+
+# Pipeline class per opcode, consumed by the timing model.
+ALU = "alu"
+SFU = "sfu"
+MEM = "mem"
+CTRL = "ctrl"
+BAR = "bar"
+
+OP_CLASS: dict[str, str] = {opcode: ALU for opcode in DISPATCH}
+OP_CLASS.update({
+    "div": SFU, "rem": SFU, "sqrt": SFU, "rsqrt": SFU, "rcp": SFU,
+    "ex2": SFU, "lg2": SFU, "sin": SFU, "cos": SFU,
+    "ld": MEM, "ldu": MEM, "st": MEM, "atom": MEM, "red": MEM, "tex": MEM,
+    "bra": CTRL, "exit": CTRL, "ret": CTRL, "bar": BAR,
+})
+
+
+def lookup(opcode: str) -> ExecFn:
+    """Return the implementation for *opcode* or raise the paper's error."""
+    try:
+        return DISPATCH[opcode]
+    except KeyError:
+        raise UnsupportedInstructionError(
+            f"PTX instruction {opcode!r} is not implemented by the "
+            "functional simulator") from None

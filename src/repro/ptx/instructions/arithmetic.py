@@ -1,0 +1,148 @@
+"""Arithmetic PTX instructions: add/sub/mul/mad/fma/div/rem/abs/neg/min/max.
+
+``rem`` is the instruction at the heart of the paper's Section III-D case
+study: GPGPU-Sim computed every remainder as ``src1.u64 % src2.u64``.
+With :attr:`LegacyQuirks.rem_ignores_type` enabled we reproduce that
+behaviour bit-for-bit (including the stale-upper-byte reads that made it
+observable); with the fix, the type specifier selects signedness and
+width exactly as the paper's switch statement does.
+"""
+
+from __future__ import annotations
+
+from repro.ptx import ast
+from repro.ptx.dtypes import DType
+from repro.ptx.instructions.common import (
+    apply_binary, apply_ternary, apply_unary, float_div, float_max,
+    float_min, int_div, int_rem, wide_dtype, write_result, write_union)
+from repro.ptx.values import (
+    MASK64, read_typed, saturate_float, to_signed, to_unsigned, write_typed)
+
+
+def _binary_values(inst: ast.Instruction, warp, lane, dtype: DType):
+    _dst, a, b = inst.operands[:3]
+    return (warp.operand_value(a, dtype, lane),
+            warp.operand_value(b, dtype, lane))
+
+
+def exec_add(inst: ast.Instruction, warp, lanes) -> None:
+    if inst.has_mod("sat") and inst.dtype.is_float:
+        dtype = inst.dtype
+        for lane in lanes:
+            a, b = _binary_values(inst, warp, lane, dtype)
+            write_result(warp, inst, saturate_float(a + b), dtype, lane)
+        return
+    apply_binary(inst, warp, lanes, lambda a, b: a + b)
+
+
+def exec_sub(inst: ast.Instruction, warp, lanes) -> None:
+    apply_binary(inst, warp, lanes, lambda a, b: a - b)
+
+
+def exec_mul(inst: ast.Instruction, warp, lanes) -> None:
+    dtype = inst.dtype
+    if dtype.is_float:
+        apply_binary(inst, warp, lanes, lambda a, b: a * b)
+        return
+    if inst.has_mod("wide"):
+        wide = wide_dtype(dtype)
+        for lane in lanes:
+            a, b = _binary_values(inst, warp, lane, dtype)
+            write_result_typed(warp, inst, a * b, wide, lane)
+        return
+    if inst.has_mod("hi"):
+        bits = dtype.bits
+        for lane in lanes:
+            a, b = _binary_values(inst, warp, lane, dtype)
+            write_result(warp, inst, (a * b) >> bits, dtype, lane)
+        return
+    # Default and ``.lo``: keep the low bits.
+    apply_binary(inst, warp, lanes, lambda a, b: a * b)
+
+
+def write_result_typed(warp, inst: ast.Instruction, value, dtype: DType,
+                       lane: int) -> None:
+    payload = write_typed(value, dtype)
+    write_union(warp, inst.operands[0].name, payload, dtype.bits, lane)
+
+
+def exec_mad(inst: ast.Instruction, warp, lanes) -> None:
+    dtype = inst.dtype
+    _dst, a, b, c = inst.operands
+    if inst.has_mod("wide"):
+        wide = wide_dtype(dtype)
+        for lane in lanes:
+            product = (warp.operand_value(a, dtype, lane)
+                       * warp.operand_value(b, dtype, lane))
+            total = product + warp.operand_value(c, wide, lane)
+            write_result_typed(warp, inst, total, wide, lane)
+        return
+    if inst.has_mod("hi") and not dtype.is_float:
+        bits = dtype.bits
+        for lane in lanes:
+            product = (warp.operand_value(a, dtype, lane)
+                       * warp.operand_value(b, dtype, lane)) >> bits
+            total = product + warp.operand_value(c, dtype, lane)
+            write_result(warp, inst, total, dtype, lane)
+        return
+    apply_ternary(inst, warp, lanes, lambda x, y, z: x * y + z)
+
+
+def exec_fma(inst: ast.Instruction, warp, lanes) -> None:
+    # The f32*f32 product is exact in Python's binary64, so computing the
+    # sum in double and rounding once is a faithful fused multiply-add
+    # for .f32 (and for .f16 a fortiori).
+    apply_ternary(inst, warp, lanes, lambda a, b, c: a * b + c)
+
+
+def exec_div(inst: ast.Instruction, warp, lanes) -> None:
+    if inst.dtype.is_float:
+        apply_binary(inst, warp, lanes, float_div)
+    else:
+        apply_binary(inst, warp, lanes, int_div)
+
+
+def exec_rem(inst: ast.Instruction, warp, lanes) -> None:
+    quirks = warp.cta.launch.quirks
+    if quirks.rem_ignores_type:
+        # Historical GPGPU-Sim: data.u64 = src1.u64 % src2.u64, blind to
+        # the type specifier and to stale upper register bytes.
+        _dst, a, b = inst.operands
+        dtype = inst.dtype
+        for lane in lanes:
+            lhs = warp.operand_payload(a, dtype, lane) & MASK64
+            rhs = warp.operand_payload(b, dtype, lane) & MASK64
+            result = lhs % rhs if rhs else lhs
+            warp.regs[lane][inst.operands[0].name] = result
+        return
+    apply_binary(inst, warp, lanes, int_rem)
+
+
+def exec_abs(inst: ast.Instruction, warp, lanes) -> None:
+    apply_unary(inst, warp, lanes, abs)
+
+
+def exec_neg(inst: ast.Instruction, warp, lanes) -> None:
+    apply_unary(inst, warp, lanes, lambda a: -a)
+
+
+def exec_min(inst: ast.Instruction, warp, lanes) -> None:
+    if inst.dtype.is_float:
+        apply_binary(inst, warp, lanes, float_min)
+    else:
+        apply_binary(inst, warp, lanes, min)
+
+
+def exec_max(inst: ast.Instruction, warp, lanes) -> None:
+    if inst.dtype.is_float:
+        apply_binary(inst, warp, lanes, float_max)
+    else:
+        apply_binary(inst, warp, lanes, max)
+
+
+def exec_sad(inst: ast.Instruction, warp, lanes) -> None:
+    """Sum of absolute differences: d = c + |a - b|."""
+    apply_ternary(inst, warp, lanes, lambda a, b, c: c + abs(a - b))
+
+
+__all__ = [name for name in dir() if name.startswith("exec_")]

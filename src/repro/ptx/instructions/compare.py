@@ -1,0 +1,80 @@
+"""Comparison and select instructions: setp, selp, slct."""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.errors import UnsupportedInstructionError
+from repro.ptx import ast
+from repro.ptx.instructions.common import write_union
+from repro.ptx.values import write_typed
+
+_ORDERED: dict[str, Callable] = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "lt": lambda a, b: a < b,
+    "le": lambda a, b: a <= b,
+    "gt": lambda a, b: a > b,
+    "ge": lambda a, b: a >= b,
+    # Unsigned integer comparisons; operands already decode unsigned.
+    "lo": lambda a, b: a < b,
+    "ls": lambda a, b: a <= b,
+    "hi": lambda a, b: a > b,
+    "hs": lambda a, b: a >= b,
+}
+
+_UNORDERED = {"equ": "eq", "neu": "ne", "ltu": "lt",
+              "leu": "le", "gtu": "gt", "geu": "ge"}
+
+
+def _compare(cmp: str, a, b) -> bool:
+    if cmp in _ORDERED:
+        if isinstance(a, float) and (math.isnan(a) or math.isnan(b)):
+            # Ordered float comparisons are false on NaN except ne.
+            return cmp == "ne"
+        return _ORDERED[cmp](a, b)
+    if cmp in _UNORDERED:
+        if isinstance(a, float) and (math.isnan(a) or math.isnan(b)):
+            return True
+        return _ORDERED[_UNORDERED[cmp]](a, b)
+    if cmp == "num":
+        return not (math.isnan(a) or math.isnan(b))
+    if cmp == "nan":
+        return math.isnan(a) or math.isnan(b)
+    raise UnsupportedInstructionError(f"unknown comparison {cmp!r}")
+
+
+def exec_setp(inst: ast.Instruction, warp, lanes) -> None:
+    dtype = inst.dtype
+    dst, a, b = inst.operands
+    cmp = inst.cmp or "eq"
+    for lane in lanes:
+        result = _compare(cmp,
+                          warp.operand_value(a, dtype, lane),
+                          warp.operand_value(b, dtype, lane))
+        warp.write_pred(dst.name, result, lane)
+
+
+def exec_selp(inst: ast.Instruction, warp, lanes) -> None:
+    dtype = inst.dtype
+    dst, a, b, pred = inst.operands
+    for lane in lanes:
+        chosen = a if warp.read_pred(pred.name, lane) else b
+        payload = write_typed(warp.operand_value(chosen, dtype, lane), dtype)
+        write_union(warp, dst.name, payload, dtype.bits, lane)
+
+
+def exec_slct(inst: ast.Instruction, warp, lanes) -> None:
+    """d = (c >= 0) ? a : b; c typed by the second type specifier."""
+    dtype = inst.dtypes[0]
+    ctype = inst.dtypes[1] if len(inst.dtypes) > 1 else dtype
+    dst, a, b, c = inst.operands
+    for lane in lanes:
+        selector = warp.operand_value(c, ctype, lane)
+        chosen = a if selector >= 0 else b
+        payload = write_typed(warp.operand_value(chosen, dtype, lane), dtype)
+        write_union(warp, dst.name, payload, dtype.bits, lane)
+
+
+__all__ = ["exec_setp", "exec_selp", "exec_slct"]

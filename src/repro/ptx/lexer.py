@@ -1,0 +1,93 @@
+"""Tokenizer for the PTX subset the simulator executes.
+
+PTX identifiers never contain ``.``, so a *dotted word* token — e.g.
+``ld.global.v2.f32`` or ``%tid.x`` — can be lexed as a single unit and
+split on dots later by the parser.  Comments (``//`` and ``/* */``) are
+stripped while preserving line numbers for diagnostics.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import PTXSyntaxError
+
+WORD = "word"          # identifiers, opcodes, directives, registers, labels
+INT = "int"            # integer literal (value already decoded)
+FLOAT = "float"        # float literal (value already decoded, as Python float)
+PUNCT = "punct"        # one of { } ( ) [ ] , ; : + - = !  @
+EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    value: int | float = 0
+    line: int = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.text!r}, line={self.line})"
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>[ \t\r]+)
+  | (?P<nl>\n)
+  | (?P<linecomment>//[^\n]*)
+  | (?P<blockcomment>/\*.*?\*/)
+  | (?P<hexf64>0[dD][0-9a-fA-F]{16})
+  | (?P<hexf32>0[fF][0-9a-fA-F]{8})
+  | (?P<hexint>0[xX][0-9a-fA-F]+U?)
+  | (?P<float>(\d+\.\d*([eE][-+]?\d+)?|\d+[eE][-+]?\d+|\.\d+([eE][-+]?\d+)?))
+  | (?P<int>\d+U?)
+  | (?P<word>[%$]?[A-Za-z_][A-Za-z0-9_$]*(\.[A-Za-z0-9_]+)*|\.[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<punct>[{}()\[\],;:+\-=!@<>|])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Convert PTX source into a token list terminated by an EOF token."""
+    tokens: list[Token] = []
+    line = 1
+    pos = 0
+    length = len(text)
+    while pos < length:
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            snippet = text[pos:pos + 20].splitlines()[0]
+            raise PTXSyntaxError(f"unexpected character at {snippet!r}", line)
+        pos = match.end()
+        kind = match.lastgroup
+        raw = match.group()
+        if kind == "nl":
+            line += 1
+            continue
+        if kind in ("ws", "linecomment"):
+            continue
+        if kind == "blockcomment":
+            line += raw.count("\n")
+            continue
+        if kind == "word":
+            tokens.append(Token(WORD, raw, line=line))
+        elif kind == "int":
+            tokens.append(Token(INT, raw, int(raw.rstrip("U")), line))
+        elif kind == "hexint":
+            tokens.append(Token(INT, raw, int(raw.rstrip("U"), 16), line))
+        elif kind == "hexf32":
+            import struct
+            value = struct.unpack("<f", int(raw[2:], 16).to_bytes(4, "little"))[0]
+            tokens.append(Token(FLOAT, raw, value, line))
+        elif kind == "hexf64":
+            import struct
+            value = struct.unpack("<d", int(raw[2:], 16).to_bytes(8, "little"))[0]
+            tokens.append(Token(FLOAT, raw, value, line))
+        elif kind == "float":
+            tokens.append(Token(FLOAT, raw, float(raw), line))
+        elif kind == "punct":
+            tokens.append(Token(PUNCT, raw, line=line))
+    tokens.append(Token(EOF, "", line=line))
+    return tokens

@@ -1,0 +1,11 @@
+"""Cycle-level performance simulation (GPGPU-Sim's Performance mode)."""
+
+from repro.timing.backend import TimingBackend
+from repro.timing.config import GTX1050, GTX1080TI, TINY, GPUConfig, scaled
+from repro.timing.gpu import GpuTiming
+from repro.timing.stats import ISSUE_BUCKETS, KernelStats, SampleBlock
+
+__all__ = [
+    "GTX1050", "GTX1080TI", "GPUConfig", "GpuTiming", "ISSUE_BUCKETS",
+    "KernelStats", "SampleBlock", "TINY", "TimingBackend", "scaled",
+]

@@ -1,0 +1,44 @@
+"""Runtime backend running every launch through the timing model."""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+from repro.cuda.runtime import KernelRunResult
+from repro.functional.state import LaunchContext
+from repro.timing.config import GPUConfig, TINY
+from repro.timing.gpu import GpuTiming
+from repro.timing.stats import KernelStats
+
+
+class TimingBackend:
+    """Performance-simulation backend for :class:`CudaRuntime`.
+
+    The paper notes performance mode is "generally 7-8 times slower than
+    the Functional simulation mode" — here, too, each launch pays for
+    cycle-level scheduling, caches and DRAM on top of the functional
+    execution it drives.
+    """
+
+    name = "performance"
+
+    def __init__(self, config: GPUConfig = TINY, *,
+                 max_cycles: int = 50_000_000,
+                 reconverge_at_exit: bool = False) -> None:
+        self.config = config
+        self.gpu = GpuTiming(config, max_cycles=max_cycles,
+                             reconverge_at_exit=reconverge_at_exit)
+        self.kernel_stats: list[KernelStats] = []
+
+    def execute(self, launch: LaunchContext) -> KernelRunResult:
+        stats, samples = self.gpu.simulate(launch)
+        self.kernel_stats.append(stats)
+        payload = asdict(stats)
+        payload.pop("extra", None)
+        payload.update(stats.extra)
+        return KernelRunResult(
+            instructions=stats.warp_instructions,
+            cycles=stats.cycles,
+            stats=payload,
+            samples=samples,
+        )

@@ -1,0 +1,78 @@
+"""Set-associative cache model with LRU replacement.
+
+Used for both the per-SM L1 (write-through, no write-allocate, like
+GPGPU-Sim's default) and the per-partition L2 slice (write-back in
+spirit; evictions are counted but dirty writeback traffic is folded into
+the write stream).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheStats:
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """sets x ways, LRU, line granularity."""
+
+    def __init__(self, sets: int, ways: int, line_size: int) -> None:
+        if sets & (sets - 1):
+            raise ValueError("sets must be a power of two")
+        self.sets = sets
+        self.ways = ways
+        self.line_size = line_size
+        self._lines: list[OrderedDict[int, bool]] = [
+            OrderedDict() for _ in range(sets)]
+        self.stats = CacheStats()
+
+    def _index(self, addr: int) -> tuple[int, int]:
+        line = addr // self.line_size
+        return line % self.sets, line
+
+    def access(self, addr: int, is_write: bool = False) -> bool:
+        """Probe (and on read-miss, allocate). Returns hit?"""
+        set_index, tag = self._index(addr)
+        target = self._lines[set_index]
+        self.stats.accesses += 1
+        if tag in target:
+            self.stats.hits += 1
+            target.move_to_end(tag)
+            if is_write:
+                # Write-through: update the line, traffic counted by caller.
+                target[tag] = True
+            return True
+        self.stats.misses += 1
+        if not is_write:
+            self.fill(addr)
+        return False
+
+    def fill(self, addr: int) -> None:
+        set_index, tag = self._index(addr)
+        target = self._lines[set_index]
+        if tag in target:
+            target.move_to_end(tag)
+            return
+        if len(target) >= self.ways:
+            target.popitem(last=False)
+            self.stats.evictions += 1
+        target[tag] = False
+
+    def invalidate(self, addr: int) -> None:
+        set_index, tag = self._index(addr)
+        self._lines[set_index].pop(tag, None)
+
+    def flush(self) -> None:
+        for target in self._lines:
+            target.clear()

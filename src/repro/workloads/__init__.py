@@ -1,0 +1,7 @@
+"""Reference workloads: the cuDNN sample programs the paper studies."""
+
+from repro.workloads.conv_sample import ConvSample, ConvSampleConfig
+from repro.workloads.mnist_sample import MnistSample, MnistSampleConfig
+
+__all__ = ["ConvSample", "ConvSampleConfig", "MnistSample",
+           "MnistSampleConfig"]

@@ -1,0 +1,84 @@
+"""Test utilities: run single PTX instructions over input vectors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cuda import CudaRuntime
+from repro.ptx.builder import PTXBuilder
+from repro.quirks import FIXED, LegacyQuirks
+
+_REG_FOR_WIDTH = {16: "u16", 32: "u32", 64: "u64"}
+
+
+def exec_op(op: str, sources: list[np.ndarray], *,
+            in_widths: list[int], out_width: int = 32,
+            quirks: LegacyQuirks = FIXED,
+            pred_result: bool = False) -> np.ndarray:
+    """Execute ``op dst, src0[, src1[, src2]]`` elementwise on the GPU sim.
+
+    Sources/destination are raw bit payloads (uint64 arrays); widths pick
+    the load/store width so bit patterns pass through unmodified.
+    """
+    count = len(sources[0])
+    builder = PTXBuilder("op_test", [
+        ("out", "u64"),
+        *[(f"src{i}", "u64") for i in range(len(sources))],
+        ("n", "u32"),
+    ])
+    out_ptr = builder.ld_param("u64", "out")
+    src_ptrs = [builder.ld_param("u64", f"src{i}")
+                for i in range(len(sources))]
+    n = builder.ld_param("u32", "n")
+    tid = builder.global_tid_x()
+    builder.guard_tid_below(tid, n)
+    arg_regs = []
+    for ptr, width in zip(src_ptrs, in_widths):
+        addr = builder.elem_addr(ptr, tid, elem_bytes=8)
+        reg = builder.reg(_REG_FOR_WIDTH[width])
+        builder.ins(f"ld.global.b{width}", reg, f"[{addr}]")
+        arg_regs.append(reg)
+    if pred_result:
+        pred = builder.reg("pred")
+        builder.ins(op, pred, *arg_regs)
+        dst = builder.reg("u32")
+        builder.ins("selp.u32", dst, "1", "0", pred)
+        store_width = 32
+    else:
+        dst = builder.reg(_REG_FOR_WIDTH[out_width])
+        builder.ins(op, dst, *arg_regs)
+        store_width = out_width
+    out_addr = builder.elem_addr(out_ptr, tid, elem_bytes=8)
+    builder.ins(f"st.global.b{store_width}", f"[{out_addr}]", dst)
+    ptx = builder.build()
+
+    rt = CudaRuntime(quirks=quirks)
+    rt.load_ptx(ptx, "op_test")
+    out = rt.malloc(8 * count)
+    rt.memset(out, 0, 8 * count)
+    args: list = [out]
+    for source in sources:
+        ptr = rt.malloc(8 * count)
+        rt.memcpy_h2d(ptr, np.asarray(source, dtype=np.uint64))
+        args.append(ptr)
+    args.append(count)
+    rt.launch("op_test", ((count + 63) // 64, 1, 1), (64, 1, 1), args)
+    raw = rt.memcpy_d2h(out, 8 * count)
+    return np.frombuffer(raw, dtype=np.uint64).copy()
+
+
+def f32_bits(values) -> np.ndarray:
+    return np.asarray(np.float32(values)).view(np.uint32).astype(np.uint64)
+
+
+def bits_f32(payloads: np.ndarray) -> np.ndarray:
+    return payloads.astype(np.uint64).astype(np.uint32).view(np.float32)
+
+
+def u64(values) -> np.ndarray:
+    return np.asarray(values, dtype=np.uint64)
+
+
+def s32_bits(values) -> np.ndarray:
+    return np.asarray(values, dtype=np.int64).astype(np.uint32).astype(
+        np.uint64)

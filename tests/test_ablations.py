@@ -1,0 +1,131 @@
+"""Ablation tests for the design choices DESIGN.md §5 calls out."""
+
+import numpy as np
+import pytest
+from dataclasses import replace
+
+from repro.cuda import CudaRuntime
+from repro.ptx.builder import PTXBuilder
+from repro.timing import TINY, TimingBackend
+
+
+def _streaming_kernel() -> str:
+    """Sequential streaming loads: maximally row-friendly traffic."""
+    b = PTXBuilder("streamer", [("data", "u64"), ("out", "u64"),
+                                ("n", "u32"), ("reads", "u32")])
+    data = b.ld_param("u64", "data")
+    out = b.ld_param("u64", "out")
+    n = b.ld_param("u32", "n")
+    reads = b.ld_param("u32", "reads")
+    tid = b.global_tid_x()
+    b.guard_tid_below(tid, n)
+    acc = b.imm_f32(0.0)
+    i = b.reg("u32")
+    with b.for_range(i, 0, reads):
+        idx = b.reg("u32")
+        b.ins("mad.lo.s32", idx, i, n, tid)
+        value = b.load_global_f32(b.elem_addr(data, idx))
+        b.ins("add.f32", acc, acc, value)
+    b.store_global_f32(b.elem_addr(out, tid), acc)
+    return b.build()
+
+
+def _run(config, rng=None):
+    del rng  # identical inputs across configurations by construction
+    rt = CudaRuntime(backend=TimingBackend(config))
+    rt.load_ptx(_streaming_kernel(), "s.cu")
+    n, reads = 64, 32
+    fixed = np.random.default_rng(99)
+    data = rt.upload_f32(fixed.standard_normal(n * reads)
+                         .astype(np.float32))
+    out = rt.malloc(4 * n)
+    rt.launch("streamer", (2, 1, 1), (32, 1, 1), [data, out, n, reads])
+    rt.synchronize()
+    return rt.profiles[-1], rt.download_f32(out, n)
+
+
+class TestDramSchedulerAblation:
+    def test_fcfs_closed_row_never_hits(self, rng):
+        fcfs = replace(TINY, dram_scheduler="fcfs")
+        profile, _ = _run(fcfs, rng)
+        assert profile.result.stats["dram_row_hits"] == 0
+
+    def test_frfcfs_open_row_hits_and_is_faster(self, rng):
+        frfcfs_profile, frfcfs_out = _run(TINY, rng)
+        fcfs_profile, fcfs_out = _run(
+            replace(TINY, dram_scheduler="fcfs"), rng)
+        assert frfcfs_profile.result.stats["dram_row_hits"] > 0
+        # Same functional result, different timing.
+        assert np.allclose(frfcfs_out, fcfs_out)
+        assert (frfcfs_profile.result.cycles
+                < fcfs_profile.result.cycles)
+
+
+class TestWarpSchedulerAblation:
+    @pytest.mark.parametrize("policy", ["lrr", "gto"])
+    def test_policies_functionally_identical(self, rng, policy):
+        config = replace(TINY, warp_scheduler=policy)
+        profile, out = _run(config, rng)
+        assert profile.result.cycles > 0
+        # Both produce the exact same functional output.
+        _, lrr_out = _run(TINY, rng)
+        assert np.allclose(out, lrr_out)
+
+    def test_gto_sticks_with_a_warp(self, rng):
+        """Under GTO a ready warp keeps issuing; both policies finish
+        the kernel but may take different cycle counts."""
+        gto = replace(TINY, warp_scheduler="gto")
+        gto_profile, _ = _run(gto, rng)
+        lrr_profile, _ = _run(TINY, rng)
+        assert gto_profile.result.stats["warp_instructions"] == \
+            lrr_profile.result.stats["warp_instructions"]
+
+    def test_unknown_policy_falls_back_to_lrr(self, rng):
+        # Unknown strings behave as LRR (pick() dispatches on "gto").
+        odd = replace(TINY, warp_scheduler="roundest-robin")
+        profile, _ = _run(odd, rng)
+        assert profile.result.cycles > 0
+
+
+class TestReconvergenceAblation:
+    def test_exit_reconvergence_executes_more_serially(self, rng):
+        """Reconverge-at-exit serialises divergent paths to the end,
+        never merging them back — issued warps are narrower."""
+        from repro.timing.backend import TimingBackend as TB
+
+        def build():
+            b = PTXBuilder("divergent", [("out", "u64"), ("n", "u32")])
+            out = b.ld_param("u64", "out")
+            n = b.ld_param("u32", "n")
+            tid = b.global_tid_x()
+            b.guard_tid_below(tid, n)
+            acc = b.imm_u32(0)
+            pred = b.reg("pred")
+            b.ins("setp.lt.u32", pred, tid, "16")
+            with b.if_then(pred):
+                i = b.reg("u32")
+                with b.for_range(i, 0, "8"):
+                    b.ins("add.u32", acc, acc, "1")
+            # post-join work all 32 lanes should share
+            j = b.reg("u32")
+            with b.for_range(j, 0, "8"):
+                b.ins("add.u32", acc, acc, "2")
+            b.ins("st.global.u32", f"[{b.elem_addr(out, tid)}]", acc)
+            return b.build()
+
+        results = {}
+        for label, at_exit in (("pdom", False), ("exit", True)):
+            rt = CudaRuntime(backend=TB(TINY,
+                                        reconverge_at_exit=at_exit))
+            rt.load_ptx(build(), f"d_{label}.cu")
+            out = rt.malloc(4 * 32)
+            rt.launch("divergent", 1, 32, [out, 32])
+            rt.synchronize()
+            got = np.frombuffer(rt.memcpy_d2h(out, 128), np.uint32)
+            expected = np.where(np.arange(32) < 16, 24, 16)
+            assert (got == expected).all(), label  # functionally equal
+            results[label] = rt.profiles[-1].result.stats
+        # With exit-reconvergence the shared tail runs once per path,
+        # so more warp instructions issue.
+        assert (results["exit"]["warp_instructions"]
+                >= results["pdom"]["warp_instructions"])

@@ -1,0 +1,156 @@
+"""AerialVision rendering + metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.aerialvision import (
+    ascii_heatmap, ascii_series, phase_summary, write_heatmap_csv,
+    write_series_csv)
+from repro.aerialvision.report import FigureReport, merge_reports
+from repro.timing.stats import (
+    ISSUE_BUCKETS, SampleBlock, W0_IDLE, W0_MEM, lane_bucket)
+
+
+class TestLaneBuckets:
+    def test_boundaries(self):
+        assert lane_bucket(1) == "W1_4"
+        assert lane_bucket(4) == "W1_4"
+        assert lane_bucket(5) == "W5_8"
+        assert lane_bucket(32) == "W29_32"
+        assert lane_bucket(0) == W0_IDLE
+
+    def test_all_buckets_enumerated(self):
+        assert "W29_32" in ISSUE_BUCKETS
+        assert W0_MEM in ISSUE_BUCKETS
+
+
+class TestSampleBlock:
+    def test_commit_binning(self):
+        block = SampleBlock(interval=10, num_sms=2, num_partitions=2,
+                            banks_per_partition=2)
+        block.commit(5, sm_id=0, count=10)
+        block.commit(15, sm_id=1, count=20)
+        block.cycles = 20
+        series = block.global_ipc_series()
+        assert series[0] == pytest.approx(1.0)
+        assert series[1] == pytest.approx(2.0)
+        matrix = block.shader_ipc_matrix()
+        assert matrix[0, 0] == pytest.approx(1.0)
+        assert matrix[1, 1] == pytest.approx(2.0)
+
+    def test_interval_splitting(self):
+        block = SampleBlock(interval=10, num_sms=1, num_partitions=1,
+                            banks_per_partition=1)
+        block.dram_busy_interval(0, 5.0, 25.0)  # spans 3 bins
+        block.dram_active_interval(0, 0.0, 30.0)
+        block.cycles = 30
+        util = block.dram_utilization_matrix()[0]
+        assert util[0] == pytest.approx(0.5)
+        assert util[1] == pytest.approx(1.0)
+        assert util[2] == pytest.approx(0.5)
+
+    def test_bank_access_matrix(self):
+        block = SampleBlock(interval=10, num_sms=1, num_partitions=2,
+                            banks_per_partition=2)
+        block.dram_access(1, 1, 12.0, row_hit=True)
+        block.cycles = 20
+        matrix = block.bank_access_matrix()
+        assert matrix.shape == (4, 2)
+        assert matrix[3, 1] == 1
+
+
+class TestRendering:
+    def test_heatmap_contains_rows_and_scale(self):
+        matrix = np.array([[0.0, 0.5, 1.0], [1.0, 0.0, 0.2]])
+        text = ascii_heatmap(matrix, title="t", row_label="bank",
+                             vmax=1.0)
+        assert "t" in text and "bank  0" in text and "bank  1" in text
+        assert "scale" in text
+
+    def test_heatmap_downsamples(self):
+        matrix = np.random.rand(2, 500)
+        text = ascii_heatmap(matrix, max_cols=40)
+        first_row = text.splitlines()[0]
+        assert len(first_row) < 60
+
+    def test_series_chart(self):
+        text = ascii_series(np.array([0, 1, 2, 3, 2, 1]), title="ipc")
+        assert "ipc" in text and "#" in text
+
+    def test_heatmap_rejects_1d(self):
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.zeros(5))
+
+    def test_csv_writers(self, tmp_path):
+        path = write_heatmap_csv(tmp_path / "h.csv",
+                                 np.array([[1.0, 2.0]]), row_label="bank")
+        content = path.read_text()
+        assert content.startswith("bank,i0,i1")
+        path2 = write_series_csv(tmp_path / "s.csv",
+                                 {"a": np.array([1.0]),
+                                  "b": np.array([2.0, 3.0])})
+        lines = path2.read_text().splitlines()
+        assert lines[0] == "interval,a,b"
+        assert lines[2] == "1,,3"
+
+
+class TestPhaseSummary:
+    def test_phases_detected(self):
+        series = np.array([0, 0, 1, 1, 0, 0, 1, 1], dtype=float)
+        summary = phase_summary(series, threshold=0.5)
+        assert summary["crossings"] == 3
+        assert summary["high_fraction"] == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert phase_summary(np.array([]))["crossings"] == 0
+
+
+def _report(name: str, parts=2, sms=2, bins=4,
+            util_row0=1.0) -> FigureReport:
+    util = np.zeros((parts, bins))
+    util[0] = util_row0
+    warp_issue = {bucket: np.zeros(bins) for bucket in ISSUE_BUCKETS}
+    warp_issue["W29_32"][:] = 10
+    warp_issue["W1_4"][:] = 2
+    return FigureReport(
+        name=name,
+        dram_efficiency=util.copy(),
+        dram_utilization=util,
+        global_ipc=np.linspace(1, 4, bins),
+        shader_ipc=np.ones((sms, bins)),
+        warp_issue=warp_issue)
+
+
+class TestFigureReport:
+    def test_divergence_fraction(self):
+        report = _report("r")
+        assert report.divergence_fraction() == pytest.approx(
+            2 * 4 / (12 * 4))
+
+    def test_load_balance(self):
+        report = _report("r")
+        assert report.shader_load_balance() == 1.0
+        report.shader_ipc[1] = 0.0
+        assert report.shader_load_balance() == 0.5
+
+    def test_stall_breakdown_normalised(self):
+        shares = _report("r").stall_breakdown()
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_render_and_csv(self, tmp_path):
+        report = _report("case")
+        text = report.render_text()
+        assert "DRAM efficiency" in text and "global IPC" in text
+        written = report.write_csv(tmp_path)
+        assert len(written) == 5
+        assert all(p.exists() for p in written)
+
+    def test_merge_concatenates_time(self):
+        merged = merge_reports("m", [_report("a", bins=3),
+                                     _report("b", bins=5)])
+        assert merged.global_ipc.shape == (8,)
+        assert merged.dram_utilization.shape == (2, 8)
+
+    def test_merge_empty_raises(self):
+        with pytest.raises(ValueError):
+            merge_reports("m", [])

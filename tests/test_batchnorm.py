@@ -1,0 +1,134 @@
+"""BatchNorm kernel, API and module tests (gradient-checked)."""
+
+import numpy as np
+import pytest
+
+from repro.cudnn import TensorDescriptor
+from repro.nn import DeviceTensor
+from repro.nn.modules import BatchNorm2d
+
+
+def bn_ref(x, gamma, beta, eps):
+    mean = x.mean(axis=(0, 2, 3))
+    var = x.var(axis=(0, 2, 3))
+    invstd = 1.0 / np.sqrt(var + eps)
+    xhat = (x - mean[None, :, None, None]) * invstd[None, :, None, None]
+    return (gamma[None, :, None, None] * xhat
+            + beta[None, :, None, None]), mean, invstd, xhat
+
+
+class TestForward:
+    def test_training_matches_reference(self, dnn, runtime, rng):
+        x = rng.standard_normal((2, 3, 4, 4)).astype(np.float32) * 2 + 1
+        gamma = rng.standard_normal(3).astype(np.float32)
+        beta = rng.standard_normal(3).astype(np.float32)
+        eps = 1e-5
+        desc = TensorDescriptor(2, 3, 4, 4)
+        x_ptr = runtime.upload_f32(x.ravel())
+        y_ptr = runtime.malloc(x.nbytes)
+        mean, invstd = dnn.batchnorm_forward_training(
+            desc, x_ptr, y_ptr, runtime.upload_f32(gamma),
+            runtime.upload_f32(beta), eps)
+        got = runtime.download_f32(y_ptr, desc.size).reshape(x.shape)
+        expected, ref_mean, ref_invstd, _ = bn_ref(
+            x.astype(np.float64), gamma, beta, eps)
+        assert np.abs(got - expected).max() < 1e-3
+        assert np.allclose(runtime.download_f32(mean, 3), ref_mean,
+                           atol=1e-4)
+        assert np.allclose(runtime.download_f32(invstd, 3), ref_invstd,
+                           rtol=1e-3)
+
+    def test_inference_uses_given_stats(self, dnn, runtime, rng):
+        x = rng.standard_normal((1, 2, 3, 3)).astype(np.float32)
+        desc = TensorDescriptor(1, 2, 3, 3)
+        mean = np.float32([0.5, -0.5])
+        invstd = np.float32([2.0, 0.5])
+        gamma = np.float32([1.0, 1.0])
+        beta = np.float32([0.0, 1.0])
+        y_ptr = runtime.malloc(x.nbytes)
+        dnn.batchnorm_forward_inference(
+            desc, runtime.upload_f32(x.ravel()), y_ptr,
+            runtime.upload_f32(gamma), runtime.upload_f32(beta),
+            runtime.upload_f32(mean), runtime.upload_f32(invstd))
+        got = runtime.download_f32(y_ptr, desc.size).reshape(x.shape)
+        expected = ((x - mean[None, :, None, None])
+                    * invstd[None, :, None, None]
+                    + beta[None, :, None, None])
+        assert np.abs(got - expected).max() < 1e-5
+
+
+class TestBackward:
+    def test_gradients_match_numeric(self, dnn, runtime, rng):
+        x = rng.standard_normal((2, 2, 3, 3)).astype(np.float32)
+        gamma = np.float32([1.2, 0.8])
+        beta = np.float32([0.1, -0.2])
+        dy = rng.standard_normal(x.shape).astype(np.float32)
+        eps = 1e-5
+        desc = TensorDescriptor(2, 2, 3, 3)
+        x_ptr = runtime.upload_f32(x.ravel())
+        y_ptr = runtime.malloc(x.nbytes)
+        gamma_ptr = runtime.upload_f32(gamma)
+        mean, invstd = dnn.batchnorm_forward_training(
+            desc, x_ptr, y_ptr, gamma_ptr, runtime.upload_f32(beta),
+            eps)
+        dx_ptr = runtime.malloc(x.nbytes)
+        dgamma_ptr = runtime.malloc(8)
+        dbeta_ptr = runtime.malloc(8)
+        dnn.batchnorm_backward(desc, x_ptr, runtime.upload_f32(dy.ravel()),
+                               dx_ptr, gamma_ptr, mean, invstd,
+                               dgamma_ptr, dbeta_ptr)
+        got_dx = runtime.download_f32(dx_ptr, desc.size).reshape(x.shape)
+        got_dgamma = runtime.download_f32(dgamma_ptr, 2)
+        got_dbeta = runtime.download_f32(dbeta_ptr, 2)
+
+        def loss(xv):
+            y, *_ = bn_ref(xv, gamma, beta, eps)
+            return float((y * dy).sum())
+
+        # Analytic dgamma/dbeta.
+        _, _, _, xhat = bn_ref(x.astype(np.float64), gamma, beta, eps)
+        assert np.allclose(got_dbeta, dy.sum(axis=(0, 2, 3)), atol=1e-3)
+        assert np.allclose(got_dgamma, (dy * xhat).sum(axis=(0, 2, 3)),
+                           atol=1e-3)
+        # Numeric dx on a few positions.
+        eps_fd = 1e-3
+        for index in [(0, 0, 0, 0), (1, 1, 2, 2), (0, 1, 1, 0)]:
+            plus = x.astype(np.float64).copy()
+            plus[index] += eps_fd
+            minus = x.astype(np.float64).copy()
+            minus[index] -= eps_fd
+            numeric = (loss(plus) - loss(minus)) / (2 * eps_fd)
+            assert got_dx[index] == pytest.approx(numeric, abs=5e-2)
+
+
+class TestModule:
+    def test_train_and_eval_paths(self, dnn, rng):
+        bn = BatchNorm2d(dnn, 3)
+        x = rng.standard_normal((4, 3, 4, 4)).astype(np.float32) * 3 + 2
+        y = bn(DeviceTensor.from_numpy(dnn.rt, x)).numpy()
+        # Training output is normalised per channel.
+        assert np.abs(y.mean(axis=(0, 2, 3))).max() < 1e-2
+        assert np.abs(y.std(axis=(0, 2, 3)) - 1).max() < 1e-2
+        # Running stats moved toward the batch stats.
+        running_mean = bn.running_mean.numpy()
+        assert np.allclose(running_mean,
+                           bn.momentum * x.mean(axis=(0, 2, 3)),
+                           atol=1e-3)
+        bn.training = False
+        y_eval = bn(DeviceTensor.from_numpy(dnn.rt, x)).numpy()
+        assert y_eval.shape == x.shape
+
+    def test_backward_flows(self, dnn, rng):
+        bn = BatchNorm2d(dnn, 2)
+        x = rng.standard_normal((2, 2, 3, 3)).astype(np.float32)
+        bn(DeviceTensor.from_numpy(dnn.rt, x))
+        dy = rng.standard_normal(x.shape).astype(np.float32)
+        dx = bn.backward(DeviceTensor.from_numpy(dnn.rt, dy)).numpy()
+        assert dx.shape == x.shape
+        assert np.isfinite(dx).all()
+        assert len(bn.parameters()) == 2
+
+    def test_channel_mismatch(self, dnn, rng):
+        bn = BatchNorm2d(dnn, 4)
+        with pytest.raises(ValueError, match="channels"):
+            bn(DeviceTensor.zeros(dnn.rt, (1, 3, 2, 2)))

@@ -1,0 +1,119 @@
+"""PTXBuilder codegen tests."""
+
+import numpy as np
+import pytest
+
+from repro.cuda import CudaRuntime
+from repro.ptx.builder import PTXBuilder, f32, f64
+from repro.ptx.parser import parse_module
+
+
+class TestLiterals:
+    def test_f32_hex_exact(self):
+        assert f32(1.0) == "0f3F800000"
+        assert f32(-2.0) == "0fC0000000"
+
+    def test_f64_hex_exact(self):
+        assert f64(1.0) == "0d3FF0000000000000"
+
+    def test_f32_roundtrips_through_lexer(self):
+        from repro.ptx.lexer import tokenize
+        token = tokenize(f32(0.1))[0]
+        assert token.value == np.float32(0.1)
+
+
+class TestBuilder:
+    def test_register_allocation_by_type(self):
+        b = PTXBuilder("k", [])
+        assert b.reg("f32") == "%f0"
+        assert b.reg("f32") == "%f1"
+        assert b.reg("u64") == "%rd0"
+        assert b.reg("pred") == "%p0"
+        assert b.reg("u32") == "%r0"
+
+    def test_build_parses(self):
+        b = PTXBuilder("k", [("out", "u64")])
+        out = b.ld_param("u64", "out")
+        value = b.imm_f32(3.5)
+        b.store_global_f32(out, value)
+        module = parse_module(b.build(), "t")
+        assert "k" in module.kernels
+
+    def test_implicit_exit_appended(self):
+        b = PTXBuilder("k", [])
+        b.ins("mov.u32", b.reg("u32"), "1")
+        assert b.build().rstrip().rstrip("}").rstrip().endswith("exit;")
+
+    def test_shared_declaration_emitted(self):
+        b = PTXBuilder("k", [])
+        b.shared("buf", "f32", 32, align=8)
+        text = b.build()
+        assert ".shared .align 8 .f32 buf[32];" in text
+
+    def test_fresh_labels_unique(self):
+        b = PTXBuilder("k", [])
+        assert b.fresh_label() != b.fresh_label()
+
+    def test_predicated_emission(self):
+        b = PTXBuilder("k", [])
+        p = b.reg("pred")
+        b.ins("exit", pred=p, pred_neg=True)
+        assert "@!%p0 exit;" in b.build()
+
+
+class TestControlFlowHelpers:
+    def _run(self, build, n=32):
+        rt = CudaRuntime()
+        rt.load_ptx(build(), "t")
+        out = rt.malloc(4 * n)
+        rt.launch("k", 1, n, [out, n])
+        rt.synchronize()
+        return np.frombuffer(rt.memcpy_d2h(out, 4 * n), dtype=np.uint32)
+
+    def test_for_range_step(self):
+        def build():
+            b = PTXBuilder("k", [("out", "u64"), ("n", "u32")])
+            out = b.ld_param("u64", "out")
+            n = b.ld_param("u32", "n")
+            tid = b.global_tid_x()
+            b.guard_tid_below(tid, n)
+            acc = b.imm_u32(0)
+            i = b.reg("u32")
+            with b.for_range(i, 0, "10", step=3):  # 0,3,6,9
+                b.ins("add.u32", acc, acc, i)
+            b.ins("st.global.u32", f"[{b.elem_addr(out, tid)}]", acc)
+            return b.build()
+        got = self._run(build)
+        assert (got == 18).all()
+
+    def test_for_range_empty(self):
+        def build():
+            b = PTXBuilder("k", [("out", "u64"), ("n", "u32")])
+            out = b.ld_param("u64", "out")
+            n = b.ld_param("u32", "n")
+            tid = b.global_tid_x()
+            b.guard_tid_below(tid, n)
+            acc = b.imm_u32(7)
+            i = b.reg("u32")
+            with b.for_range(i, 5, "5"):
+                b.ins("add.u32", acc, acc, "100")
+            b.ins("st.global.u32", f"[{b.elem_addr(out, tid)}]", acc)
+            return b.build()
+        assert (self._run(build) == 7).all()
+
+    def test_global_tid_multi_block(self):
+        def build():
+            b = PTXBuilder("k", [("out", "u64"), ("n", "u32")])
+            out = b.ld_param("u64", "out")
+            n = b.ld_param("u32", "n")
+            tid = b.global_tid_x()
+            b.guard_tid_below(tid, n)
+            b.ins("st.global.u32", f"[{b.elem_addr(out, tid)}]", tid)
+            return b.build()
+        rt = CudaRuntime()
+        rt.load_ptx(build(), "t")
+        out = rt.malloc(4 * 96)
+        rt.launch("k", (3, 1, 1), (32, 1, 1), [out, 96])
+        rt.synchronize()
+        got = np.frombuffer(rt.memcpy_d2h(out, 4 * 96), dtype=np.uint32)
+        assert (got == np.arange(96)).all()

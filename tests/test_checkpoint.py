@@ -1,0 +1,187 @@
+"""Checkpoint/resume tests (paper Section III-F, Figures 4-5)."""
+
+import numpy as np
+import pytest
+
+from repro.checkpoint import (
+    Checkpoint, CheckpointingBackend, ResumeBackend, capture_cta,
+    restore_cta)
+from repro.cuda import CudaRuntime
+from repro.errors import CheckpointError
+from repro.ptx.builder import PTXBuilder
+from repro.timing import TINY, TimingBackend
+
+
+def _chain_kernels() -> str:
+    """Two kernels used as a 2-kernel application: k0 doubles, k1 adds
+    tid; both use shared memory so Data1 is non-trivial."""
+    parts = []
+    for name, body in (("k_double", "add.f32 %fv, %fv, %fv"),
+                       ("k_addtid", None)):
+        b = PTXBuilder(name, [("data", "u64"), ("n", "u32")])
+        data = b.ld_param("u64", "data")
+        n = b.ld_param("u32", "n")
+        tid = b.global_tid_x()
+        b.guard_tid_below(tid, n)
+        b.shared("stage", "f32", 64)
+        sbase = b.reg("u64")
+        b.ins("mov.u64", sbase, "stage")
+        ltid = b.special("%tid.x")
+        saddr = b.elem_addr(sbase, ltid)
+        addr = b.elem_addr(data, tid)
+        value = b.load_global_f32(addr)
+        b.ins("st.shared.f32", f"[{saddr}]", value)
+        b.bar_sync()
+        staged = b.reg("f32")
+        b.ins("ld.shared.f32", staged, f"[{saddr}]")
+        out = b.reg("f32")
+        if name == "k_double":
+            b.ins("add.f32", out, staged, staged)
+        else:
+            ftid = b.reg("f32")
+            b.ins("cvt.rn.f32.u32", ftid, tid)
+            b.ins("add.f32", out, staged, ftid)
+        b.store_global_f32(addr, out)
+        parts.append(b.build())
+    return "\n".join(parts)
+
+
+N = 128
+
+
+def _workload(rt: CudaRuntime, data: np.ndarray) -> int:
+    ptr = rt.upload_f32(data)
+    rt.launch("k_double", (2, 1, 1), (64, 1, 1), [ptr, N])
+    rt.launch("k_addtid", (2, 1, 1), (64, 1, 1), [ptr, N])
+    rt.synchronize()
+    return ptr
+
+
+@pytest.fixture()
+def data(rng):
+    return rng.standard_normal(N).astype(np.float32)
+
+
+@pytest.fixture()
+def expected(data):
+    return data * 2 + np.arange(N, dtype=np.float32)
+
+
+def _make_rt(backend=None) -> CudaRuntime:
+    rt = CudaRuntime(backend=backend) if backend else CudaRuntime()
+    rt.load_ptx(_chain_kernels(), "chain.cu")
+    return rt
+
+
+class TestCheckpointCapture:
+    def test_checkpoint_at_kernel1_cta0(self, data):
+        backend = CheckpointingBackend(kernel_ordinal=1, first_cta=0,
+                                       partial_ctas=1,
+                                       warp_instruction_budget=6)
+        rt = _make_rt(backend)
+        _workload(rt, data)
+        cp = backend.checkpoint
+        assert cp is not None
+        assert cp.kernel_name == "k_addtid"
+        assert len(cp.cta_snapshots) == 1
+        snap = cp.cta_snapshots[0]
+        assert len(snap.warps) == 2  # 64-thread CTA
+        # Data1 captured mid-flight: budget respected per warp.
+        for warp in snap.warps:
+            assert warp.instructions_executed <= 6
+        # Data2 is the full global-memory image.
+        assert cp.global_memory["pages"]
+
+    def test_save_load_roundtrip(self, data, tmp_path):
+        backend = CheckpointingBackend(1, 0, 1, 4)
+        rt = _make_rt(backend)
+        _workload(rt, data)
+        path = backend.checkpoint.save(tmp_path / "ck.bin")
+        loaded = Checkpoint.load(path)
+        assert loaded.kernel_name == backend.checkpoint.kernel_name
+        assert (loaded.cta_snapshots[0].shared
+                == backend.checkpoint.cta_snapshots[0].shared)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            Checkpoint.load(tmp_path / "missing.bin")
+
+
+class TestResume:
+    def _checkpoint(self, data, *, m=0, t=1, y=6) -> Checkpoint:
+        backend = CheckpointingBackend(1, m, t, y)
+        rt = _make_rt(backend)
+        _workload(rt, data)
+        return backend.checkpoint
+
+    def test_resume_functional_matches_full_run(self, data, expected):
+        cp = self._checkpoint(data)
+        from repro.cuda.runtime import FunctionalBackend
+        rt = _make_rt(ResumeBackend(cp, FunctionalBackend()))
+        ptr = _workload(rt, data)
+        got = rt.download_f32(ptr, N)
+        assert np.allclose(got, expected, atol=1e-5)
+
+    def test_resume_performance_mode(self, data, expected):
+        """The paper's use case: functional to the checkpoint, then
+        performance simulation from there."""
+        cp = self._checkpoint(data)
+        timing = TimingBackend(TINY)
+        rt = _make_rt(ResumeBackend(cp, timing))
+        ptr = _workload(rt, data)
+        got = rt.download_f32(ptr, N)
+        assert np.allclose(got, expected, atol=1e-5)
+        # The resumed kernel really went through the timing model.
+        assert len(timing.kernel_stats) >= 1
+        assert timing.kernel_stats[0].cycles > 0
+
+    def test_resume_mid_cta_boundary(self, data, expected):
+        cp = self._checkpoint(data, m=1, t=1, y=4)
+        from repro.cuda.runtime import FunctionalBackend
+        rt = _make_rt(ResumeBackend(cp, FunctionalBackend()))
+        ptr = _workload(rt, data)
+        assert np.allclose(rt.download_f32(ptr, N), expected, atol=1e-5)
+
+    def test_resume_kernel_mismatch_detected(self, data):
+        cp = self._checkpoint(data)
+        object.__setattr__(cp, "kernel_name", "something_else") if False \
+            else setattr(cp, "kernel_name", "something_else")
+        from repro.cuda.runtime import FunctionalBackend
+        rt = _make_rt(ResumeBackend(cp, FunctionalBackend()))
+        with pytest.raises(CheckpointError, match="mismatch"):
+            _workload(rt, data)
+
+
+class TestCtaSnapshots:
+    def test_capture_restore_roundtrip(self, data):
+        from repro.cuda.loader import ProgramLoader
+        from repro.cuda.fatbinary import EmbeddedPTX
+        from repro.functional.memory import GlobalMemory, LinearMemory
+        from repro.functional.state import CTAState, LaunchContext
+        from repro.functional.executor import FunctionalEngine
+        gm = GlobalMemory()
+        program = ProgramLoader(gm).load_images(
+            [EmbeddedPTX("chain.cu", _chain_kernels())])
+        kernel = program.find_kernel("k_double")
+        ptr = gm.allocate(4 * N)
+        gm.write(ptr, data.tobytes())
+        pm = LinearMemory(16)
+        pm.write_uint(kernel.params[0].offset, ptr, 8)
+        pm.write_uint(kernel.params[1].offset, N, 4)
+        launch = LaunchContext(kernel=kernel, grid_dim=(2, 1, 1),
+                               block_dim=(64, 1, 1), global_mem=gm,
+                               param_mem=pm)
+        engine = FunctionalEngine(launch)
+        cta = CTAState(launch, 0)
+        engine.run_cta(cta, max_warp_instructions=5)
+        snapshot = capture_cta(cta)
+        clone = restore_cta(launch, snapshot)
+        for original, restored in zip(cta.warps, clone.warps):
+            assert restored.simt.pc == original.simt.pc
+            assert restored.regs == original.regs
+            assert restored.instructions_executed == \
+                original.instructions_executed
+        # Continue both to completion; they must agree.
+        engine.run_cta(cta)
+        engine.run_cta(clone)
+        assert all(w.finished for w in clone.warps)

@@ -1,0 +1,138 @@
+"""cuBLAS-clone tests: SGEMM (plain/batched/alpha-beta), GEMV2T, CGEMM."""
+
+import numpy as np
+import pytest
+
+from repro.cublas import Cublas
+
+
+@pytest.fixture()
+def blas(runtime) -> Cublas:
+    return Cublas(runtime)
+
+
+class TestSgemm:
+    @pytest.mark.parametrize("m,n,k", [(4, 4, 4), (16, 16, 16),
+                                       (17, 9, 23), (1, 40, 3)])
+    def test_shapes(self, blas, runtime, rng, m, n, k):
+        a = rng.standard_normal((m, k)).astype(np.float32)
+        b = rng.standard_normal((k, n)).astype(np.float32)
+        c = runtime.malloc(4 * m * n)
+        runtime.memset(c, 0, 4 * m * n)
+        blas.sgemm(runtime.upload_f32(a.ravel()),
+                   runtime.upload_f32(b.ravel()), c, m, n, k)
+        got = runtime.download_f32(c, m * n).reshape(m, n)
+        assert np.abs(got - a.astype(np.float64)
+                      @ b.astype(np.float64)).max() < 1e-3
+
+    def test_alpha_beta(self, blas, runtime, rng):
+        m = n = k = 8
+        a = rng.standard_normal((m, k)).astype(np.float32)
+        b = rng.standard_normal((k, n)).astype(np.float32)
+        c0 = rng.standard_normal((m, n)).astype(np.float32)
+        c = runtime.upload_f32(c0.ravel())
+        blas.sgemm(runtime.upload_f32(a.ravel()),
+                   runtime.upload_f32(b.ravel()), c, m, n, k,
+                   alpha=0.5, beta=2.0)
+        got = runtime.download_f32(c, m * n).reshape(m, n)
+        assert np.abs(got - (0.5 * a @ b + 2.0 * c0)).max() < 1e-3
+
+    def test_batched_strided(self, dnn, runtime, rng):
+        batch, m, n, k = 3, 5, 6, 7
+        a = rng.standard_normal((batch, m, k)).astype(np.float32)
+        b = rng.standard_normal((batch, k, n)).astype(np.float32)
+        c = runtime.malloc(4 * batch * m * n)
+        runtime.memset(c, 0, 4 * batch * m * n)
+        dnn._sgemm(runtime.upload_f32(a.ravel()),
+                   runtime.upload_f32(b.ravel()), c, m, n, k,
+                   batch=batch, stride_a=m * k, stride_b=k * n,
+                   stride_c=m * n)
+        runtime.synchronize()
+        got = runtime.download_f32(c, batch * m * n).reshape(batch, m, n)
+        expected = np.einsum("bmk,bkn->bmn", a.astype(np.float64),
+                             b.astype(np.float64))
+        assert np.abs(got - expected).max() < 1e-3
+
+
+class TestGemv:
+    def test_gemv2T(self, blas, runtime, rng):
+        rows, cols = 12, 9
+        a = rng.standard_normal((rows, cols)).astype(np.float32)
+        x = rng.standard_normal(rows).astype(np.float32)
+        y = runtime.malloc(4 * cols)
+        runtime.memset(y, 0, 4 * cols)
+        blas.sgemv_t(runtime.upload_f32(a.ravel()),
+                     runtime.upload_f32(x), y, rows, cols)
+        got = runtime.download_f32(y, cols)
+        assert np.abs(got - a.T @ x).max() < 1e-4
+
+    def test_gemv2T_beta(self, blas, runtime, rng):
+        rows, cols = 6, 4
+        a = rng.standard_normal((rows, cols)).astype(np.float32)
+        x = rng.standard_normal(rows).astype(np.float32)
+        y0 = rng.standard_normal(cols).astype(np.float32)
+        y = runtime.upload_f32(y0)
+        blas.sgemv_t(runtime.upload_f32(a.ravel()),
+                     runtime.upload_f32(x), y, rows, cols,
+                     alpha=2.0, beta=-1.0)
+        got = runtime.download_f32(y, cols)
+        assert np.abs(got - (2.0 * a.T @ x - y0)).max() < 1e-4
+
+
+class TestLevel1:
+    def test_saxpy(self, blas, runtime, rng):
+        x = rng.standard_normal(30).astype(np.float32)
+        y0 = rng.standard_normal(30).astype(np.float32)
+        y = runtime.upload_f32(y0)
+        blas.saxpy(runtime.upload_f32(x), y, 0.1, 30)
+        runtime.synchronize()
+        assert np.allclose(runtime.download_f32(y, 30), y0 + 0.1 * x,
+                           atol=1e-5)
+
+    def test_sscal_inplace(self, blas, runtime, rng):
+        x0 = rng.standard_normal(20).astype(np.float32)
+        x = runtime.upload_f32(x0)
+        blas.sscal(x, -2.0, 20)
+        runtime.synchronize()
+        assert np.allclose(runtime.download_f32(x, 20), -2.0 * x0)
+
+
+class TestCgemm:
+    def test_complex_batched(self, runtime, rng):
+        """cgemm_strided_batched: per-bin complex GEMM (the CGEMM of
+        Figure 7)."""
+        batch, m, n, k = 4, 3, 5, 6
+        a = (rng.standard_normal((batch, m, k))
+             + 1j * rng.standard_normal((batch, m, k))).astype(np.complex64)
+        b = (rng.standard_normal((batch, k, n))
+             + 1j * rng.standard_normal((batch, k, n))).astype(np.complex64)
+        a_ptr = runtime.malloc(8 * batch * m * k)
+        b_ptr = runtime.malloc(8 * batch * k * n)
+        c_ptr = runtime.malloc(8 * batch * m * n)
+        runtime.memcpy_h2d(a_ptr, a.view(np.float32))
+        runtime.memcpy_h2d(b_ptr, b.view(np.float32))
+        runtime.memset(c_ptr, 0, 8 * batch * m * n)
+        runtime.launch("cgemm_strided_batched",
+                       ((n + 31) // 32, m, batch), (32, 1, 1),
+                       [a_ptr, b_ptr, c_ptr, m, n, k, 0])
+        raw = runtime.memcpy_d2h(c_ptr, 8 * batch * m * n)
+        got = np.frombuffer(raw, dtype=np.complex64).reshape(batch, m, n)
+        expected = np.einsum("bmk,bkn->bmn", a, b)
+        assert np.abs(got - expected).max() < 1e-3
+
+    def test_accumulate_flag(self, runtime, rng):
+        m = n = k = 2
+        a = np.ones((1, m, k), np.complex64)
+        b = np.ones((1, k, n), np.complex64)
+        a_ptr = runtime.malloc(8 * m * k)
+        b_ptr = runtime.malloc(8 * k * n)
+        c_ptr = runtime.malloc(8 * m * n)
+        runtime.memcpy_h2d(a_ptr, a.view(np.float32))
+        runtime.memcpy_h2d(b_ptr, b.view(np.float32))
+        runtime.memset(c_ptr, 0, 8 * m * n)
+        for _ in range(2):
+            runtime.launch("cgemm_strided_batched", (1, m, 1), (32, 1, 1),
+                           [a_ptr, b_ptr, c_ptr, m, n, k, 1])
+        raw = runtime.memcpy_d2h(c_ptr, 8 * m * n)
+        got = np.frombuffer(raw, dtype=np.complex64).reshape(m, n)
+        assert np.allclose(got, 2 * k * np.ones((m, n)))

@@ -1,0 +1,190 @@
+"""Convolution correctness: every cuDNN algorithm vs the NumPy reference.
+
+This is the functional heart of the reproduction — all 17 algorithm
+paths of the paper's Section V sweep, verified numerically.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cudnn import (
+    ConvBwdDataAlgo, ConvBwdFilterAlgo, ConvFwdAlgo,
+    ConvolutionDescriptor, FilterDescriptor, TensorDescriptor)
+from repro.errors import CudnnError
+
+from conftest import conv2d_ref, dgrad_ref, wgrad_ref
+
+GEOM = dict(N=2, C=3, H=8, W=8, K=4, R=3, S=3, pad=1)
+
+
+@pytest.fixture()
+def tensors(runtime, rng):
+    g = GEOM
+    x = rng.standard_normal((g["N"], g["C"], g["H"], g["W"])
+                            ).astype(np.float32)
+    w = rng.standard_normal((g["K"], g["C"], g["R"], g["S"])
+                            ).astype(np.float32) * 0.3
+    x_desc = TensorDescriptor(g["N"], g["C"], g["H"], g["W"])
+    w_desc = FilterDescriptor(g["K"], g["C"], g["R"], g["S"])
+    conv = ConvolutionDescriptor(pad_h=g["pad"], pad_w=g["pad"])
+    y_desc = conv.output_dims(x_desc, w_desc)
+    dy = rng.standard_normal(y_desc.dims).astype(np.float32)
+    return dict(x=x, w=w, dy=dy, x_desc=x_desc, w_desc=w_desc,
+                y_desc=y_desc, conv=conv,
+                x_ptr=runtime.upload_f32(x.ravel()),
+                w_ptr=runtime.upload_f32(w.ravel()),
+                dy_ptr=runtime.upload_f32(dy.ravel()))
+
+
+@pytest.mark.parametrize("algo", list(ConvFwdAlgo))
+def test_forward_algorithms(dnn, runtime, tensors, algo):
+    t = tensors
+    y_desc, y_ptr = dnn.convolution_forward(
+        t["x_desc"], t["x_ptr"], t["w_desc"], t["w_ptr"], t["conv"], algo)
+    got = runtime.download_f32(y_ptr, y_desc.size).reshape(y_desc.dims)
+    expected = conv2d_ref(t["x"].astype(np.float64),
+                          t["w"].astype(np.float64), GEOM["pad"], 1)
+    assert np.abs(got - expected).max() < 2e-2
+
+
+@pytest.mark.parametrize("algo", list(ConvBwdDataAlgo))
+def test_backward_data_algorithms(dnn, runtime, tensors, algo):
+    t = tensors
+    dx = dnn.convolution_backward_data(
+        t["w_desc"], t["w_ptr"], t["y_desc"], t["dy_ptr"], t["conv"],
+        algo, t["x_desc"])
+    got = runtime.download_f32(dx, t["x_desc"].size).reshape(
+        t["x_desc"].dims)
+    expected = dgrad_ref(t["dy"].astype(np.float64),
+                         t["w"].astype(np.float64), t["x"].shape,
+                         GEOM["pad"], 1)
+    assert np.abs(got - expected).max() < 2e-2
+
+
+@pytest.mark.parametrize("algo", list(ConvBwdFilterAlgo))
+def test_backward_filter_algorithms(dnn, runtime, tensors, algo):
+    t = tensors
+    dw = dnn.convolution_backward_filter(
+        t["x_desc"], t["x_ptr"], t["y_desc"], t["dy_ptr"], t["conv"],
+        algo, t["w_desc"])
+    got = runtime.download_f32(dw, t["w_desc"].size).reshape(
+        t["w"].shape)
+    expected = wgrad_ref(t["x"].astype(np.float64),
+                         t["dy"].astype(np.float64), t["w"].shape,
+                         GEOM["pad"], 1)
+    assert np.abs(got - expected).max() < 2e-2
+
+
+class TestGeometryVariants:
+    @pytest.mark.parametrize("algo", [ConvFwdAlgo.IMPLICIT_GEMM,
+                                      ConvFwdAlgo.GEMM])
+    def test_strided_convolution(self, dnn, runtime, rng, algo):
+        x = rng.standard_normal((1, 2, 9, 9)).astype(np.float32)
+        w = rng.standard_normal((3, 2, 3, 3)).astype(np.float32)
+        conv = ConvolutionDescriptor(pad_h=1, pad_w=1, stride_h=2,
+                                     stride_w=2)
+        x_desc = TensorDescriptor(1, 2, 9, 9)
+        w_desc = FilterDescriptor(3, 2, 3, 3)
+        y_desc, y = dnn.convolution_forward(
+            x_desc, runtime.upload_f32(x.ravel()), w_desc,
+            runtime.upload_f32(w.ravel()), conv, algo)
+        got = runtime.download_f32(y, y_desc.size).reshape(y_desc.dims)
+        expected = conv2d_ref(x.astype(np.float64),
+                              w.astype(np.float64), 1, 2)
+        assert np.abs(got - expected).max() < 1e-3
+
+    def test_5x5_filter_fft(self, dnn, runtime, rng):
+        """LeNet-style 5x5 conv through the 32-point FFT path."""
+        x = rng.standard_normal((1, 1, 12, 12)).astype(np.float32)
+        w = rng.standard_normal((2, 1, 5, 5)).astype(np.float32) * 0.2
+        conv = ConvolutionDescriptor()
+        x_desc = TensorDescriptor(1, 1, 12, 12)
+        w_desc = FilterDescriptor(2, 1, 5, 5)
+        y_desc, y = dnn.convolution_forward(
+            x_desc, runtime.upload_f32(x.ravel()), w_desc,
+            runtime.upload_f32(w.ravel()), conv, ConvFwdAlgo.FFT)
+        got = runtime.download_f32(y, y_desc.size).reshape(y_desc.dims)
+        expected = conv2d_ref(x.astype(np.float64),
+                              w.astype(np.float64), 0, 1)
+        assert np.abs(got - expected).max() < 1e-3
+
+    def test_no_padding_winograd(self, dnn, runtime, rng):
+        x = rng.standard_normal((1, 2, 7, 7)).astype(np.float32)
+        w = rng.standard_normal((2, 2, 3, 3)).astype(np.float32)
+        conv = ConvolutionDescriptor()
+        x_desc = TensorDescriptor(1, 2, 7, 7)
+        w_desc = FilterDescriptor(2, 2, 3, 3)
+        y_desc, y = dnn.convolution_forward(
+            x_desc, runtime.upload_f32(x.ravel()), w_desc,
+            runtime.upload_f32(w.ravel()), conv,
+            ConvFwdAlgo.WINOGRAD_NONFUSED)
+        got = runtime.download_f32(y, y_desc.size).reshape(y_desc.dims)
+        expected = conv2d_ref(x.astype(np.float64),
+                              w.astype(np.float64), 0, 1)
+        assert np.abs(got - expected).max() < 1e-3
+
+
+class TestNotSupported:
+    """cuDNN-style CUDNN_STATUS_NOT_SUPPORTED conditions."""
+
+    def test_winograd_requires_3x3(self, dnn, runtime):
+        x_desc = TensorDescriptor(1, 1, 8, 8)
+        w_desc = FilterDescriptor(1, 1, 5, 5)
+        with pytest.raises(CudnnError, match="NOT_SUPPORTED"):
+            dnn.convolution_forward(x_desc, runtime.malloc(4 * 64),
+                                    w_desc, runtime.malloc(4 * 25),
+                                    ConvolutionDescriptor(),
+                                    ConvFwdAlgo.WINOGRAD)
+
+    def test_winograd_requires_unit_stride(self, dnn, runtime):
+        x_desc = TensorDescriptor(1, 1, 8, 8)
+        w_desc = FilterDescriptor(1, 1, 3, 3)
+        conv = ConvolutionDescriptor(stride_h=2, stride_w=2)
+        with pytest.raises(CudnnError, match="NOT_SUPPORTED"):
+            dnn.convolution_forward(x_desc, runtime.malloc(4 * 64),
+                                    w_desc, runtime.malloc(4 * 9),
+                                    conv, ConvFwdAlgo.WINOGRAD_NONFUSED)
+
+    def test_fft_requires_unit_stride(self, dnn, runtime):
+        x_desc = TensorDescriptor(1, 1, 8, 8)
+        w_desc = FilterDescriptor(1, 1, 3, 3)
+        conv = ConvolutionDescriptor(stride_h=2, stride_w=2)
+        with pytest.raises(CudnnError, match="NOT_SUPPORTED"):
+            dnn.convolution_forward(x_desc, runtime.malloc(4 * 64),
+                                    w_desc, runtime.malloc(4 * 9),
+                                    conv, ConvFwdAlgo.FFT)
+
+    def test_fft_filter_too_large_for_tile(self, dnn, runtime):
+        x_desc = TensorDescriptor(1, 1, 40, 40)
+        w_desc = FilterDescriptor(1, 1, 17, 17)
+        with pytest.raises(CudnnError, match="NOT_SUPPORTED"):
+            dnn.convolution_forward(
+                x_desc, runtime.malloc(4 * 1600), w_desc,
+                runtime.malloc(4 * 17 * 17), ConvolutionDescriptor(),
+                ConvFwdAlgo.FFT_TILING)
+
+    def test_channel_mismatch(self):
+        x_desc = TensorDescriptor(1, 3, 8, 8)
+        w_desc = FilterDescriptor(2, 4, 3, 3)
+        with pytest.raises(CudnnError, match="channel mismatch"):
+            ConvolutionDescriptor().output_dims(x_desc, w_desc)
+
+    def test_empty_output_rejected(self):
+        x_desc = TensorDescriptor(1, 1, 2, 2)
+        w_desc = FilterDescriptor(1, 1, 3, 3)
+        with pytest.raises(CudnnError, match="empty"):
+            ConvolutionDescriptor().output_dims(x_desc, w_desc)
+
+
+def test_api_log_records_multi_kernel_calls(dnn, runtime, tensors):
+    """Every cuDNN API call fans out into (possibly many) kernels —
+    the structure the paper's Figure 2 debugging relies on."""
+    t = tensors
+    dnn.convolution_forward(t["x_desc"], t["x_ptr"], t["w_desc"],
+                            t["w_ptr"], t["conv"],
+                            ConvFwdAlgo.WINOGRAD_NONFUSED)
+    call = dnn.api_log[-1]
+    assert call.name == "cudnnConvolutionForward[winograd_nonfused]"
+    assert len(call.kernels) == 4  # 2 transforms + batched GEMM + output
+    assert "winograd_input_transform" in call.kernels
+    assert "sgemm_tiled_16x16" in call.kernels

@@ -1,0 +1,210 @@
+"""Pooling, LRN, activations, softmax, bias — forward and backward."""
+
+import numpy as np
+import pytest
+
+from repro.cudnn import (
+    ActivationDescriptor, LRNDescriptor, PoolingDescriptor,
+    TensorDescriptor)
+from repro.errors import CudnnError
+from repro.nn.reference import lrn_ref, maxpool_ref, softmax_ref
+
+
+class TestPooling:
+    def test_maxpool_forward(self, dnn, runtime, rng):
+        x = rng.standard_normal((2, 3, 6, 6)).astype(np.float32)
+        desc = TensorDescriptor(2, 3, 6, 6)
+        pool = PoolingDescriptor(mode="max", window=2, stride=2)
+        y = runtime.malloc(4 * 2 * 3 * 9)
+        y_desc, _argmax = dnn.pooling_forward(pool, desc,
+                                              runtime.upload_f32(x.ravel()),
+                                              y)
+        got = runtime.download_f32(y, y_desc.size).reshape(y_desc.dims)
+        assert np.allclose(got, maxpool_ref(x, 2, 2))
+
+    def test_maxpool_backward_routes_to_argmax(self, dnn, runtime, rng):
+        x = rng.standard_normal((1, 1, 4, 4)).astype(np.float32)
+        desc = TensorDescriptor(1, 1, 4, 4)
+        pool = PoolingDescriptor(mode="max", window=2, stride=2)
+        x_ptr = runtime.upload_f32(x.ravel())
+        y = runtime.malloc(16)
+        y_desc, argmax = dnn.pooling_forward(pool, desc, x_ptr, y)
+        dy = np.float32([1.0, 2.0, 3.0, 4.0])
+        dx = runtime.malloc(64)
+        dnn.pooling_backward(pool, desc, y_desc,
+                             runtime.upload_f32(dy), argmax, dx)
+        got = runtime.download_f32(dx, 16).reshape(4, 4)
+        # Each window's max position receives its dy; everything else 0.
+        expected = np.zeros((4, 4), np.float32)
+        for wi, (pi, qi) in enumerate([(0, 0), (0, 1), (1, 0), (1, 1)]):
+            window = x[0, 0, 2 * pi:2 * pi + 2, 2 * qi:2 * qi + 2]
+            index = np.unravel_index(np.argmax(window), (2, 2))
+            expected[2 * pi + index[0], 2 * qi + index[1]] = dy[wi]
+        assert np.allclose(got, expected)
+        assert got.sum() == pytest.approx(dy.sum())
+
+    def test_avgpool_forward(self, dnn, runtime, rng):
+        x = rng.standard_normal((1, 2, 4, 4)).astype(np.float32)
+        desc = TensorDescriptor(1, 2, 4, 4)
+        pool = PoolingDescriptor(mode="avg", window=2, stride=2)
+        y = runtime.malloc(4 * 2 * 4)
+        y_desc, _ = dnn.pooling_forward(pool, desc,
+                                        runtime.upload_f32(x.ravel()), y)
+        got = runtime.download_f32(y, y_desc.size).reshape(y_desc.dims)
+        expected = x.reshape(1, 2, 2, 2, 2, 2).mean(axis=(3, 5))
+        assert np.allclose(got, expected, atol=1e-6)
+
+    def test_avg_backward_not_supported(self, dnn, runtime):
+        pool = PoolingDescriptor(mode="avg")
+        desc = TensorDescriptor(1, 1, 4, 4)
+        with pytest.raises(CudnnError):
+            dnn.pooling_backward(pool, desc, desc, 0, 0, 0)
+
+
+class TestLRN:
+    def test_forward_matches_reference(self, dnn, runtime, rng):
+        x = rng.standard_normal((2, 6, 3, 3)).astype(np.float32)
+        desc = TensorDescriptor(2, 6, 3, 3)
+        lrn = LRNDescriptor(nsize=5, alpha=1e-3, beta=0.75, k=2.0)
+        y = runtime.malloc(x.nbytes)
+        dnn.lrn_forward(lrn, desc, runtime.upload_f32(x.ravel()), y)
+        got = runtime.download_f32(y, desc.size).reshape(x.shape)
+        expected = lrn_ref(x.astype(np.float64), 5, 1e-3, 0.75, 2.0)
+        assert np.abs(got - expected).max() < 1e-4
+
+    def test_backward_numeric_gradient(self, dnn, runtime, rng):
+        """Check LRN backward against a central-difference gradient."""
+        x = rng.standard_normal((1, 4, 2, 2)).astype(np.float32)
+        desc = TensorDescriptor(1, 4, 2, 2)
+        lrn = LRNDescriptor(nsize=3, alpha=1e-2, beta=0.5, k=1.0)
+        dy = rng.standard_normal(x.shape).astype(np.float32)
+
+        x_ptr = runtime.upload_f32(x.ravel())
+        y = runtime.malloc(x.nbytes)
+        scale = dnn.lrn_forward(lrn, desc, x_ptr, y)
+        dx = runtime.malloc(x.nbytes)
+        dnn.lrn_backward(lrn, desc, x_ptr, y,
+                         runtime.upload_f32(dy.ravel()), scale, dx)
+        got = runtime.download_f32(dx, desc.size).reshape(x.shape)
+
+        def loss(xv):
+            return float((lrn_ref(xv, 3, 1e-2, 0.5, 1.0)
+                          * dy.astype(np.float64)).sum())
+        eps = 1e-3
+        numeric = np.zeros_like(x, dtype=np.float64)
+        flat = x.astype(np.float64)
+        for index in np.ndindex(*x.shape):
+            plus = flat.copy()
+            plus[index] += eps
+            minus = flat.copy()
+            minus[index] -= eps
+            numeric[index] = (loss(plus) - loss(minus)) / (2 * eps)
+        assert np.abs(got - numeric).max() < 5e-3
+
+
+class TestActivations:
+    @pytest.mark.parametrize("mode,fn", [
+        ("relu", lambda v: np.maximum(v, 0)),
+        ("tanh", np.tanh),
+        ("sigmoid", lambda v: 1 / (1 + np.exp(-v))),
+    ])
+    def test_forward(self, dnn, runtime, rng, mode, fn):
+        x = rng.standard_normal(40).astype(np.float32)
+        y = runtime.malloc(160)
+        dnn.activation_forward(ActivationDescriptor(mode),
+                               runtime.upload_f32(x), y, 40)
+        got = runtime.download_f32(y, 40)
+        assert np.allclose(got, fn(x.astype(np.float64)), atol=1e-4)
+
+    def test_relu_backward(self, dnn, runtime, rng):
+        x = rng.standard_normal(32).astype(np.float32)
+        dy = rng.standard_normal(32).astype(np.float32)
+        dx = runtime.malloc(128)
+        dnn.activation_backward(ActivationDescriptor("relu"),
+                                runtime.upload_f32(x), 0,
+                                runtime.upload_f32(dy), dx, 32)
+        got = runtime.download_f32(dx, 32)
+        assert np.allclose(got, np.where(x > 0, dy, 0))
+
+    def test_tanh_backward(self, dnn, runtime, rng):
+        x = rng.standard_normal(16).astype(np.float32)
+        y = np.tanh(x).astype(np.float32)
+        dy = rng.standard_normal(16).astype(np.float32)
+        dx = runtime.malloc(64)
+        dnn.activation_backward(ActivationDescriptor("tanh"),
+                                runtime.upload_f32(x),
+                                runtime.upload_f32(y),
+                                runtime.upload_f32(dy), dx, 16)
+        got = runtime.download_f32(dx, 16)
+        assert np.allclose(got, dy * (1 - y ** 2), atol=1e-5)
+
+
+class TestSoftmax:
+    def test_forward_rows_sum_to_one(self, dnn, runtime, rng):
+        logits = rng.standard_normal((4, 10)).astype(np.float32) * 3
+        y = runtime.malloc(160)
+        dnn.softmax_forward(runtime.upload_f32(logits.ravel()), y, 4, 10)
+        got = runtime.download_f32(y, 40).reshape(4, 10)
+        assert np.allclose(got.sum(axis=1), 1.0, atol=1e-5)
+        assert np.allclose(got, softmax_ref(logits.astype(np.float64)),
+                           atol=1e-4)
+
+    def test_nll_loss(self, dnn, runtime, rng):
+        probs = softmax_ref(rng.standard_normal((3, 5))).astype(np.float32)
+        labels = np.uint32([0, 3, 4])
+        p = runtime.upload_f32(probs.ravel())
+        lbl = runtime.malloc(12)
+        runtime.memcpy_h2d(lbl, labels)
+        loss = runtime.malloc(12)
+        dnn.nll_loss(p, lbl, loss, 3, 5)
+        got = runtime.download_f32(loss, 3)
+        expected = -np.log(probs[np.arange(3), labels])
+        assert np.allclose(got, expected, atol=1e-4)
+
+    def test_fused_backward(self, dnn, runtime, rng):
+        probs = softmax_ref(rng.standard_normal((2, 4))).astype(np.float32)
+        labels = np.uint32([1, 2])
+        p = runtime.upload_f32(probs.ravel())
+        lbl = runtime.malloc(8)
+        runtime.memcpy_h2d(lbl, labels)
+        dx = runtime.malloc(32)
+        dnn.softmax_nll_backward(p, lbl, dx, 2, 4, 0.5)
+        got = runtime.download_f32(dx, 8).reshape(2, 4)
+        onehot = np.zeros((2, 4))
+        onehot[np.arange(2), labels] = 1
+        assert np.allclose(got, 0.5 * (probs - onehot), atol=1e-6)
+
+
+class TestBiasAndTensorOps:
+    def test_add_bias_nchw(self, dnn, runtime, rng):
+        y = rng.standard_normal((2, 3, 2, 2)).astype(np.float32)
+        bias = np.float32([10, 20, 30])
+        y_ptr = runtime.upload_f32(y.ravel())
+        dnn.add_bias(TensorDescriptor(2, 3, 2, 2), y_ptr,
+                     runtime.upload_f32(bias))
+        got = runtime.download_f32(y_ptr, y.size).reshape(y.shape)
+        assert np.allclose(got, y + bias[None, :, None, None])
+
+    def test_bias_grad(self, dnn, runtime, rng):
+        dy = rng.standard_normal((2, 3, 2, 2)).astype(np.float32)
+        dbias = runtime.malloc(12)
+        dnn.bias_grad(TensorDescriptor(2, 3, 2, 2),
+                      runtime.upload_f32(dy.ravel()), dbias)
+        got = runtime.download_f32(dbias, 3)
+        assert np.allclose(got, dy.sum(axis=(0, 2, 3)), atol=1e-4)
+
+    def test_add_tensors(self, dnn, runtime, rng):
+        a = rng.standard_normal(20).astype(np.float32)
+        b = rng.standard_normal(20).astype(np.float32)
+        out = runtime.malloc(80)
+        dnn.add_tensor(runtime.upload_f32(a), runtime.upload_f32(b),
+                       out, 20, alpha=2.0, beta=-1.0)
+        assert np.allclose(runtime.download_f32(out, 20), 2 * a - b,
+                           atol=1e-5)
+
+    def test_scale_through_duplicated_symbol(self, dnn, runtime, rng):
+        x = rng.standard_normal(16).astype(np.float32)
+        y = runtime.malloc(64)
+        dnn.scale(runtime.upload_f32(x), y, 0.25, 16)
+        runtime.synchronize()
+        assert np.allclose(runtime.download_f32(y, 16), 0.25 * x)

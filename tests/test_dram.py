@@ -1,0 +1,170 @@
+"""DRAM / interconnect tests: FR-FCFS, interleaving, bank camping."""
+
+import numpy as np
+import pytest
+
+from repro.cuda import CudaRuntime
+from repro.ptx.builder import PTXBuilder
+from repro.timing import TINY, TimingBackend
+from repro.timing.config import GPUConfig
+
+
+def _strided_reader(stride_elems: int, name: str) -> str:
+    """Each thread reads ``reads`` elements stride apart; the stride
+    controls which partitions the traffic lands on."""
+    b = PTXBuilder(name, [("data", "u64"), ("out", "u64"), ("n", "u32"),
+                          ("reads", "u32")])
+    data = b.ld_param("u64", "data")
+    out = b.ld_param("u64", "out")
+    n = b.ld_param("u32", "n")
+    reads = b.ld_param("u32", "reads")
+    tid = b.global_tid_x()
+    b.guard_tid_below(tid, n)
+    acc = b.imm_f32(0.0)
+    i = b.reg("u32")
+    with b.for_range(i, 0, reads):
+        idx = b.reg("u32")
+        b.ins("mad.lo.s32", idx, i, str(stride_elems), tid)
+        # Same-partition camping: multiply index so each access lands a
+        # full partition-interleave apart times num_partitions.
+        value = b.load_global_f32(b.elem_addr(data, idx))
+        b.ins("add.f32", acc, acc, value)
+    b.store_global_f32(b.elem_addr(out, tid), acc)
+    return b.build()
+
+
+def _run_and_sample(config: GPUConfig, kernel_name: str, ptx: str,
+                    reads: int = 16):
+    rt = CudaRuntime(backend=TimingBackend(config))
+    rt.load_ptx(ptx, f"{kernel_name}.cu")
+    n = 32
+    data = rt.malloc(4 * (reads * 256 * config.num_partitions + n + 64))
+    out = rt.malloc(4 * n)
+    rt.launch(kernel_name, 1, 32, [data, out, n, reads])
+    rt.synchronize()
+    return rt.profiles[-1]
+
+
+class TestPartitionInterleaving:
+    def test_unit_stride_spreads_over_partitions(self):
+        profile = _run_and_sample(
+            TINY, "spread", _strided_reader(64, "spread"))
+        samples = profile.result.samples
+        util = samples.dram_utilization_matrix()
+        per_partition = util.sum(axis=1)
+        # Both TINY partitions see traffic.
+        assert (per_partition > 0).all()
+
+    def test_partition_camping_concentrates_traffic(self):
+        """Strides that alias to one partition produce bank camping —
+        the phenomenon the paper observes for FFT convolution."""
+        # TINY: 2 partitions, 256B interleave => stride of 512B (128
+        # floats) always hits the same partition.
+        profile = _run_and_sample(
+            TINY, "camp", _strided_reader(128, "camp"))
+        samples = profile.result.samples
+        util = samples.dram_utilization_matrix()
+        per_partition = util.sum(axis=1)
+        top = per_partition.max()
+        others = per_partition.sum() - top
+        assert top > 3 * max(others, 1e-9)
+
+    def test_camping_index_metric(self):
+        from repro.aerialvision.report import kernel_figures
+        camped = _run_and_sample(TINY, "camp", _strided_reader(128, "camp"))
+        spread = _run_and_sample(TINY, "spread",
+                                 _strided_reader(64, "spread"))
+        camp_report = kernel_figures("camp", camped.result.samples)
+        spread_report = kernel_figures("spread", spread.result.samples)
+        assert (camp_report.bank_camping_index()
+                > spread_report.bank_camping_index())
+
+
+class TestDramScheduling:
+    def test_row_hits_counted(self):
+        profile = _run_and_sample(
+            TINY, "spread", _strided_reader(64, "spread"))
+        stats = profile.result.stats
+        assert stats["dram_reads"] > 0
+        assert 0 <= stats["dram_row_hits"] <= (stats["dram_reads"]
+                                               + stats["dram_writes"])
+
+    def test_sequential_traffic_has_high_row_hit_rate(self):
+        """Unit-stride warp accesses coalesce into sequential lines that
+        mostly reuse open rows (FR-FCFS with open-row policy)."""
+        profile = _run_and_sample(
+            TINY, "seq", _strided_reader(32, "seq"), reads=32)
+        stats = profile.result.stats
+        total = stats["dram_reads"] + stats["dram_writes"]
+        hit_rate = stats["dram_row_hits"] / total
+        assert hit_rate > 0.5
+
+    def test_l2_filter(self):
+        """Repeated reads of the same lines are absorbed by L1/L2."""
+        b = PTXBuilder("rereader", [("data", "u64"), ("out", "u64"),
+                                    ("n", "u32"), ("reads", "u32")])
+        data = b.ld_param("u64", "data")
+        out = b.ld_param("u64", "out")
+        n = b.ld_param("u32", "n")
+        reads = b.ld_param("u32", "reads")
+        tid = b.global_tid_x()
+        b.guard_tid_below(tid, n)
+        acc = b.imm_f32(0.0)
+        i = b.reg("u32")
+        with b.for_range(i, 0, reads):
+            value = b.load_global_f32(b.elem_addr(data, tid))
+            b.ins("add.f32", acc, acc, value)
+        b.store_global_f32(b.elem_addr(out, tid), acc)
+        rt = CudaRuntime(backend=TimingBackend(TINY))
+        rt.load_ptx(b.build(), "rr.cu")
+        data_ptr = rt.malloc(4 * 64)
+        out_ptr = rt.malloc(4 * 64)
+        rt.launch("rereader", 1, 32, [data_ptr, out_ptr, 32, 16])
+        rt.synchronize()
+        stats = rt.profiles[-1].result.stats
+        assert stats["l1_hits"] > stats["l1_misses"]
+        assert stats["dram_reads"] <= stats["l1_misses"]
+
+
+class TestCoalescing:
+    def test_warp_access_coalesces_to_lines(self):
+        """32 adjacent 4-byte loads = 1 x 128B line transaction."""
+        b = PTXBuilder("coalesced", [("data", "u64"), ("out", "u64"),
+                                     ("n", "u32")])
+        data = b.ld_param("u64", "data")
+        out = b.ld_param("u64", "out")
+        n = b.ld_param("u32", "n")
+        tid = b.global_tid_x()
+        b.guard_tid_below(tid, n)
+        value = b.load_global_f32(b.elem_addr(data, tid))
+        b.store_global_f32(b.elem_addr(out, tid), value)
+        rt = CudaRuntime(backend=TimingBackend(TINY))
+        rt.load_ptx(b.build(), "co.cu")
+        data_ptr = rt.malloc(128)
+        out_ptr = rt.malloc(128)
+        rt.launch("coalesced", 1, 32, [data_ptr, out_ptr, 32])
+        rt.synchronize()
+        stats = rt.profiles[-1].result.stats
+        assert stats["gmem_read_transactions"] == 1
+        assert stats["gmem_write_transactions"] == 1
+
+    def test_scattered_access_needs_many_transactions(self):
+        b = PTXBuilder("scattered", [("data", "u64"), ("out", "u64"),
+                                     ("n", "u32")])
+        data = b.ld_param("u64", "data")
+        out = b.ld_param("u64", "out")
+        n = b.ld_param("u32", "n")
+        tid = b.global_tid_x()
+        b.guard_tid_below(tid, n)
+        idx = b.reg("u32")
+        b.ins("mul.lo.s32", idx, tid, "64")  # 256B apart: one line each
+        value = b.load_global_f32(b.elem_addr(data, idx))
+        b.store_global_f32(b.elem_addr(out, tid), value)
+        rt = CudaRuntime(backend=TimingBackend(TINY))
+        rt.load_ptx(b.build(), "sc.cu")
+        data_ptr = rt.malloc(4 * 64 * 32)
+        out_ptr = rt.malloc(128)
+        rt.launch("scattered", 1, 32, [data_ptr, out_ptr, 32])
+        rt.synchronize()
+        stats = rt.profiles[-1].result.stats
+        assert stats["gmem_read_transactions"] == 32

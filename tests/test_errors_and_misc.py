@@ -1,0 +1,113 @@
+"""Error-hierarchy, stream-op and miscellaneous coverage tests."""
+
+import pytest
+
+from repro import errors
+from repro.cuda.streams import CudaEvent, CudaStream, StreamOp
+from repro.cudnn.descriptors import (
+    ActivationDescriptor, ConvolutionDescriptor, FilterDescriptor,
+    LRNDescriptor, PoolingDescriptor, TensorDescriptor)
+from repro.errors import CudnnError
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in ("PTXSyntaxError", "PTXNameError",
+                     "UnsupportedInstructionError", "SimulationFault",
+                     "CudaError", "CudnnError", "TimingDeadlockError",
+                     "CheckpointError"):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_syntax_error_carries_line(self):
+        error = errors.PTXSyntaxError("bad token", line=42)
+        assert "line 42" in str(error)
+        assert error.line == 42
+
+    def test_syntax_error_without_line(self):
+        assert str(errors.PTXSyntaxError("oops")) == "oops"
+
+
+class TestStreamPrimitives:
+    def test_event_wait_gates_on_completion(self):
+        stream = CudaStream()
+        event = CudaEvent()
+        stream.enqueue(StreamOp(kind="wait", event=event))
+        assert not stream.head_ready()
+        event.completed = True
+        assert stream.head_ready()
+
+    def test_record_sets_timestamp(self):
+        stream = CudaStream()
+        event = CudaEvent()
+        stream.enqueue(StreamOp(kind="record", event=event))
+        stream.pop_and_run(now=123.0)
+        assert event.completed and event.timestamp == 123.0
+
+    def test_unique_stream_ids(self):
+        assert CudaStream().stream_id != CudaStream().stream_id
+
+
+class TestDescriptorValidation:
+    def test_tensor_rejects_zero_dims(self):
+        with pytest.raises(CudnnError):
+            TensorDescriptor(0, 1, 1, 1)
+
+    def test_filter_rejects_zero_dims(self):
+        with pytest.raises(CudnnError):
+            FilterDescriptor(1, 0, 3, 3)
+
+    def test_conv_rejects_negative_pad(self):
+        with pytest.raises(CudnnError):
+            ConvolutionDescriptor(pad_h=-1)
+
+    def test_conv_rejects_zero_stride(self):
+        with pytest.raises(CudnnError):
+            ConvolutionDescriptor(stride_h=0)
+
+    def test_pooling_mode_validated(self):
+        with pytest.raises(CudnnError):
+            PoolingDescriptor(mode="median")
+
+    def test_pooling_empty_output(self):
+        with pytest.raises(CudnnError, match="empty"):
+            PoolingDescriptor(window=4).output_dims(
+                TensorDescriptor(1, 1, 2, 2))
+
+    def test_lrn_validation(self):
+        with pytest.raises(CudnnError):
+            LRNDescriptor(nsize=0)
+        with pytest.raises(CudnnError):
+            LRNDescriptor(k=0.0)
+
+    def test_activation_validation(self):
+        with pytest.raises(CudnnError):
+            ActivationDescriptor(mode="swish")
+
+    def test_tensor_properties(self):
+        desc = TensorDescriptor(2, 3, 4, 5)
+        assert desc.size == 120
+        assert desc.nbytes == 480
+        assert desc.dims == (2, 3, 4, 5)
+
+    def test_output_dims(self):
+        x = TensorDescriptor(1, 3, 8, 8)
+        w = FilterDescriptor(16, 3, 3, 3)
+        y = ConvolutionDescriptor(pad_h=1, pad_w=1).output_dims(x, w)
+        assert y.dims == (1, 16, 8, 8)
+        y2 = ConvolutionDescriptor(stride_h=2, stride_w=2).output_dims(
+            x, w)
+        assert y2.dims == (1, 16, 3, 3)
+
+
+class TestKernelStatsProperties:
+    def test_ipc_and_row_hit_rate(self):
+        from repro.timing.stats import KernelStats
+        stats = KernelStats(cycles=100, instructions=250)
+        stats.dram_reads = 8
+        stats.dram_writes = 2
+        stats.dram_row_hits = 5
+        assert stats.ipc == 2.5
+        assert stats.dram_row_hit_rate == 0.5
+        assert KernelStats().ipc == 0.0
+        assert KernelStats().dram_row_hit_rate == 0.0

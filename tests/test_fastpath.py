@@ -1,0 +1,123 @@
+"""Differential testing: the fast path must match the reference
+interpreter bit-for-bit.
+
+Random mini-kernels are executed twice — once with instruction
+specialisation and once forced through the generic dispatch — and the
+final memory images are compared.  This is the repository's analogue of
+the paper's differential methodology, applied to our own optimisation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cuda import CudaRuntime
+from repro.functional import fastpath
+from repro.ptx.builder import PTXBuilder, f32
+from repro.ptx.parser import parse_module
+
+_OPS_BIN_INT = ["add.s32", "sub.u32", "and.b32", "or.b32", "xor.b32",
+                "mul.lo.s32", "div.u32", "rem.u32", "div.s32", "rem.s32",
+                "min.s32", "max.u32", "shl.b32", "shr.u32", "shr.s32"]
+_OPS_BIN_F32 = ["add.f32", "sub.f32", "mul.f32", "div.rn.f32",
+                "min.f32", "max.f32"]
+_OPS_SFU = ["sqrt.rn.f32", "rsqrt.approx.f32", "rcp.rn.f32",
+            "ex2.approx.f32", "lg2.approx.f32", "sin.approx.f32",
+            "cos.approx.f32"]
+
+
+def _mixed_kernel(seed: int) -> str:
+    """A random straight-line kernel mixing int/float/SFU/select ops."""
+    rng = np.random.default_rng(seed)
+    b = PTXBuilder("mix", [("xs", "u64"), ("out", "u64"), ("n", "u32")])
+    xs = b.ld_param("u64", "xs")
+    out = b.ld_param("u64", "out")
+    n = b.ld_param("u32", "n")
+    tid = b.global_tid_x()
+    b.guard_tid_below(tid, n)
+    iv = [b.reg("u32") for _ in range(3)]
+    fv = [b.reg("f32") for _ in range(3)]
+    addr = b.elem_addr(xs, tid)
+    b.ins("ld.global.u32", iv[0], f"[{addr}]")
+    b.ins("add.u32", iv[1], iv[0], "12345")
+    b.ins("or.b32", iv[2], iv[0], "7")  # never zero: safe divisor
+    b.ins("cvt.rn.f32.u32", fv[0], iv[0])
+    b.ins("mul.f32", fv[1], fv[0], f32(0.001))
+    b.ins("mov.f32", fv[2], f32(1.0))
+    for _ in range(12):
+        kind = rng.integers(0, 4)
+        if kind == 0:
+            op = _OPS_BIN_INT[rng.integers(0, len(_OPS_BIN_INT))]
+            d, a, c = rng.integers(0, 3, size=3)
+            src2 = iv[c]
+            if "shl" in op or "shr" in op:
+                src2 = str(int(rng.integers(0, 36)))
+            b.ins(op, iv[d], iv[a], src2)
+        elif kind == 1:
+            op = _OPS_BIN_F32[rng.integers(0, len(_OPS_BIN_F32))]
+            d, a, c = rng.integers(0, 3, size=3)
+            b.ins(op, fv[d], fv[a], fv[c])
+        elif kind == 2:
+            op = _OPS_SFU[rng.integers(0, len(_OPS_SFU))]
+            d, a = rng.integers(0, 3, size=2)
+            b.ins(op, fv[d], fv[a])
+        else:
+            d, a, c = rng.integers(0, 3, size=3)
+            pred = b.reg("pred")
+            b.ins("setp.lt.s32", pred, iv[a], iv[c])
+            b.ins("selp.b32", iv[d], iv[a], iv[c], pred)
+    result = b.reg("u32")
+    fbits = b.reg("u32")
+    b.ins("mov.b32", fbits, fv[0])
+    b.ins("xor.b32", result, iv[0], fbits)
+    b.ins("xor.b32", result, result, iv[1])
+    b.ins("xor.b32", result, result, iv[2])
+    b.ins("st.global.u32", f"[{b.elem_addr(out, tid)}]", result)
+    return b.build()
+
+
+def _run(ptx: str, inputs: np.ndarray, *, disable_fast: bool) -> np.ndarray:
+    rt = CudaRuntime()
+    rt.load_ptx(ptx, f"mix_{disable_fast}")
+    kernel = rt.program.find_kernel("mix")
+    if disable_fast:
+        kernel._fastpath = [None] * len(kernel.body)
+    else:
+        kernel._fastpath = fastpath.compile_kernel(kernel)
+    n = len(inputs)
+    xs = rt.malloc(4 * n)
+    rt.memcpy_h2d(xs, inputs.astype(np.uint32))
+    out = rt.malloc(4 * n)
+    rt.launch("mix", ((n + 63) // 64, 1, 1), (64, 1, 1), [xs, out, n])
+    return np.frombuffer(rt.memcpy_d2h(out, 4 * n), dtype=np.uint32)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_fastpath_matches_reference(seed):
+    ptx = _mixed_kernel(seed)
+    rng = np.random.default_rng(seed + 1000)
+    inputs = rng.integers(0, 2 ** 32, size=96, dtype=np.uint64
+                          ).astype(np.uint32)
+    fast = _run(ptx, inputs, disable_fast=False)
+    slow = _run(ptx, inputs, disable_fast=True)
+    assert (fast == slow).all()
+
+
+@given(seed=st.integers(min_value=100, max_value=10_000))
+@settings(max_examples=6, deadline=None)
+def test_fastpath_matches_reference_property(seed):
+    ptx = _mixed_kernel(seed)
+    rng = np.random.default_rng(seed)
+    inputs = rng.integers(0, 2 ** 32, size=64, dtype=np.uint64
+                          ).astype(np.uint32)
+    assert (_run(ptx, inputs, disable_fast=False)
+            == _run(ptx, inputs, disable_fast=True)).all()
+
+
+def test_compile_kernel_covers_common_ops():
+    ptx = _mixed_kernel(0)
+    module = parse_module(ptx, "cov")
+    kernel = module.kernel("mix")
+    compiled = fastpath.compile_kernel(kernel)
+    coverage = sum(1 for fn in compiled if fn is not None) / len(compiled)
+    assert coverage > 0.75, f"fast-path coverage too low: {coverage:.0%}"

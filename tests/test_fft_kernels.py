@@ -1,0 +1,161 @@
+"""Direct tests of the fft2d kernels against numpy.fft.
+
+These exercise the kernels the paper debugged (`fft2d_r2c_32x32`,
+`fft2d_r2c_16x16`, `fft2d_c2r_32x32`) in isolation: forward spectra vs
+``np.fft.fft2``, inverse round trips, flips, plane-order decoding, and
+the frequency-major transpose.
+"""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture()
+def rt(runtime):
+    return runtime
+
+
+def _r2c(rt, src_plane: np.ndarray, fn: int, *, count0=1, count1=1,
+         origin=(0, 0), flip=0, swap=0, tiles=1) -> np.ndarray:
+    """Run fft2d_r2c on one or more planes; returns [tiles, fn, fn]."""
+    h, w = src_plane.shape[-2:]
+    src = rt.upload_f32(src_plane.ravel())
+    dst = rt.malloc(8 * tiles * fn * fn)
+    rt.launch(f"fft2d_r2c_{fn}x{fn}", (tiles, 1, 1), (fn, 1, 1),
+              [src, dst, count0, count1, h, w, origin[0], origin[1],
+               flip, swap])
+    raw = rt.memcpy_d2h(dst, 8 * tiles * fn * fn)
+    return np.frombuffer(raw, dtype=np.complex64).reshape(tiles, fn, fn)
+
+
+class TestForwardFFT:
+    @pytest.mark.parametrize("fn", [16, 32])
+    def test_matches_numpy_fft2(self, rt, rng, fn):
+        image = rng.standard_normal((6, 6)).astype(np.float32)
+        got = _r2c(rt, image, fn)[0]
+        padded = np.zeros((fn, fn), np.float64)
+        padded[:6, :6] = image
+        expected = np.fft.fft2(padded)
+        assert np.abs(got - expected).max() < 1e-3
+
+    def test_origin_offset(self, rt, rng):
+        image = rng.standard_normal((8, 8)).astype(np.float32)
+        got = _r2c(rt, image, 16, origin=(2, 3))[0]
+        padded = np.zeros((16, 16), np.float64)
+        region = image[2:, 3:]
+        padded[:region.shape[0], :region.shape[1]] = region
+        expected = np.fft.fft2(padded)
+        assert np.abs(got - expected).max() < 1e-3
+
+    def test_negative_origin_zero_pads(self, rt, rng):
+        image = rng.standard_normal((4, 4)).astype(np.float32)
+        got = _r2c(rt, image, 16, origin=(-2, -2))[0]
+        padded = np.zeros((16, 16), np.float64)
+        padded[2:6, 2:6] = image
+        expected = np.fft.fft2(padded)
+        assert np.abs(got - expected).max() < 1e-3
+
+    def test_flip_loads_reversed(self, rt, rng):
+        image = rng.standard_normal((5, 5)).astype(np.float32)
+        got = _r2c(rt, image, 16, flip=1)[0]
+        padded = np.zeros((16, 16), np.float64)
+        padded[:5, :5] = image[::-1, ::-1]
+        expected = np.fft.fft2(padded)
+        assert np.abs(got - expected).max() < 1e-3
+
+    def test_multi_plane_swap_order(self, rt, rng):
+        """swap_plane selects plane = a*count1 + bidx (identity here)."""
+        planes = rng.standard_normal((2, 3, 4, 4)).astype(np.float32)
+        flat = planes.reshape(6, 4, 4)
+        got = _r2c(rt, flat, 16, count0=2, count1=3, swap=1, tiles=6)
+        for z in range(6):
+            padded = np.zeros((16, 16), np.float64)
+            padded[:4, :4] = flat[z]
+            assert np.abs(got[z] - np.fft.fft2(padded)).max() < 1e-3
+
+    def test_multi_plane_noswap_transposes(self, rt, rng):
+        """swap_plane=0: tile z=(a,b) reads plane b*count0 + a."""
+        flat = rng.standard_normal((6, 4, 4)).astype(np.float32)
+        got = _r2c(rt, flat, 16, count0=2, count1=3, swap=0, tiles=6)
+        for z in range(6):
+            a, b = divmod(z, 3)
+            plane = b * 2 + a
+            padded = np.zeros((16, 16), np.float64)
+            padded[:4, :4] = flat[plane]
+            assert np.abs(got[z] - np.fft.fft2(padded)).max() < 1e-3
+
+
+class TestInverseFFT:
+    def test_c2r_roundtrip_with_crop(self, rt, rng):
+        fn = 16
+        image = rng.standard_normal((fn, fn)).astype(np.float32)
+        spectrum = np.fft.fft2(image.astype(np.float64)).astype(
+            np.complex64)
+        src = rt.malloc(8 * fn * fn)
+        rt.memcpy_h2d(src, spectrum.view(np.float32))
+        out_h = out_w = 10
+        dst = rt.malloc(4 * out_h * out_w)
+        rt.memset(dst, 0, 4 * out_h * out_w)
+        crop_h, crop_w = 3, 2
+        rt.launch(f"fft2d_c2r_{fn}x{fn}", (1, 1, 1), (fn, 1, 1),
+                  [src, dst, 1, 1, out_h, out_w, crop_h, crop_w, 0, 0,
+                   out_h, out_w, 0])
+        got = rt.download_f32(dst, out_h * out_w).reshape(out_h, out_w)
+        expected = image[crop_h:crop_h + out_h, crop_w:crop_w + out_w]
+        assert np.abs(got - expected).max() < 1e-3
+
+    def test_convolution_theorem_end_to_end(self, rt, rng):
+        """r2c(x) * r2c(flip w) --c2r--> correlation of x and w."""
+        fn = 16
+        x = rng.standard_normal((6, 6)).astype(np.float32)
+        w = rng.standard_normal((3, 3)).astype(np.float32)
+        fx = _r2c(rt, x, fn)[0]
+        fw = _r2c(rt, w, fn, flip=1)[0]
+        product = (fx * fw).astype(np.complex64)
+        src = rt.malloc(8 * fn * fn)
+        rt.memcpy_h2d(src, product.view(np.float32))
+        dst = rt.malloc(4 * 16)
+        rt.memset(dst, 0, 64)
+        # valid correlation output is 4x4, cropped at (R-1, S-1)
+        rt.launch(f"fft2d_c2r_{fn}x{fn}", (1, 1, 1), (fn, 1, 1),
+                  [src, dst, 1, 1, 4, 4, 2, 2, 0, 0, 4, 4, 0])
+        got = rt.download_f32(dst, 16).reshape(4, 4)
+        expected = np.zeros((4, 4))
+        for p in range(4):
+            for q in range(4):
+                expected[p, q] = (x[p:p + 3, q:q + 3] * w).sum()
+        assert np.abs(got - expected).max() < 1e-3
+
+
+class TestTransposeComplex:
+    def test_reorders_to_frequency_major(self, rt, rng):
+        rows, cols = 5, 7
+        data = (rng.standard_normal((rows, cols))
+                + 1j * rng.standard_normal((rows, cols))).astype(
+                    np.complex64)
+        src = rt.malloc(8 * rows * cols)
+        rt.memcpy_h2d(src, data.view(np.float32))
+        dst = rt.malloc(8 * rows * cols)
+        total = rows * cols
+        rt.launch("fft_transpose_complex", ((total + 127) // 128, 1, 1),
+                  (128, 1, 1), [src, dst, rows, cols, total])
+        raw = rt.memcpy_d2h(dst, 8 * rows * cols)
+        got = np.frombuffer(raw, dtype=np.complex64).reshape(cols, rows)
+        assert np.allclose(got, data.T)
+
+
+class TestBrevInsideFFT:
+    def test_fft_kernel_requires_brev(self, app_binary, rng):
+        """Stock GPGPU-Sim (no brev) cannot run the FFT kernels — the
+        reason the paper added the instruction."""
+        from repro.cuda import CudaRuntime
+        from repro.errors import UnsupportedInstructionError
+        from repro.quirks import LegacyQuirks
+        rt2 = CudaRuntime(quirks=LegacyQuirks(brev_unsupported=True))
+        rt2.load_binary(app_binary)
+        src = rt2.upload_f32(rng.standard_normal(16).astype(np.float32))
+        dst = rt2.malloc(8 * 256)
+        rt2.launch("fft2d_r2c_16x16", (1, 1, 1), (16, 1, 1),
+                   [src, dst, 1, 1, 4, 4, 0, 0, 0, 0])
+        with pytest.raises(UnsupportedInstructionError, match="brev"):
+            rt2.synchronize()

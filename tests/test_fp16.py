@@ -1,0 +1,203 @@
+"""FP16 support tests (paper Section III-D.1).
+
+Covers the conversion kernels, the half-precision convolution, the
+legacy pre-paper state (FP16 unsupported), and the FMA-contraction
+mismatch the paper traced: "multiply instructions, followed by either a
+subtract or an add, being optimized by the NVIDIA assembler into
+fused-multiply-add (FMA) SASS instructions ... results in a mismatch
+between GPGPU-Sim and execution on GPU hardware."
+"""
+
+import numpy as np
+import pytest
+
+from repro.cuda import CudaRuntime
+from repro.cudnn import (
+    ConvolutionDescriptor, FilterDescriptor, TensorDescriptor)
+from repro.errors import UnsupportedInstructionError
+from repro.functional.executor import FunctionalEngine
+from repro.functional.memory import LinearMemory
+from repro.functional.state import LaunchContext
+from repro.ptx.parser import parse_module
+from repro.quirks import LegacyQuirks
+
+from conftest import conv2d_ref
+
+
+class TestConversionKernels:
+    def test_fp32_fp16_roundtrip(self, dnn, runtime, rng):
+        values = rng.standard_normal(32).astype(np.float32)
+        src = runtime.upload_f32(values)
+        half = dnn.convert_fp32_to_fp16(src, 32)
+        raw = runtime.memcpy_d2h(half, 64)
+        as_half = np.frombuffer(raw, dtype=np.float16)
+        assert np.allclose(as_half, values.astype(np.float16))
+        back = dnn.convert_fp16_to_fp32(half, 32)
+        restored = runtime.download_f32(back, 32)
+        assert np.allclose(restored, values.astype(np.float16)
+                           .astype(np.float32))
+
+    def test_legacy_mode_has_no_fp16(self, app_binary, rng):
+        """Stock GPGPU-Sim could not execute the FP16 cvt at all."""
+        from repro.cudnn import Cudnn
+        rt = CudaRuntime(quirks=LegacyQuirks(fp16_unsupported=True))
+        rt.load_binary(app_binary)
+        dnn = Cudnn(rt)
+        src = rt.upload_f32(rng.standard_normal(8).astype(np.float32))
+        dnn.convert_fp32_to_fp16(src, 8)
+        with pytest.raises(UnsupportedInstructionError):
+            rt.synchronize()
+
+
+class TestFp16Convolution:
+    def test_matches_reference_at_half_precision(self, dnn, runtime, rng):
+        n, c, h, w, k = 1, 2, 6, 6, 3
+        x = rng.standard_normal((n, c, h, w)).astype(np.float32)
+        weights = (rng.standard_normal((k, c, 3, 3)).astype(np.float32)
+                   * 0.3)
+        x32 = runtime.upload_f32(x.ravel())
+        w32 = runtime.upload_f32(weights.ravel())
+        x16 = dnn.convert_fp32_to_fp16(x32, x.size)
+        w16 = dnn.convert_fp32_to_fp16(w32, weights.size)
+        conv = ConvolutionDescriptor(pad_h=1, pad_w=1)
+        y_desc, y16 = dnn.convolution_forward_fp16(
+            TensorDescriptor(n, c, h, w), x16,
+            FilterDescriptor(k, c, 3, 3), w16, conv)
+        y32 = dnn.convert_fp16_to_fp32(y16, y_desc.size)
+        got = runtime.download_f32(y32, y_desc.size).reshape(y_desc.dims)
+        expected = conv2d_ref(
+            x.astype(np.float16).astype(np.float64),
+            weights.astype(np.float16).astype(np.float64), 1, 1)
+        # binary16 storage: ~1e-3 relative error budget
+        assert np.abs(got - expected).max() < 3e-2
+
+
+HALF_MUL_ADD = """
+.version 6.0
+.target sm_60
+.address_size 64
+.visible .entry half_mul_add(
+    .param .u64 a, .param .u64 b, .param .u64 c, .param .u64 out,
+    .param .u32 n)
+{
+    .reg .b32 %r<5>;
+    .reg .b64 %rd<9>;
+    .reg .b16 %h<5>;
+    .reg .pred %p<1>;
+    ld.param.u64 %rd0, [a];
+    ld.param.u64 %rd1, [b];
+    ld.param.u64 %rd2, [c];
+    ld.param.u64 %rd3, [out];
+    ld.param.u32 %r0, [n];
+    mov.u32 %r1, %ctaid.x;
+    mov.u32 %r2, %ntid.x;
+    mov.u32 %r3, %tid.x;
+    mad.lo.s32 %r4, %r1, %r2, %r3;
+    setp.ge.s32 %p0, %r4, %r0;
+    @%p0 exit;
+    mad.wide.s32 %rd4, %r4, 2, %rd0;
+    mad.wide.s32 %rd5, %r4, 2, %rd1;
+    mad.wide.s32 %rd6, %r4, 2, %rd2;
+    mad.wide.s32 %rd7, %r4, 2, %rd3;
+    ld.global.b16 %h0, [%rd4];
+    ld.global.b16 %h1, [%rd5];
+    ld.global.b16 %h2, [%rd6];
+    mul.f16 %h3, %h0, %h1;
+    add.f16 %h4, %h3, %h2;
+    st.global.b16 [%rd7], %h4;
+    exit;
+}
+"""
+
+
+def _run_half_mul_add(a, b, c, *, contract: bool) -> np.ndarray:
+    module = parse_module(HALF_MUL_ADD, "h")
+    kernel = module.kernel("half_mul_add")
+    from repro.functional.memory import GlobalMemory
+    gm = GlobalMemory()
+    n = len(a)
+    ptrs = []
+    for array in (a, b, c):
+        ptr = gm.allocate(2 * n)
+        gm.write(ptr, np.asarray(array, dtype=np.float16).tobytes())
+        ptrs.append(ptr)
+    out = gm.allocate(2 * n)
+    pm = LinearMemory(max(kernel.param_bytes, 16))
+    for decl, value in zip(kernel.params, [*ptrs, out, n]):
+        pm.write_uint(decl.offset, value, decl.dtype.bytes)
+    launch = LaunchContext(kernel=kernel, grid_dim=(1, 1, 1),
+                           block_dim=(32, 1, 1), global_mem=gm,
+                           param_mem=pm)
+    engine = FunctionalEngine(launch, contract_fp16=contract)
+    engine.run()
+    return np.frombuffer(gm.read(out, 2 * n), dtype=np.float16)
+
+
+class TestFmaContraction:
+    # Inputs chosen so rounding the product to binary16 loses bits that
+    # the fused path retains.
+    A = [1.0009765625] * 4    # 1 + 2^-10
+    B = [1.0009765625] * 4
+    C = [-1.001953125] * 4    # -(1 + 2^-9): cancels, exposing the tail
+
+    def test_separate_rounding_differs_from_fused(self):
+        separate = _run_half_mul_add(self.A, self.B, self.C,
+                                     contract=False)
+        fused = _run_half_mul_add(self.A, self.B, self.C, contract=True)
+        assert not np.array_equal(separate, fused), (
+            "inputs failed to expose the double-rounding difference")
+        # The fused result is the correctly rounded a*b+c.
+        expected = np.float16(
+            float(np.float16(self.A[0])) * float(np.float16(self.B[0]))
+            + float(np.float16(self.C[0])))
+        assert fused[0] == expected
+
+    def test_golden_executor_flags_the_mismatch(self):
+        """The paper's debugging methodology applied to the FP16 gap:
+        hardware (contracting) vs simulator (separate rounding)
+        diverge at the add.f16 — "correctly simulating code with 16-bit
+        floating-point instructions is left to future work"."""
+        from repro.debugtool import GoldenExecutor
+        from repro.functional.memory import GlobalMemory
+        module = parse_module(HALF_MUL_ADD, "h")
+        kernel = module.kernel("half_mul_add")
+        gm = GlobalMemory()
+        n = 4
+        ptrs = []
+        for array in (self.A, self.B, self.C):
+            ptr = gm.allocate(2 * n)
+            gm.write(ptr, np.asarray(array, np.float16).tobytes())
+            ptrs.append(ptr)
+        out = gm.allocate(2 * n)
+        pm = LinearMemory(max(kernel.param_bytes, 16))
+        for decl, value in zip(kernel.params, [*ptrs, out, n]):
+            pm.write_uint(decl.offset, value, decl.dtype.bytes)
+        launch = LaunchContext(kernel=kernel, grid_dim=(1, 1, 1),
+                               block_dim=(32, 1, 1), global_mem=gm,
+                               param_mem=pm)
+        from repro.quirks import FIXED
+        golden = GoldenExecutor(launch, suspect_quirks=FIXED,
+                                reference_contract_fp16=True)
+        diff = golden.find_divergence()
+        assert diff is not None
+        assert diff.text.strip().startswith(("add.f16", "mul.f16"))
+
+    def test_no_contraction_no_divergence(self):
+        from repro.debugtool import GoldenExecutor
+        from repro.functional.memory import GlobalMemory
+        module = parse_module(HALF_MUL_ADD, "h2")
+        kernel = module.kernel("half_mul_add")
+        gm = GlobalMemory()
+        pm = LinearMemory(max(kernel.param_bytes, 16))
+        n = 2
+        for decl, value in zip(
+                kernel.params,
+                [gm.allocate(2 * n), gm.allocate(2 * n),
+                 gm.allocate(2 * n), gm.allocate(2 * n), n]):
+            pm.write_uint(decl.offset, value, decl.dtype.bytes)
+        launch = LaunchContext(kernel=kernel, grid_dim=(1, 1, 1),
+                               block_dim=(32, 1, 1), global_mem=gm,
+                               param_mem=pm)
+        from repro.quirks import FIXED
+        golden = GoldenExecutor(launch, suspect_quirks=FIXED)
+        assert golden.find_divergence() is None

@@ -1,0 +1,118 @@
+"""TF-style graph frontend tests (paper Section III-E future work)."""
+
+import numpy as np
+import pytest
+
+from repro.cuda import CudaRuntime
+from repro.errors import PTXSyntaxError
+from repro.graph import Graph, Session, build_pywrap_library
+from repro.graph.frontend import GraphError
+from repro.nn.reference import conv2d_ref, maxpool_ref, softmax_ref
+
+
+class TestLibraryLoading:
+    def test_stock_parser_rejects_tf_ptx(self):
+        """The paper's dead end: TF's PTX "uses syntax that is not
+        supported by GPGPU-Sim to initialize arrays using curly
+        braces"."""
+        runtime = CudaRuntime()  # no allow_brace_init
+        with pytest.raises(PTXSyntaxError, match="curly-brace"):
+            runtime.load_binary(build_pywrap_library())
+
+    def test_brace_init_extension_loads_it(self):
+        runtime = CudaRuntime(allow_brace_init=True)
+        runtime.load_binary(build_pywrap_library())
+        assert "tf_scale_and_shift" in runtime.program.kernels
+
+    def test_session_wires_everything(self):
+        session = Session()
+        assert "tf_scale_and_shift" in session.rt.program.kernels
+        assert "sgemm_tiled_16x16" in session.rt.program.kernels
+
+
+class TestGraphExecution:
+    @pytest.fixture()
+    def session(self):
+        return Session()
+
+    def test_scale_and_shift_uses_brace_constants(self, session, rng):
+        """y = 0.5*x + 1.0, coefficients living in the brace-initialised
+        module global."""
+        graph = Graph()
+        x = graph.placeholder((8,))
+        y = graph.scale_and_shift(x)
+        data = rng.standard_normal(8).astype(np.float32)
+        got = session.run(y, {x: data})
+        assert np.allclose(got, 0.5 * data + 1.0, atol=1e-6)
+
+    def test_conv_relu_pool_pipeline(self, session, rng):
+        graph = Graph()
+        x = graph.placeholder((1, 2, 6, 6))
+        w = graph.constant(rng.standard_normal((3, 2, 3, 3))
+                           .astype(np.float32))
+        net = graph.max_pool(graph.relu(
+            graph.conv2d(x, w, padding=1)))
+        data = rng.standard_normal((1, 2, 6, 6)).astype(np.float32)
+        got = session.run(net, {x: data})
+        w_host = np.frombuffer(w.attr_dict["value"],
+                               dtype=np.float32).reshape(3, 2, 3, 3)
+        expected = maxpool_ref(
+            np.maximum(conv2d_ref(data.astype(np.float64),
+                                  w_host.astype(np.float64), None,
+                                  1, 1), 0).astype(np.float32), 2, 2)
+        assert np.abs(got - expected).max() < 1e-3
+
+    def test_dense_softmax(self, session, rng):
+        graph = Graph()
+        x = graph.placeholder((2, 5))
+        w = graph.constant(rng.standard_normal((5, 4)).astype(np.float32))
+        b = graph.constant(rng.standard_normal(4).astype(np.float32))
+        probs = graph.softmax(graph.dense(x, w, b))
+        data = rng.standard_normal((2, 5)).astype(np.float32)
+        got = session.run(probs, {x: data})
+        w_host = np.frombuffer(w.attr_dict["value"],
+                               np.float32).reshape(5, 4)
+        b_host = np.frombuffer(b.attr_dict["value"], np.float32)
+        expected = softmax_ref(data @ w_host + b_host)
+        assert np.abs(got - expected).max() < 1e-4
+        assert np.allclose(got.sum(axis=1), 1.0, atol=1e-5)
+
+    def test_common_subgraph_evaluated_once(self, session, rng):
+        graph = Graph()
+        x = graph.placeholder((4,))
+        shared = graph.scale_and_shift(x)
+        fetch = graph.relu(shared)
+        launches_before = len(session.rt.launch_log)
+        session.run(fetch, {x: np.zeros(4, np.float32)})
+        # scale_and_shift once + relu once (placeholder is a memcpy).
+        kernel_launches = len(session.rt.launch_log) - launches_before
+        assert kernel_launches == 2
+
+    def test_unfed_placeholder(self, session):
+        graph = Graph()
+        x = graph.placeholder((2,), name="inp")
+        with pytest.raises(GraphError, match="not fed"):
+            session.run(graph.relu(x))
+
+    def test_fed_shape_checked(self, session):
+        graph = Graph()
+        x = graph.placeholder((2, 3))
+        with pytest.raises(GraphError, match="shape"):
+            session.run(graph.relu(x), {x: np.zeros((3, 2), np.float32)})
+
+    def test_dense_shape_mismatch(self, session, rng):
+        graph = Graph()
+        x = graph.placeholder((1, 4))
+        w = graph.constant(np.zeros((5, 2), np.float32))
+        with pytest.raises(GraphError, match="mismatch"):
+            session.run(graph.dense(x, w),
+                        {x: np.zeros((1, 4), np.float32)})
+
+    def test_flatten_views_without_copy(self, session, rng):
+        graph = Graph()
+        x = graph.placeholder((2, 3, 2, 2))
+        flat = graph.flatten(x)
+        data = rng.standard_normal((2, 3, 2, 2)).astype(np.float32)
+        got = session.run(flat, {x: data})
+        assert got.shape == (2, 12)
+        assert np.allclose(got, data.reshape(2, 12))

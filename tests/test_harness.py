@@ -1,0 +1,107 @@
+"""Harness tests: oracle, correlation machinery, case-study driver."""
+
+import numpy as np
+import pytest
+
+from repro.cuda import CudaRuntime
+from repro.cudnn import ConvFwdAlgo
+from repro.harness import (
+    HardwareOracle, HardwareOracleBackend, SASS_TUNING_FACTORS, run_case)
+from repro.harness.correlation import (
+    CorrelationResult, KernelCorrelation)
+from repro.harness.hwmodel import sass_factor
+from repro.timing.config import TINY
+from repro.workloads import ConvSample, ConvSampleConfig
+
+
+class TestOracle:
+    def test_estimates_produced_per_kernel(self, app_binary, rng):
+        rt = CudaRuntime(backend=HardwareOracleBackend(TINY))
+        rt.load_binary(app_binary)
+        sample = ConvSample(rt, ConvSampleConfig(batch=1, channels=2,
+                                                 height=8, width=8,
+                                                 filters=2))
+        sample.run_forward(ConvFwdAlgo.IMPLICIT_GEMM)
+        backend = rt.backend
+        assert len(backend.oracle.estimates) == 1
+        estimate = backend.oracle.estimates[0]
+        assert estimate.cycles > 0
+        assert estimate.bound in ("compute", "memory", "latency")
+
+    def test_sass_factors_cover_figure7_families(self):
+        for family in ("lrn", "cgemm", "gemv2T", "winograd", "fft2d"):
+            assert family in SASS_TUNING_FACTORS
+
+    def test_sass_factor_lookup(self):
+        assert sass_factor("fft2d_r2c_32x32") == pytest.approx(3.40)
+        assert sass_factor("gemv2T_kernel_val") == pytest.approx(1.60)
+        assert sass_factor("unknown_kernel") == 1.0
+
+    def test_bigger_work_costs_more(self, app_binary):
+        cycles = []
+        for height in (6, 12):
+            rt = CudaRuntime(backend=HardwareOracleBackend(TINY))
+            rt.load_binary(app_binary)
+            sample = ConvSample(rt, ConvSampleConfig(
+                batch=1, channels=2, height=height, width=height,
+                filters=2))
+            sample.run_forward(ConvFwdAlgo.IMPLICIT_GEMM)
+            cycles.append(rt.profiles[-1].result.cycles)
+        assert cycles[1] > cycles[0]
+
+
+class TestCorrelationResult:
+    def _result(self):
+        per_kernel = [
+            KernelCorrelation("implicit_gemm_fwd", 1000, 1100, 1),
+            KernelCorrelation("cudnn_lrn_fwd", 500, 700, 1),
+            KernelCorrelation("fft2d_r2c_32x32", 800, 600, 2),
+        ]
+        return CorrelationResult(
+            hw_total=sum(k.hw_cycles for k in per_kernel),
+            sim_total=sum(k.sim_cycles for k in per_kernel),
+            per_kernel=per_kernel)
+
+    def test_total_ratio_and_error(self):
+        result = self._result()
+        assert result.total_ratio == pytest.approx(2400 / 2300)
+        assert result.total_error == pytest.approx(100 / 2300)
+
+    def test_outliers(self):
+        outliers = {k.name for k in self._result().outliers(0.2)}
+        assert outliers == {"cudnn_lrn_fwd", "fft2d_r2c_32x32"}
+
+    def test_correlation_coefficient(self):
+        assert -1.0 <= self._result().correlation <= 1.0
+
+    def test_family_aggregation(self):
+        entry = self._result().family("lrn")
+        assert entry.hw_cycles == 500
+
+    def test_figure7_rows(self):
+        rows = self._result().figure7_rows()
+        names = [name for name, _hw, _sim in rows]
+        assert "lrn" in names and "fft2d_r2c_32x32" in names
+        for _name, hw, _sim in rows:
+            assert hw == 100.0
+
+    def test_render(self):
+        text = self._result().render()
+        assert "Fig 6" in text and "Fig 7" in text
+
+
+class TestRunCase:
+    def test_case_produces_figure_report(self):
+        result = run_case("fwd", ConvFwdAlgo.IMPLICIT_GEMM, gpu=TINY,
+                          sample=ConvSampleConfig(batch=1, channels=2,
+                                                  height=8, width=8,
+                                                  filters=2))
+        assert result.total_cycles > 0
+        assert result.mean_ipc > 0
+        report = result.report
+        assert report.global_ipc.size > 0
+        assert report.dram_utilization.shape[0] == TINY.num_partitions
+
+    def test_unknown_direction(self):
+        with pytest.raises(ValueError):
+            run_case("sideways", ConvFwdAlgo.GEMM, gpu=TINY)

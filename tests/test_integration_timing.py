@@ -1,0 +1,98 @@
+"""End-to-end integration: the full stack under the timing model.
+
+One LeNet inference in performance-simulation mode drives every layer of
+the system at once — framework → cuDNN calls → PTX kernels → SIMT
+functional core → SM schedulers → caches → NoC → DRAM — and must agree
+bit-for-bit with the functional-mode result while producing coherent
+timing statistics and AerialVision samples for every launch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cuda import CudaRuntime
+from repro.cudnn import ConvFwdAlgo
+from repro.harness.profiler import NVProfLike
+from repro.nn.lenet import LeNetConfig
+from repro.power import PowerModel
+from repro.timing import TINY, TimingBackend
+from repro.workloads.mnist_sample import MnistSample, MnistSampleConfig
+
+CONFIG = MnistSampleConfig(
+    images=1,
+    lenet=LeNetConfig.reduced(
+        conv1_fwd=ConvFwdAlgo.WINOGRAD_NONFUSED,
+        conv2_fwd=ConvFwdAlgo.IMPLICIT_GEMM,
+        conv1_channels=3, conv2_channels=4, fc_hidden=16))
+
+
+@pytest.fixture(scope="module")
+def timing_run():
+    backend = TimingBackend(TINY)
+    runtime = CudaRuntime(backend=backend)
+    sample = MnistSample(runtime, CONFIG)
+    result = sample.run(self_check=False)
+    return runtime, backend, result
+
+
+@pytest.fixture(scope="module")
+def functional_run():
+    runtime = CudaRuntime()
+    sample = MnistSample(runtime, CONFIG)
+    return runtime, sample.run(self_check=True)
+
+
+class TestTimingIntegration:
+    def test_functional_equivalence(self, timing_run, functional_run):
+        _rt, _backend, timing_result = timing_run
+        _frt, functional_result = functional_run
+        assert functional_result.self_check_passed
+        assert np.allclose(timing_result.logits,
+                           functional_result.logits, atol=1e-4)
+
+    def test_every_launch_timed(self, timing_run):
+        runtime, backend, _ = timing_run
+        assert runtime.profiles
+        for profile in runtime.profiles:
+            assert profile.result.cycles > 0, profile.name
+            assert profile.result.samples is not None
+        assert len(backend.kernel_stats) == len(runtime.profiles)
+
+    def test_instruction_conservation(self, timing_run, functional_run):
+        """Timing mode retires exactly the functional instruction
+        stream, launch for launch."""
+        timing_rt = timing_run[0]
+        functional_rt = functional_run[0]
+        timing_instr = [(p.name, p.result.instructions)
+                        for p in timing_rt.profiles]
+        functional_instr = [(p.name, p.result.instructions)
+                            for p in functional_rt.profiles]
+        # The functional fixture's self-check issues extra launches at
+        # the end; the classification prefix must agree exactly.
+        prefix = len(timing_instr)
+        assert functional_instr[:prefix] == timing_instr
+
+    def test_memory_hierarchy_consistency(self, timing_run):
+        _rt, backend, _ = timing_run
+        for stats in backend.kernel_stats:
+            dram = stats.dram_reads
+            # DRAM reads come only from L1 misses (through L2).
+            assert dram <= stats.l1_misses + 1
+            assert stats.l2_hits + stats.l2_misses >= stats.dram_reads
+            assert 0 <= stats.dram_row_hit_rate <= 1
+
+    def test_profiler_table_over_the_run(self, timing_run):
+        runtime, _backend, _ = timing_run
+        rows = NVProfLike(runtime).rows()
+        names = {row.name for row in rows}
+        assert "winograd_input_transform" in names
+        assert "implicit_gemm_fwd" in names
+        assert abs(sum(r.time_pct for r in rows) - 100) < 1e-6
+
+    def test_power_breakdown_over_the_run(self, timing_run):
+        _rt, backend, _ = timing_run
+        breakdown = PowerModel(TINY).breakdown(backend.kernel_stats)
+        assert breakdown.total > 0
+        assert breakdown.share("core") > 0.2
+        assert abs(sum(breakdown.watts.values())
+                   - breakdown.total) < 1e-9

@@ -1,0 +1,168 @@
+"""Loader tests: Section III-A's two fixes, exercised both ways."""
+
+import pytest
+
+from repro.cuda import CudaRuntime, FatBinary, cuobjdump
+from repro.cuda.loader import ProgramLoader
+from repro.cudnn import build_application_binary, build_libcudnn
+from repro.errors import CudaError, PTXNameError
+from repro.functional.memory import GlobalMemory
+from repro.quirks import FIXED, LegacyQuirks
+
+HEADER = ".version 6.0\n.target sm_60\n.address_size 64\n"
+
+KERNEL_A = HEADER + """
+.visible .entry helper() { exit; }
+.visible .entry alpha() { exit; }
+"""
+KERNEL_B = HEADER + """
+.visible .entry helper() { .reg .b32 %r<1>; mov.u32 %r0, 1; exit; }
+.visible .entry beta() { exit; }
+"""
+
+
+def _two_file_library() -> FatBinary:
+    lib = FatBinary("libdup.so")
+    lib.add_ptx("file_a.cu", KERNEL_A)
+    lib.add_ptx("file_b.cu", KERNEL_B)
+    return lib
+
+
+class TestPerFileExtraction:
+    def test_duplicate_names_ok_per_file(self):
+        loader = ProgramLoader(GlobalMemory(), FIXED)
+        program = loader.load_binary(_two_file_library())
+        assert "alpha" in program.kernels
+        assert "beta" in program.kernels
+        assert "helper" in program.kernels
+        assert "file_a.cu::helper" in program.kernels_qualified
+        assert "file_b.cu::helper" in program.kernels_qualified
+        # Unqualified lookup resolves to the first definition.
+        assert (program.kernels["helper"]
+                is program.kernels_qualified["file_a.cu::helper"])
+
+    def test_combined_mode_fails_on_duplicates(self):
+        """GPGPU-Sim's pre-fix behaviour: one concatenated PTX file with
+        cuDNN's repeated symbol names breaks the program loader."""
+        loader = ProgramLoader(GlobalMemory(),
+                               LegacyQuirks(combined_ptx_load=True))
+        with pytest.raises(PTXNameError, match="helper"):
+            loader.load_binary(_two_file_library())
+
+    def test_combined_mode_ok_without_duplicates(self):
+        lib = FatBinary("lib.so")
+        lib.add_ptx("only.cu", KERNEL_A)
+        loader = ProgramLoader(GlobalMemory(),
+                               LegacyQuirks(combined_ptx_load=True))
+        program = loader.load_binary(lib)
+        assert "alpha" in program.kernels
+
+    def test_real_cudnn_library_has_duplicate_scale_array(self):
+        """The shipped libcudnn/libcublas intentionally duplicate
+        ``scale_array`` across translation units."""
+        binary = build_application_binary()
+        loader = ProgramLoader(GlobalMemory(),
+                               LegacyQuirks(combined_ptx_load=True))
+        with pytest.raises(PTXNameError, match="scale_array"):
+            loader.load_binary(binary)
+
+
+class TestDynamicLinking:
+    def test_cuobjdump_skips_dynamic_libs(self):
+        app = FatBinary("app")
+        app.link_dynamic(_two_file_library())
+        assert cuobjdump(app) == []
+        assert len(cuobjdump(app, resolve_dynamic=True)) == 2
+
+    def test_stock_loader_cannot_find_library_kernels(self):
+        app = FatBinary("app")
+        app.link_dynamic(_two_file_library())
+        runtime = CudaRuntime(
+            quirks=LegacyQuirks(no_dynamic_library_search=True))
+        runtime.load_binary(app)
+        with pytest.raises(CudaError, match="statically linked"):
+            runtime.launch("alpha", 1, 1, [])
+
+    def test_static_link_remedy(self):
+        """The paper's chosen fix: rebuild statically linked."""
+        app = FatBinary("app")
+        app.link_dynamic(_two_file_library())
+        runtime = CudaRuntime(
+            quirks=LegacyQuirks(no_dynamic_library_search=True))
+        runtime.load_binary(app.static_link())
+        runtime.launch("alpha", 1, 1, [])
+        runtime.synchronize()
+
+    def test_fixed_loader_resolves_dynamic(self):
+        """The ldd-style alternative the paper mentions."""
+        app = FatBinary("app")
+        app.link_dynamic(_two_file_library())
+        runtime = CudaRuntime()  # fixed quirks resolve dynamic libs
+        runtime.load_binary(app)
+        runtime.launch("beta", 1, 1, [])
+        runtime.synchronize()
+
+    def test_static_link_renames_colliding_file_ids(self):
+        lib1 = FatBinary("lib1.so")
+        lib1.add_ptx("common.cu", KERNEL_A)
+        app = FatBinary("app")
+        app.add_ptx("common.cu", KERNEL_B)
+        app.link_dynamic(lib1)
+        merged = app.static_link()
+        ids = [image.file_id for image in merged.embedded]
+        assert len(ids) == len(set(ids))
+
+    def test_transitive_libraries(self):
+        inner = FatBinary("libinner.so")
+        inner.add_ptx("inner.cu", KERNEL_A)
+        outer = FatBinary("libouter.so")
+        outer.link_dynamic(inner)
+        app = FatBinary("app")
+        app.link_dynamic(outer)
+        assert len(cuobjdump(app, resolve_dynamic=True)) == 1
+
+    def test_cudnn_links_cublas(self):
+        lib = build_libcudnn()
+        assert any(dep.name == "libcublas.so"
+                   for dep in lib.dynamic_libs)
+
+
+class TestModuleVariables:
+    def test_global_var_materialised(self):
+        ptx = HEADER + """
+.global .u32 gcounter = 41;
+.visible .entry bump(.param .u64 out) {
+    .reg .b32 %r<2>;
+    .reg .b64 %rd<2>;
+    mov.u64 %rd0, gcounter;
+    ld.global.u32 %r0, [%rd0];
+    add.s32 %r0, %r0, 1;
+    ld.param.u64 %rd1, [out];
+    st.global.u32 [%rd1], %r0;
+    exit;
+}"""
+        runtime = CudaRuntime()
+        runtime.load_ptx(ptx, "g.cu")
+        out = runtime.malloc(4)
+        runtime.launch("bump", 1, 1, [out])
+        runtime.synchronize()
+        assert int.from_bytes(runtime.memcpy_d2h(out, 4), "little") == 42
+        addr = runtime.get_symbol_address("gcounter")
+        assert runtime.global_mem.read_uint(addr, 4) == 41
+
+    def test_const_memory(self):
+        ptx = HEADER + """
+.const .f32 cval = 2.5;
+.visible .entry rdc(.param .u64 out) {
+    .reg .f32 %f<1>;
+    .reg .b64 %rd<1>;
+    ld.const.f32 %f0, [cval];
+    ld.param.u64 %rd0, [out];
+    st.global.f32 [%rd0], %f0;
+    exit;
+}"""
+        runtime = CudaRuntime()
+        runtime.load_ptx(ptx, "c.cu")
+        out = runtime.malloc(4)
+        runtime.launch("rdc", 1, 1, [out])
+        assert runtime.download_f32(out, 1)[0] == 2.5

@@ -1,0 +1,109 @@
+"""Memory-space tests: paged global memory, arenas, cudaArrays."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationFault
+from repro.functional.memory import (
+    GLOBAL_BASE, PAGE_SIZE, CudaArray, GlobalMemory, LinearMemory)
+
+
+class TestGlobalMemory:
+    def test_allocate_aligned(self):
+        gm = GlobalMemory()
+        a = gm.allocate(100)
+        b = gm.allocate(10)
+        assert a >= GLOBAL_BASE and a % 256 == 0
+        assert b >= a + 100 and b % 256 == 0
+
+    def test_allocate_zero_raises(self):
+        with pytest.raises(SimulationFault):
+            GlobalMemory().allocate(0)
+
+    def test_rw_roundtrip_cross_page(self):
+        gm = GlobalMemory()
+        addr = gm.allocate(3 * PAGE_SIZE)
+        data = bytes(range(256)) * 40
+        start = addr + PAGE_SIZE - 100  # straddles two page boundaries
+        gm.write(start, data)
+        assert gm.read(start, len(data)) == data
+
+    def test_uninitialized_reads_zero(self):
+        gm = GlobalMemory()
+        addr = gm.allocate(64)
+        assert gm.read(addr, 64) == bytes(64)
+
+    def test_uint_roundtrip(self):
+        gm = GlobalMemory()
+        addr = gm.allocate(16)
+        gm.write_uint(addr, 0xDEADBEEFCAFEF00D, 8)
+        assert gm.read_uint(addr, 8) == 0xDEADBEEFCAFEF00D
+        assert gm.read_uint(addr, 4) == 0xCAFEF00D
+
+    def test_allocation_containing(self):
+        gm = GlobalMemory()
+        addr = gm.allocate(100)
+        assert gm.allocation_containing(addr) == (addr, 100)
+        assert gm.allocation_containing(addr + 99) == (addr, 100)
+        assert gm.allocation_containing(addr + 100) is None
+
+    def test_free(self):
+        gm = GlobalMemory()
+        addr = gm.allocate(8)
+        gm.free(addr)
+        assert gm.allocation_containing(addr) is None
+        with pytest.raises(SimulationFault):
+            gm.free(addr)
+
+    def test_snapshot_restore(self):
+        gm = GlobalMemory()
+        addr = gm.allocate(32)
+        gm.write(addr, b"hello world, simulator!")
+        snap = gm.snapshot()
+        gm.write(addr, bytes(32))
+        gm.restore(snap)
+        assert gm.read(addr, 23) == b"hello world, simulator!"
+
+    @given(offset=st.integers(min_value=0, max_value=3 * PAGE_SIZE),
+           payload=st.binary(min_size=1, max_size=600))
+    @settings(max_examples=30, deadline=None)
+    def test_rw_roundtrip_property(self, offset, payload):
+        gm = GlobalMemory()
+        base = gm.allocate(4 * PAGE_SIZE)
+        gm.write(base + offset, payload)
+        assert gm.read(base + offset, len(payload)) == payload
+
+
+class TestLinearMemory:
+    def test_bounds_checked(self):
+        arena = LinearMemory(16)
+        arena.write_uint(12, 7, 4)
+        assert arena.read_uint(12, 4) == 7
+        with pytest.raises(SimulationFault):
+            arena.read(13, 4)
+        with pytest.raises(SimulationFault):
+            arena.write(-1, b"x")
+
+
+class TestCudaArray:
+    def test_fetch_and_clamp(self):
+        array = CudaArray(4, 2)
+        texels = np.arange(8, dtype=np.float32)
+        array.upload(texels.tobytes())
+        assert array.fetch(0, 0) == 0.0
+        assert array.fetch(3, 1) == 7.0
+        # clamp-to-edge addressing
+        assert array.fetch(-5, 0) == 0.0
+        assert array.fetch(99, 1) == 7.0
+        assert array.fetch(2, 99) == 6.0
+
+    def test_upload_size_mismatch(self):
+        with pytest.raises(SimulationFault):
+            CudaArray(2, 2).upload(b"123")
+
+    def test_download(self):
+        array = CudaArray(2, 1)
+        array.upload(np.float32([1.5, -2.5]).tobytes())
+        assert np.frombuffer(array.download(),
+                             dtype=np.float32).tolist() == [1.5, -2.5]

@@ -1,0 +1,173 @@
+"""Mini-framework tests: layers, gradients, LeNet training."""
+
+import numpy as np
+import pytest
+
+from repro.cudnn import ConvFwdAlgo
+from repro.nn import (
+    Conv2d, DeviceTensor, Flatten, LeNet, LeNetConfig, Linear, MaxPool2d,
+    ReLU, SGD, Sequential, SoftmaxCrossEntropy, synthetic_mnist)
+from repro.nn.reference import reference_forward
+
+
+class TestDeviceTensor:
+    def test_roundtrip(self, runtime, rng):
+        data = rng.standard_normal((2, 3)).astype(np.float32)
+        tensor = DeviceTensor.from_numpy(runtime, data)
+        assert (tensor.numpy() == data).all()
+
+    def test_view_shares_buffer(self, runtime):
+        tensor = DeviceTensor.from_numpy(
+            runtime, np.arange(6, dtype=np.float32).reshape(2, 3))
+        flat = tensor.view((6,))
+        assert flat.ptr == tensor.ptr
+        assert flat.numpy().tolist() == [0, 1, 2, 3, 4, 5]
+        with pytest.raises(ValueError):
+            tensor.view((7,))
+
+    def test_copy_size_check(self, runtime):
+        tensor = DeviceTensor.zeros(runtime, (4,))
+        with pytest.raises(ValueError):
+            tensor.copy_from(np.zeros(5, np.float32))
+
+
+class TestLinear:
+    def test_forward_batched_and_single(self, dnn, rng):
+        layer = Linear(dnn, 6, 4, rng=rng)
+        x = rng.standard_normal((3, 6)).astype(np.float32)
+        got = layer(DeviceTensor.from_numpy(dnn.rt, x)).numpy()
+        expected = x @ layer.weight.numpy() + layer.bias.numpy()
+        assert np.allclose(got, expected, atol=1e-4)
+        # Batch 1 takes the GEMV2T path.
+        single = layer(DeviceTensor.from_numpy(dnn.rt, x[:1])).numpy()
+        assert np.allclose(single, expected[:1], atol=1e-4)
+        assert any("gemv2T" in e["name"] for e in dnn.rt.launch_log)
+
+    def test_backward_gradients(self, dnn, rng):
+        layer = Linear(dnn, 5, 3, rng=rng)
+        x = rng.standard_normal((4, 5)).astype(np.float32)
+        dy = rng.standard_normal((4, 3)).astype(np.float32)
+        layer(DeviceTensor.from_numpy(dnn.rt, x))
+        dx = layer.backward(DeviceTensor.from_numpy(dnn.rt, dy)).numpy()
+        weight = layer.weight.numpy()
+        assert np.allclose(dx, dy @ weight.T, atol=1e-4)
+        assert np.allclose(layer.dweight.numpy(), x.T @ dy, atol=1e-4)
+        assert np.allclose(layer.dbias.numpy(), dy.sum(axis=0), atol=1e-4)
+
+    def test_shape_validation(self, dnn, rng):
+        layer = Linear(dnn, 5, 3, rng=rng)
+        with pytest.raises(ValueError):
+            layer(DeviceTensor.zeros(dnn.rt, (2, 4)))
+
+
+class TestConv2dModule:
+    def test_numeric_gradient_wrt_weight(self, dnn, rng):
+        conv = Conv2d(dnn, 2, 2, 3, padding=1, rng=rng)
+        x = rng.standard_normal((1, 2, 5, 5)).astype(np.float32)
+        dy = rng.standard_normal((1, 2, 5, 5)).astype(np.float32)
+        conv(DeviceTensor.from_numpy(dnn.rt, x))
+        conv.backward(DeviceTensor.from_numpy(dnn.rt, dy))
+        analytic = conv.dweight.numpy()
+
+        weights = conv.weight.numpy()
+        eps = 1e-2
+        for index in [(0, 0, 0, 0), (1, 1, 2, 2), (0, 1, 1, 0)]:
+            for sign, bump in ((1, eps), (-1, -eps)):
+                pass
+            plus = weights.copy()
+            plus[index] += eps
+            conv.weight.copy_from(plus)
+            y_plus = conv(DeviceTensor.from_numpy(dnn.rt, x)).numpy()
+            minus = weights.copy()
+            minus[index] -= eps
+            conv.weight.copy_from(minus)
+            y_minus = conv(DeviceTensor.from_numpy(dnn.rt, x)).numpy()
+            conv.weight.copy_from(weights)
+            numeric = ((y_plus - y_minus) * dy).sum() / (2 * eps)
+            assert analytic[index] == pytest.approx(numeric, abs=2e-2)
+
+
+class TestSequentialBackprop:
+    def test_small_mlp_learns(self, dnn, rng):
+        """A conv+fc network must reduce loss on a fixed tiny batch."""
+        model = Sequential(
+            Conv2d(dnn, 1, 2, 3, padding=1,
+                   fwd_algo=ConvFwdAlgo.IMPLICIT_GEMM, rng=rng),
+            ReLU(dnn),
+            MaxPool2d(dnn, 2),
+            Flatten(),
+            Linear(dnn, 2 * 3 * 3, 4, rng=rng),
+        )
+        loss_head = SoftmaxCrossEntropy(dnn)
+        optimizer = SGD(dnn, model.parameters(), lr=0.1)
+        x = rng.standard_normal((4, 1, 6, 6)).astype(np.float32)
+        labels = np.array([0, 1, 2, 3])
+        losses = []
+        for _ in range(5):
+            optimizer.zero_grad()
+            logits = model(DeviceTensor.from_numpy(dnn.rt, x))
+            loss, _ = loss_head.forward(logits, labels)
+            model.backward(loss_head.backward())
+            optimizer.step()
+            losses.append(loss)
+        assert losses[-1] < losses[0] * 0.9
+
+
+class TestLeNet:
+    @pytest.fixture()
+    def model(self, dnn):
+        return LeNet(dnn, LeNetConfig.reduced())
+
+    def test_forward_matches_reference(self, model):
+        """The MNIST sample's self-check: simulator vs NumPy."""
+        images, _ = synthetic_mnist(2, size=12, seed=0)
+        assert model.self_check(images)
+
+    def test_reference_forward_shapes(self, model):
+        images, _ = synthetic_mnist(2, size=12, seed=0)
+        logits = reference_forward(model, images)
+        assert logits.shape == (2, 10)
+
+    def test_mixed_algorithms_agree(self, dnn):
+        """The same LeNet weights through different conv algorithms must
+        produce (numerically) identical logits."""
+        images, _ = synthetic_mnist(2, size=12, seed=1)
+        cfg_a = LeNetConfig.reduced(conv1_fwd=ConvFwdAlgo.IMPLICIT_GEMM)
+        cfg_b = LeNetConfig.reduced(conv1_fwd=ConvFwdAlgo.FFT_TILING)
+        out_a = LeNet(dnn, cfg_a).forward(images)
+        out_b = LeNet(dnn, cfg_b).forward(images)
+        assert np.allclose(out_a, out_b, atol=1e-3)
+
+    def test_train_step_reduces_loss(self, dnn):
+        model = LeNet(dnn, LeNetConfig.reduced(with_lrn=False))
+        images, labels = synthetic_mnist(4, size=12, seed=2)
+        optimizer = SGD(dnn, model.parameters(), lr=0.05)
+        first = model.train_step(images, labels, optimizer)
+        for _ in range(3):
+            last = model.train_step(images, labels, optimizer)
+        assert last < first
+
+    def test_geometry_validation(self, dnn):
+        with pytest.raises(ValueError, match="too small"):
+            LeNet(dnn, LeNetConfig.reduced(input_hw=6, conv_kernel=5))
+
+
+class TestSyntheticMnist:
+    def test_deterministic(self):
+        a_images, a_labels = synthetic_mnist(5, size=12, seed=9)
+        b_images, b_labels = synthetic_mnist(5, size=12, seed=9)
+        assert (a_images == b_images).all()
+        assert (a_labels == b_labels).all()
+
+    def test_ranges(self):
+        images, labels = synthetic_mnist(10, size=28, seed=1)
+        assert images.shape == (10, 1, 28, 28)
+        assert images.min() >= 0.0 and images.max() <= 1.0
+        assert set(labels) <= set(range(10))
+
+    def test_distinct_classes_render_distinct(self):
+        from repro.nn import render_digit
+        glyphs = [render_digit(d, 12) for d in range(10)]
+        for i in range(10):
+            for j in range(i + 1, 10):
+                assert not np.array_equal(glyphs[i], glyphs[j])

@@ -1,0 +1,236 @@
+"""Parser/lexer tests, including the loader-related failure modes."""
+
+import pytest
+
+from repro.errors import PTXSyntaxError
+from repro.ptx import ast
+from repro.ptx.lexer import EOF, FLOAT, INT, PUNCT, WORD, tokenize
+from repro.ptx.parser import parse_module
+
+HEADER = ".version 6.0\n.target sm_60\n.address_size 64\n"
+
+
+class TestLexer:
+    def test_dotted_words(self):
+        tokens = tokenize("ld.global.v2.f32 %f1, [%rd2+8];")
+        assert tokens[0].text == "ld.global.v2.f32"
+        assert tokens[1].text == "%f1"
+
+    def test_comments_stripped(self):
+        tokens = tokenize("add.s32 // comment\n/* block\ncomment */ %r1")
+        texts = [t.text for t in tokens if t.kind != EOF]
+        assert texts == ["add.s32", "%r1"]
+
+    def test_line_numbers_cross_comments(self):
+        tokens = tokenize("a\n/* x\ny */\nb")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 4
+
+    def test_float_literals(self):
+        tokens = tokenize("1.5 0f3F800000 0d3FF0000000000000 2e3")
+        assert tokens[0].kind == FLOAT and tokens[0].value == 1.5
+        assert tokens[1].value == 1.0
+        assert tokens[2].value == 1.0
+        assert tokens[3].value == 2000.0
+
+    def test_hex_int(self):
+        tokens = tokenize("0xFF 42")
+        assert tokens[0].kind == INT and tokens[0].value == 255
+        assert tokens[1].value == 42
+
+    def test_bad_character(self):
+        with pytest.raises(PTXSyntaxError):
+            tokenize("add.s32 %r1, `bad`;")
+
+    def test_punct(self):
+        tokens = tokenize("{ } [ ] , ; : @ !")
+        assert all(t.kind == PUNCT for t in tokens[:-1])
+
+    def test_label_and_reg_words(self):
+        tokens = tokenize("$Lt_0_1: %tid.x")
+        assert tokens[0].kind == WORD and tokens[0].text == "$Lt_0_1"
+        assert tokens[2].text == "%tid.x"
+
+
+class TestParser:
+    def test_minimal_kernel(self):
+        module = parse_module(HEADER + """
+.visible .entry k(
+    .param .u64 out,
+    .param .u32 n
+)
+{
+    .reg .b32 %r<4>;
+    mov.u32 %r0, 7;
+    exit;
+}
+""")
+        kernel = module.kernel("k")
+        assert [p.name for p in kernel.params] == ["out", "n"]
+        assert kernel.params[0].offset == 0
+        assert kernel.params[1].offset == 8
+        assert kernel.body[0].opcode == "mov"
+        assert kernel.body[-1].opcode == "exit"
+
+    def test_param_alignment(self):
+        module = parse_module(HEADER + """
+.entry k(.param .u32 a, .param .u64 b, .param .f32 c) { exit; }
+""")
+        params = module.kernel("k").params
+        assert params[0].offset == 0
+        assert params[1].offset == 8   # aligned up
+        assert params[2].offset == 16
+
+    def test_labels_and_branches(self):
+        module = parse_module(HEADER + """
+.entry k() {
+    .reg .pred %p<2>;
+    .reg .b32 %r<2>;
+$top:
+    setp.lt.s32 %p0, %r0, 10;
+    @%p0 bra $top;
+    exit;
+}
+""")
+        kernel = module.kernel("k")
+        assert kernel.labels["$top"] == 0
+        branch = kernel.body[1]
+        assert branch.pred == "%p0" and not branch.pred_negated
+        assert branch.operands[0].kind == ast.LABEL
+
+    def test_negated_predicate(self):
+        module = parse_module(HEADER + """
+.entry k() {
+    .reg .pred %p<1>;
+    @!%p0 exit;
+    exit;
+}""")
+        inst = module.kernel("k").body[0]
+        assert inst.pred == "%p0" and inst.pred_negated
+
+    def test_vector_operands(self):
+        module = parse_module(HEADER + """
+.entry k(.param .u64 p) {
+    .reg .f32 %f<4>;
+    .reg .b64 %rd<1>;
+    ld.param.u64 %rd0, [p];
+    ld.global.v2.f32 {%f0, %f1}, [%rd0];
+    st.global.v2.f32 [%rd0+8], {%f0, %f1};
+    exit;
+}""")
+        load = module.kernel("k").body[1]
+        assert load.operands[0].kind == ast.VEC
+        assert len(load.operands[0].elems) == 2
+
+    def test_texture_operand(self):
+        module = parse_module(HEADER + """
+.entry k() {
+    .reg .f32 %f<4>;
+    .reg .b32 %r<2>;
+    tex.2d.v4.f32.s32 {%f0,%f1,%f2,%f3}, [mytex, {%r0, %r1}];
+    exit;
+}""")
+        tex = module.kernel("k").body[0]
+        mem = tex.operands[1]
+        assert mem.kind == ast.MEM and mem.name == "mytex"
+        assert len(mem.elems) == 2
+
+    def test_shared_declaration(self):
+        module = parse_module(HEADER + """
+.entry k() {
+    .shared .align 8 .f32 smem[64];
+    exit;
+}""")
+        kernel = module.kernel("k")
+        assert kernel.shared_vars[0].name == "smem"
+        assert kernel.shared_bytes == 256
+
+    def test_negative_offset_and_imm(self):
+        module = parse_module(HEADER + """
+.entry k(.param .u64 p) {
+    .reg .b64 %rd<2>;
+    .reg .b32 %r<2>;
+    ld.param.u64 %rd0, [p];
+    ld.global.u32 %r0, [%rd0+-4];
+    add.s32 %r1, %r0, -7;
+    exit;
+}""")
+        kernel = module.kernel("k")
+        assert kernel.body[1].operands[1].offset == -4
+        imm = kernel.body[2].operands[2]
+        assert imm.payload == (-7) & (2 ** 64 - 1)
+
+    def test_global_var_scalar_init(self):
+        module = parse_module(HEADER + ".global .u32 gflag = 3;\n")
+        var = module.global_vars["gflag"]
+        assert var.init == (3).to_bytes(4, "little")
+
+    def test_brace_init_rejected_like_gpgpusim(self):
+        """The limitation that blocked TensorFlow (Section III-E)."""
+        text = HEADER + ".global .f32 table[2] = {1.0, 2.0};\n"
+        with pytest.raises(PTXSyntaxError, match="curly-brace"):
+            parse_module(text)
+
+    def test_brace_init_extension(self):
+        text = HEADER + ".global .u32 table[3] = {1, 2, 3};\n"
+        module = parse_module(text, allow_brace_init=True)
+        blob = module.global_vars["table"].init
+        assert blob == b"\x01\x00\x00\x00\x02\x00\x00\x00\x03\x00\x00\x00"
+
+    def test_device_functions_unsupported(self):
+        with pytest.raises(PTXSyntaxError, match="func"):
+            parse_module(HEADER + ".func helper() { ret; }")
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(PTXSyntaxError, match="duplicate"):
+            parse_module(HEADER + """
+.entry k() {
+$a:
+    exit;
+$a:
+    exit;
+}""")
+
+    def test_cvt_has_two_dtypes(self):
+        module = parse_module(HEADER + """
+.entry k() {
+    .reg .f32 %f<1>;
+    .reg .b32 %r<1>;
+    cvt.rn.f32.s32 %f0, %r0;
+    exit;
+}""")
+        cvt = module.kernel("k").body[0]
+        assert [d.name for d in cvt.dtypes] == ["f32", "s32"]
+        assert "rn" in cvt.modifiers
+
+    def test_setp_cmp_extracted(self):
+        module = parse_module(HEADER + """
+.entry k() {
+    .reg .pred %p<1>;
+    .reg .b32 %r<2>;
+    setp.lt.s32 %p0, %r0, %r1;
+    exit;
+}""")
+        setp = module.kernel("k").body[0]
+        assert setp.cmp == "lt"
+        assert setp.dtype.name == "s32"
+
+    def test_mul_lo_is_modifier_not_cmp(self):
+        module = parse_module(HEADER + """
+.entry k() {
+    .reg .b32 %r<3>;
+    mul.lo.s32 %r2, %r0, %r1;
+    exit;
+}""")
+        mul = module.kernel("k").body[0]
+        assert mul.cmp is None
+        assert mul.has_mod("lo")
+
+    def test_maxntid_directive_skipped(self):
+        module = parse_module(HEADER + """
+.entry k()
+.maxntid 256, 1, 1
+{
+    exit;
+}""")
+        assert "k" in module.kernels

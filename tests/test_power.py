@@ -1,0 +1,93 @@
+"""Power-model tests: component breakdown properties (Figure 8 shape)."""
+
+import pytest
+
+from repro.power import PowerModel
+from repro.power.model import COMPONENTS, EnergyTable
+from repro.timing.config import GTX1050, TINY
+from repro.timing.stats import KernelStats
+
+
+def _compute_stats(cycles=10_000) -> KernelStats:
+    stats = KernelStats(cycles=cycles)
+    stats.instructions = cycles * 8 * 20      # thread-level ops
+    stats.sfu_ops = cycles // 10
+    stats.gmem_read_transactions = cycles // 50
+    stats.gmem_write_transactions = cycles // 100
+    stats.l2_hits = cycles // 60
+    stats.l2_misses = cycles // 200
+    stats.noc_flits = cycles // 50
+    stats.dram_reads = cycles // 200
+    stats.dram_writes = cycles // 400
+    stats.dram_row_hits = cycles // 300
+    stats.active_sm_cycles = int(cycles * 0.9)
+    return stats
+
+
+def _memory_stats(cycles=10_000) -> KernelStats:
+    stats = KernelStats(cycles=cycles)
+    stats.instructions = cycles * 4
+    stats.gmem_read_transactions = cycles * 2
+    stats.gmem_write_transactions = cycles
+    stats.l2_hits = cycles
+    stats.l2_misses = cycles * 2
+    stats.noc_flits = cycles * 3
+    stats.dram_reads = cycles * 2
+    stats.dram_writes = cycles
+    stats.active_sm_cycles = cycles // 4
+    return stats
+
+
+class TestPowerModel:
+    def test_breakdown_sums_to_total(self):
+        model = PowerModel(GTX1050)
+        breakdown = model.breakdown([_compute_stats()])
+        assert breakdown.total == pytest.approx(
+            sum(breakdown.watts.values()))
+        assert set(breakdown.watts) == set(COMPONENTS)
+
+    def test_energy_time_consistency(self):
+        model = PowerModel(GTX1050)
+        breakdown = model.breakdown([_compute_stats()])
+        assert breakdown.energy_joules == pytest.approx(
+            breakdown.total * breakdown.seconds)
+
+    def test_compute_heavy_core_dominates(self):
+        """Paper: "on average the core (in particular the ALUs) consume
+        65% of the power ... Idle power consumes a further 25%"."""
+        model = PowerModel(GTX1050)
+        breakdown = model.breakdown([_compute_stats()])
+        assert breakdown.share("core") > 0.45
+        assert breakdown.share("idle") > 0.05
+        assert breakdown.share("core") > breakdown.share("dram")
+
+    def test_memory_heavy_shifts_to_dram(self):
+        model = PowerModel(GTX1050)
+        compute = model.breakdown([_compute_stats()])
+        memory = model.breakdown([_memory_stats()])
+        assert memory.share("dram") > compute.share("dram")
+        assert memory.share("core") < compute.share("core")
+
+    def test_idle_power_constant(self):
+        model = PowerModel(GTX1050)
+        a = model.breakdown([_compute_stats()])
+        b = model.breakdown([_memory_stats()])
+        assert a.watts["idle"] == pytest.approx(b.watts["idle"])
+
+    def test_empty_stats(self):
+        model = PowerModel(TINY)
+        breakdown = model.breakdown([])
+        assert breakdown.total == 0.0
+
+    def test_rows_render(self):
+        model = PowerModel(GTX1050)
+        rows = model.breakdown([_compute_stats()]).as_rows()
+        assert [name for name, _w, _s in rows] == list(COMPONENTS)
+        assert all(watts >= 0 for _n, watts, _s in rows)
+
+    def test_custom_energy_table(self):
+        hot_dram = EnergyTable(dram_access_pj=50_000.0)
+        model = PowerModel(GTX1050, hot_dram)
+        default = PowerModel(GTX1050)
+        assert (model.breakdown([_memory_stats()]).watts["dram"]
+                > default.breakdown([_memory_stats()]).watts["dram"])

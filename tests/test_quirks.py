@@ -1,0 +1,33 @@
+"""LegacyQuirks container tests."""
+
+from repro.quirks import FIXED, LegacyQuirks, STOCK_GPGPUSIM
+
+
+def test_fixed_has_nothing_enabled():
+    assert FIXED.describe() == []
+
+
+def test_stock_enables_the_papers_catalogue():
+    enabled = set(STOCK_GPGPUSIM.describe())
+    assert {"rem_ignores_type", "bfe_unsigned_only", "brev_unsupported",
+            "stream_wait_event_unsupported",
+            "cu_launch_kernel_unsupported", "single_texref_per_name",
+            "combined_ptx_load", "no_dynamic_library_search",
+            "fp16_unsupported"} <= enabled
+
+
+def test_quirks_frozen_and_comparable():
+    a = LegacyQuirks(rem_ignores_type=True)
+    b = LegacyQuirks(rem_ignores_type=True)
+    assert a == b and a != FIXED
+    try:
+        a.rem_ignores_type = False
+        raised = False
+    except AttributeError:
+        raised = True
+    assert raised
+
+
+def test_describe_lists_only_enabled():
+    quirks = LegacyQuirks(brev_unsupported=True)
+    assert quirks.describe() == ["brev_unsupported"]

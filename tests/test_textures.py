@@ -1,0 +1,138 @@
+"""Texture system tests — Section III-C's two MNIST failures and fixes."""
+
+import numpy as np
+import pytest
+
+from repro.cuda import CudaRuntime, TextureSystem
+from repro.errors import CudaError
+from repro.functional.memory import CudaArray
+from repro.quirks import LegacyQuirks
+
+HEADER = ".version 6.0\n.target sm_60\n.address_size 64\n"
+
+TEX_KERNEL = HEADER + """
+.visible .entry readtex(.param .u64 out, .param .u32 n) {
+    .reg .b32 %r<4>;
+    .reg .b64 %rd<2>;
+    .reg .f32 %f<5>;
+    .reg .pred %p<1>;
+    mov.u32 %r0, %tid.x;
+    ld.param.u32 %r1, [n];
+    setp.ge.u32 %p0, %r0, %r1;
+    @%p0 exit;
+    mov.u32 %r2, 0;
+    tex.2d.v4.f32.s32 {%f0, %f1, %f2, %f3}, [image_tex, {%r0, %r2}];
+    ld.param.u64 %rd0, [out];
+    mad.wide.s32 %rd1, %r0, 4, %rd0;
+    st.global.f32 [%rd1], %f0;
+    exit;
+}"""
+
+
+class TestTextureSystem:
+    def test_register_and_bind(self):
+        system = TextureSystem()
+        ref = system.register_texture("t0")
+        array = CudaArray(2, 2)
+        system.bind_to_array(ref, array)
+        assert system.lookup("t0") is array
+
+    def test_multiple_texrefs_same_name_fixed(self):
+        """MNIST "registered multiple texrefs to the same name" — the
+        fixed map keeps a set of texrefs per name and a direct
+        name -> cudaArray map."""
+        system = TextureSystem()
+        ref1 = system.register_texture("t0")
+        ref2 = system.register_texture("t0")
+        array1, array2 = CudaArray(1, 1), CudaArray(2, 2)
+        system.bind_to_array(ref1, array1)
+        assert system.lookup("t0") is array1
+        system.bind_to_array(ref2, array2)
+        assert system.lookup("t0") is array2
+
+    def test_single_texref_quirk_loses_binding(self):
+        """Historical behaviour: re-registration discards the old
+        texref, and binding through the stale ref is lost — "some
+        texture instructions would fail because they could not find the
+        cudaArray they were looking for"."""
+        system = TextureSystem(
+            LegacyQuirks(single_texref_per_name=True))
+        stale = system.register_texture("t0")
+        system.register_texture("t0")  # displaces the first texref
+        system.bind_to_array(stale, CudaArray(1, 1))
+        with pytest.raises(CudaError, match="could not find"):
+            system.lookup("t0")
+
+    def test_rebind_implicit_unbind_fixed(self):
+        """Fixed: binding an already-bound texref unbinds first."""
+        system = TextureSystem()
+        ref = system.register_texture("t0")
+        system.bind_to_array(ref, CudaArray(1, 1))
+        replacement = CudaArray(3, 3)
+        system.bind_to_array(ref, replacement)  # no error
+        assert system.lookup("t0") is replacement
+
+    def test_rebind_quirk_raises(self):
+        system = TextureSystem(LegacyQuirks(rebind_texture_errors=True))
+        ref = system.register_texture("t0")
+        system.bind_to_array(ref, CudaArray(1, 1))
+        with pytest.raises(CudaError, match="already bound"):
+            system.bind_to_array(ref, CudaArray(2, 2))
+
+    def test_unbind_falls_back_to_other_bound_ref(self):
+        system = TextureSystem()
+        ref1 = system.register_texture("t0")
+        ref2 = system.register_texture("t0")
+        a1, a2 = CudaArray(1, 1), CudaArray(2, 2)
+        system.bind_to_array(ref1, a1)
+        system.bind_to_array(ref2, a2)
+        system.unbind(ref2)
+        assert system.lookup("t0") is a1
+        system.unbind(ref1)
+        with pytest.raises(CudaError):
+            system.lookup("t0")
+
+    def test_view_returns_none_when_unbound(self):
+        system = TextureSystem()
+        assert system.view().get("missing") is None
+
+
+class TestTextureInstruction:
+    def test_tex_kernel_reads_array(self):
+        rt = CudaRuntime()
+        rt.load_ptx(TEX_KERNEL, "tex.cu")
+        texels = np.float32([1.0, 2.0, 3.0, 4.0])
+        array = rt.malloc_array(4, 1)
+        rt.memcpy_to_array(array, texels)
+        ref = rt.register_texture("image_tex")
+        rt.bind_texture_to_array(ref, array)
+        out = rt.malloc(16)
+        rt.launch("readtex", 1, 4, [out, 4])
+        rt.synchronize()
+        assert (rt.download_f32(out, 4) == texels).all()
+
+    def test_tex_without_binding_faults(self):
+        rt = CudaRuntime()
+        rt.load_ptx(TEX_KERNEL, "tex.cu")
+        out = rt.malloc(16)
+        rt.launch("readtex", 1, 4, [out, 4])
+        with pytest.raises(Exception, match="image_tex"):
+            rt.synchronize()
+
+    def test_lrn_texture_path_matches_global_path(self, runtime, rng):
+        """The cuDNN LRN call can route its input through the texture
+        unit; results must match the plain global-memory kernel."""
+        from repro.cudnn import Cudnn, TensorDescriptor, LRNDescriptor
+        dnn = Cudnn(runtime)
+        x = rng.standard_normal((2, 4, 3, 3)).astype(np.float32)
+        desc = TensorDescriptor(2, 4, 3, 3)
+        lrn = LRNDescriptor(nsize=3)
+        x_ptr = runtime.upload_f32(x.ravel())
+        y_plain = runtime.malloc(x.nbytes)
+        y_tex = runtime.malloc(x.nbytes)
+        dnn.lrn_forward(lrn, desc, x_ptr, y_plain, use_texture=False)
+        dnn.lrn_forward(lrn, desc, x_ptr, y_tex, use_texture=True)
+        runtime.synchronize()
+        plain = runtime.download_f32(y_plain, desc.size)
+        tex = runtime.download_f32(y_tex, desc.size)
+        assert np.allclose(plain, tex, atol=1e-6)

@@ -1,0 +1,94 @@
+"""Unit + property tests for typed payload reinterpretation."""
+
+import math
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ptx import values
+from repro.ptx.dtypes import (
+    F16, F32, F64, S8, S16, S32, S64, U8, U16, U32, U64)
+
+
+class TestIntegerAccessors:
+    def test_to_unsigned_masks(self):
+        assert values.to_unsigned(0x1_FFFF_FFFF, 32) == 0xFFFF_FFFF
+        assert values.to_unsigned(0x100, 8) == 0
+
+    def test_to_signed_negative(self):
+        assert values.to_signed(0xFFFF_FFFF, 32) == -1
+        assert values.to_signed(0x8000_0000, 32) == -(2 ** 31)
+        assert values.to_signed(0x7FFF_FFFF, 32) == 2 ** 31 - 1
+
+    def test_to_signed_ignores_upper_bits(self):
+        # The union-read property: a 32-bit read never sees upper bytes.
+        assert values.to_signed(0xDEAD_0000_0000_0001, 32) == 1
+
+    @given(st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1))
+    def test_signed_roundtrip_32(self, value):
+        assert values.to_signed(values.from_int(value, 32), 32) == value
+
+    @given(st.integers(min_value=0, max_value=2 ** 64 - 1),
+           st.sampled_from([8, 16, 32, 64]))
+    def test_unsigned_never_exceeds_width(self, payload, bits):
+        assert 0 <= values.to_unsigned(payload, bits) < 2 ** bits
+
+
+class TestFloatAccessors:
+    def test_f32_roundtrip_exact(self):
+        for value in (0.0, 1.0, -2.5, 3.14159, 1e-38, 1e38):
+            bits = values.f32_to_bits(value)
+            expected = struct.unpack("<f", struct.pack("<f", value))[0]
+            assert values.bits_to_f32(bits) == expected
+
+    def test_f32_overflow_becomes_inf(self):
+        assert values.bits_to_f32(values.f32_to_bits(1e300)) == math.inf
+        assert values.bits_to_f32(values.f32_to_bits(-1e300)) == -math.inf
+
+    def test_f64_roundtrip(self):
+        assert values.bits_to_f64(values.f64_to_bits(math.pi)) == math.pi
+
+    def test_f16_basic(self):
+        assert values.bits_to_f16(values.f16_to_bits(1.0)) == 1.0
+        assert values.bits_to_f16(values.f16_to_bits(0.5)) == 0.5
+        assert values.bits_to_f16(values.f16_to_bits(65504.0)) == 65504.0
+
+    def test_f16_overflow_is_inf(self):
+        assert values.bits_to_f16(values.f16_to_bits(1e6)) == math.inf
+
+    @given(st.floats(allow_nan=False, allow_infinity=False,
+                     width=32))
+    def test_f32_bits_roundtrip_property(self, value):
+        assert values.bits_to_f32(values.f32_to_bits(value)) == value
+
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=16))
+    def test_f16_bits_roundtrip_property(self, value):
+        assert values.bits_to_f16(values.f16_to_bits(value)) == value
+
+
+class TestReadWriteTyped:
+    @pytest.mark.parametrize("dtype,value", [
+        (U8, 200), (U16, 40000), (U32, 2 ** 31 + 5), (U64, 2 ** 63),
+        (S8, -5), (S16, -300), (S32, -(2 ** 20)), (S64, -(2 ** 40)),
+    ])
+    def test_integer_roundtrip(self, dtype, value):
+        assert values.read_typed(values.write_typed(value, dtype),
+                                 dtype) == value
+
+    @pytest.mark.parametrize("dtype", [F16, F32, F64])
+    def test_float_roundtrip(self, dtype):
+        payload = values.write_typed(0.25, dtype)
+        assert values.read_typed(payload, dtype) == 0.25
+
+    def test_saturate_float(self):
+        assert values.saturate_float(2.0) == 1.0
+        assert values.saturate_float(-1.0) == 0.0
+        assert values.saturate_float(math.nan) == 0.0
+        assert values.saturate_float(0.5) == 0.5
+
+    def test_clamp_int(self):
+        assert values.clamp_int(300, S8) == 127
+        assert values.clamp_int(-300, S8) == -128
+        assert values.clamp_int(-1, U16) == 0
+        assert values.clamp_int(2 ** 40, U32) == 2 ** 32 - 1

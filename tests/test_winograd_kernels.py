@@ -1,0 +1,145 @@
+"""Direct tests of the Winograd F(2x2, 3x3) transform kernels."""
+
+import numpy as np
+import pytest
+
+BT = np.array([[1, 0, -1, 0], [0, 1, 1, 0], [0, -1, 1, 0],
+               [0, 1, 0, -1]], dtype=np.float64)
+G = np.array([[1, 0, 0], [0.5, 0.5, 0.5], [0.5, -0.5, 0.5],
+              [0, 0, 1]], dtype=np.float64)
+AT = np.array([[1, 1, 1, 0], [0, 1, -1, -1]], dtype=np.float64)
+
+
+class TestFilterTransform:
+    def test_matches_G_g_Gt(self, runtime, rng):
+        k, c = 2, 3
+        weights = rng.standard_normal((k, c, 3, 3)).astype(np.float32)
+        w_ptr = runtime.upload_f32(weights.ravel())
+        u_ptr = runtime.malloc(4 * 16 * k * c)
+        runtime.launch("winograd_filter_transform", (1, 1, 1),
+                       (128, 1, 1), [w_ptr, u_ptr, k, c, k * c])
+        got = runtime.download_f32(u_ptr, 16 * k * c).reshape(16, k, c)
+        for ki in range(k):
+            for ci in range(c):
+                expected = G @ weights[ki, ci].astype(np.float64) @ G.T
+                assert np.abs(got[:, ki, ci].reshape(4, 4)
+                              - expected).max() < 1e-5
+
+
+class TestInputTransform:
+    @pytest.mark.parametrize("transposed", [False, True])
+    def test_matches_Bt_d_B(self, runtime, rng, transposed):
+        n, c, h, w = 1, 2, 6, 6
+        tiles_h = tiles_w = 2  # covers a 4x4 output region
+        pad = 1
+        x = rng.standard_normal((n, c, h, w)).astype(np.float32)
+        x_ptr = runtime.upload_f32(x.ravel())
+        ntiles = n * tiles_h * tiles_w
+        v_ptr = runtime.malloc(4 * 16 * c * ntiles)
+        name = ("winograd_input_transform_t" if transposed
+                else "winograd_input_transform")
+        runtime.launch(name, (1, 1, 1), (128, 1, 1),
+                       [x_ptr, v_ptr, n, c, h, w, tiles_h, tiles_w,
+                        pad, pad, c * ntiles])
+        flat = runtime.download_f32(v_ptr, 16 * c * ntiles)
+        if transposed:
+            got = flat.reshape(16, ntiles, c).transpose(0, 2, 1)
+        else:
+            got = flat.reshape(16, c, ntiles)
+        xp = np.zeros((n, c, h + 2 * pad, w + 2 * pad))
+        xp[:, :, pad:pad + h, pad:pad + w] = x
+        for ci in range(c):
+            for t in range(ntiles):
+                th, tw = divmod(t, tiles_w)
+                patch = xp[0, ci, 2 * th:2 * th + 4, 2 * tw:2 * tw + 4]
+                expected = BT @ patch @ BT.T
+                assert np.abs(got[:, ci, t].reshape(4, 4)
+                              - expected).max() < 1e-4
+
+
+class TestOutputTransform:
+    def test_matches_At_m_A(self, runtime, rng):
+        k, tiles_h, tiles_w = 2, 2, 2
+        ntiles = tiles_h * tiles_w
+        m = rng.standard_normal((16, k, ntiles)).astype(np.float32)
+        m_ptr = runtime.upload_f32(m.ravel())
+        out_h = out_w = 4
+        y_ptr = runtime.malloc(4 * k * out_h * out_w)
+        runtime.launch("winograd_output_transform", (1, 1, 1),
+                       (128, 1, 1),
+                       [m_ptr, y_ptr, 1, k, out_h, out_w, tiles_h,
+                        tiles_w, k * ntiles])
+        got = runtime.download_f32(y_ptr, k * 16).reshape(k, 4, 4)
+        for ki in range(k):
+            for t in range(ntiles):
+                th, tw = divmod(t, tiles_w)
+                tile = AT @ m[:, ki, t].reshape(4, 4).astype(
+                    np.float64) @ AT.T
+                block = got[ki, 2 * th:2 * th + 2, 2 * tw:2 * tw + 2]
+                assert np.abs(block - tile).max() < 1e-4
+
+
+class TestRotateFilters:
+    def test_rotation_and_kc_swap(self, runtime, rng):
+        k, c = 2, 3
+        weights = rng.standard_normal((k, c, 3, 3)).astype(np.float32)
+        w_ptr = runtime.upload_f32(weights.ravel())
+        rot_ptr = runtime.malloc(weights.nbytes)
+        total = weights.size
+        runtime.launch("winograd_rotate_filters", (1, 1, 1), (128, 1, 1),
+                       [w_ptr, rot_ptr, k, c, 3, 3, total])
+        got = runtime.download_f32(rot_ptr, total).reshape(c, k, 3, 3)
+        expected = weights.transpose(1, 0, 2, 3)[:, :, ::-1, ::-1]
+        assert np.allclose(got, expected)
+
+
+class TestWgradIdentity:
+    def test_wgrad_transforms_compose_to_gradient(self, runtime, rng):
+        """dg = G^T [ (B^T d B) ⊙ (A dY A^T) ] G, one tile, checked
+        against the direct correlation gradient."""
+        x = rng.standard_normal((1, 1, 4, 4)).astype(np.float32)
+        dy = rng.standard_normal((1, 1, 2, 2)).astype(np.float32)
+        x_ptr = runtime.upload_f32(x.ravel())
+        dy_ptr = runtime.upload_f32(dy.ravel())
+        v_ptr = runtime.malloc(4 * 16)
+        w_ptr = runtime.malloc(4 * 16)
+        s_ptr = runtime.malloc(4 * 16)
+        dw_ptr = runtime.malloc(4 * 9)
+        runtime.launch("winograd_input_transform_t", (1, 1, 1),
+                       (32, 1, 1), [x_ptr, v_ptr, 1, 1, 4, 4, 1, 1,
+                                    0, 0, 1])
+        runtime.launch("winograd_wgrad_dy_transform", (1, 1, 1),
+                       (32, 1, 1), [dy_ptr, w_ptr, 1, 1, 2, 2, 1, 1, 1])
+        v = runtime.download_f32(v_ptr, 16)
+        w = runtime.download_f32(w_ptr, 16)
+        product = (v * w).astype(np.float32)
+        runtime.memcpy_h2d(s_ptr, product)
+        runtime.launch("winograd_wgrad_output_transform", (1, 1, 1),
+                       (32, 1, 1), [s_ptr, dw_ptr, 1, 1, 1])
+        got = runtime.download_f32(dw_ptr, 9).reshape(3, 3)
+        expected = np.zeros((3, 3))
+        for r in range(3):
+            for s in range(3):
+                expected[r, s] = (x[0, 0, r:r + 2, s:s + 2] * dy).sum()
+        assert np.abs(got - expected).max() < 1e-4
+
+
+class TestFusedVsNonfused:
+    def test_identical_results(self, dnn, runtime, rng):
+        from repro.cudnn import (ConvFwdAlgo, ConvolutionDescriptor,
+                                 FilterDescriptor, TensorDescriptor)
+        x = rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
+        w = rng.standard_normal((4, 3, 3, 3)).astype(np.float32)
+        x_desc = TensorDescriptor(2, 3, 8, 8)
+        w_desc = FilterDescriptor(4, 3, 3, 3)
+        conv = ConvolutionDescriptor(pad_h=1, pad_w=1)
+        x_ptr = runtime.upload_f32(x.ravel())
+        w_ptr = runtime.upload_f32(w.ravel())
+        _d1, fused = dnn.convolution_forward(
+            x_desc, x_ptr, w_desc, w_ptr, conv, ConvFwdAlgo.WINOGRAD)
+        d2, nonfused = dnn.convolution_forward(
+            x_desc, x_ptr, w_desc, w_ptr, conv,
+            ConvFwdAlgo.WINOGRAD_NONFUSED)
+        a = runtime.download_f32(fused, d2.size)
+        b = runtime.download_f32(nonfused, d2.size)
+        assert np.abs(a - b).max() < 1e-4
