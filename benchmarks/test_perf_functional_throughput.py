@@ -1,0 +1,105 @@
+"""Functional-core throughput: the superblock tier vs its ancestors.
+
+The paper leans on functional-mode speed (Section III-F: performance
+simulation is 7-8x slower, hence checkpointing).  Our functional core
+is pure Python, so interpreter overhead is the whole budget; this bench
+measures warp-instructions/second on the LeNet forward pass and on one
+conv_sample Winograd kernel under each execution tier and records the
+superblock/fastpath ratio the issue gates on (>= 2x on LeNet forward).
+
+Results land in ``BENCH_functional_throughput.json`` at the repo root
+so the ratio is diffable across commits.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from bench_utils import run_once
+
+from repro.cuda import CudaRuntime
+from repro.cuda.runtime import FunctionalBackend
+from repro.cudnn import Cudnn, build_application_binary
+from repro.cudnn.algos import ConvFwdAlgo
+from repro.nn import synthetic_mnist
+from repro.nn.lenet import LeNet, LeNetConfig
+from repro.workloads.conv_sample import ConvSample, ConvSampleConfig
+
+OUT_PATH = Path(__file__).resolve().parent.parent / (
+    "BENCH_functional_throughput.json")
+
+MODES = ("reference", "fastpath", "superblock")
+
+
+def _lenet_forward(mode: str) -> tuple[int, float]:
+    """(warp instructions, wall seconds) for one LeNet forward pass."""
+    rt = CudaRuntime(backend=FunctionalBackend(fast_mode=mode))
+    rt.load_binary(build_application_binary())
+    model = LeNet(Cudnn(rt), LeNetConfig())
+    images, _labels = synthetic_mnist(2, model.config.input_hw, seed=7)
+    start_profiles = len(rt.profiles)
+    start = time.perf_counter()
+    model.forward(images)
+    wall = time.perf_counter() - start
+    instructions = sum(p.result.instructions
+                      for p in rt.profiles[start_profiles:])
+    return instructions, wall
+
+
+def _conv_sample_forward(mode: str) -> tuple[int, float]:
+    """One Winograd forward convolution from the conv_sample workload."""
+    rt = CudaRuntime(backend=FunctionalBackend(fast_mode=mode))
+    sample = ConvSample(rt, ConvSampleConfig())
+    start = time.perf_counter()
+    profiles = sample.run_forward(ConvFwdAlgo.WINOGRAD_NONFUSED)
+    wall = time.perf_counter() - start
+    instructions = sum(p.result.instructions for p in profiles)
+    return instructions, wall
+
+
+def _measure(fn) -> dict:
+    per_mode = {}
+    for mode in MODES:
+        instructions, wall = fn(mode)
+        per_mode[mode] = {
+            "warp_instructions": instructions,
+            "wall_seconds": round(wall, 4),
+            "warp_instructions_per_second": round(instructions / wall),
+        }
+    return per_mode
+
+
+def test_functional_throughput(benchmark, record):
+    lenet = run_once(benchmark, lambda: _measure(_lenet_forward))
+    conv = _measure(_conv_sample_forward)
+
+    def ratio(table, over):
+        return (table["superblock"]["warp_instructions_per_second"]
+                / table[over]["warp_instructions_per_second"])
+
+    report = {
+        "lenet_forward": lenet,
+        "conv_sample_winograd_forward": conv,
+        "superblock_over_fastpath": {
+            "lenet_forward": round(ratio(lenet, "fastpath"), 2),
+            "conv_sample_winograd_forward": round(ratio(conv, "fastpath"),
+                                                  2),
+        },
+        "superblock_over_reference": {
+            "lenet_forward": round(ratio(lenet, "reference"), 2),
+            "conv_sample_winograd_forward": round(
+                ratio(conv, "reference"), 2),
+        },
+    }
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    record("functional_throughput", json.dumps(report, indent=2))
+
+    # All tiers execute the same dynamic instruction stream.
+    for table in (lenet, conv):
+        counts = {m: table[m]["warp_instructions"] for m in MODES}
+        assert len(set(counts.values())) == 1, counts
+
+    # The issue's acceptance bar: fused blocks at least double
+    # functional throughput on the LeNet forward pass.
+    assert report["superblock_over_fastpath"]["lenet_forward"] >= 2.0, (
+        report)

@@ -72,12 +72,19 @@ class KernelProfile:
 
 
 class FunctionalBackend:
-    """Functional simulation mode: correctness only, no timing stats."""
+    """Functional simulation mode: correctness only, no timing stats.
+
+    ``fast_mode`` selects the interpreter tier ("superblock", "fastpath"
+    or "reference") for ablation; the default is the fastest tier.
+    """
 
     name = "functional"
 
+    def __init__(self, *, fast_mode: str = "superblock") -> None:
+        self.fast_mode = fast_mode
+
     def execute(self, launch: LaunchContext) -> KernelRunResult:
-        stats = FunctionalEngine(launch).run()
+        stats = FunctionalEngine(launch, fast_mode=self.fast_mode).run()
         return KernelRunResult(instructions=stats.instructions, cycles=0,
                                stats={"per_opcode": stats.dynamic_per_opcode})
 

@@ -39,6 +39,24 @@ def _leaders(kernel: Kernel) -> list[int]:
     return sorted(i for i in leaders if i < len(kernel.body))
 
 
+def block_leaders(kernel: Kernel) -> frozenset[int]:
+    """Instruction indices that start a basic block.
+
+    Superblock fusion (:mod:`repro.functional.superblock`) must not fuse
+    across these: a leader is a potential control-flow entry point
+    (branch target, post-branch/exit fallthrough, or pc 0).
+    """
+    return frozenset(_leaders(kernel))
+
+
+def basic_blocks(kernel: Kernel) -> list[tuple[int, int]]:
+    """Half-open ``[start, end)`` instruction ranges of each basic block."""
+    leaders = _leaders(kernel)
+    size = len(kernel.body)
+    return [(leader, leaders[i + 1] if i + 1 < len(leaders) else size)
+            for i, leader in enumerate(leaders)]
+
+
 def build_cfg(kernel: Kernel) -> nx.DiGraph:
     """Basic-block CFG; node = leader instruction index, plus EXIT."""
     leaders = _leaders(kernel)

@@ -6,17 +6,25 @@ barriers) and defers everything else to the dispatch table in
 
 * **Functional simulation mode** — :meth:`FunctionalEngine.run` executes
   the whole grid CTA-by-CTA as fast as possible (the mode the paper says
-  is 7-8x faster than performance simulation).
+  is 7-8x faster than performance simulation).  When nothing observes
+  per-instruction state it issues whole *superblocks* — straight-line
+  runs fused into one closure by :mod:`repro.functional.superblock` —
+  and synthesises aggregate stats from static block metadata.
 * **Performance simulation mode** — the timing model issues one warp
   instruction at a time through :meth:`step_warp` and uses the returned
   :class:`ExecRecord` (opcode class, per-lane memory addresses) to charge
-  cycles.
+  cycles.  This contract is untouched by superblocks: one record per
+  issued instruction, always.
+
+The interpreter tiers are ablatable through ``fast_mode``:
+``"reference"`` (generic dispatch only), ``"fastpath"`` (per-instruction
+closures), ``"superblock"`` (fastpath + fused blocks, the default).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterator
+from typing import Callable, Iterator, Sequence
 
 from repro.errors import SimulationFault, TimingDeadlockError
 from repro.functional.cfg import prepare_kernel
@@ -27,6 +35,9 @@ from repro.ptx.instructions import BAR, CTRL, OP_CLASS, lookup
 
 #: Sentinel returned by step_warp when the warp is parked at a barrier.
 AT_BARRIER = "barrier"
+
+#: Interpreter tiers, fastest first.  See FunctionalEngine(fast_mode=).
+FAST_MODES = ("superblock", "fastpath", "reference")
 
 #: mask -> tuple of active lane indices (masks repeat heavily).
 _LANES_CACHE: dict[int, tuple[int, ...]] = {}
@@ -73,7 +84,11 @@ class FunctionalEngine:
     def __init__(self, launch: LaunchContext, *,
                  on_exec: Callable[[ExecRecord], None] | None = None,
                  reconverge_at_exit: bool = False,
-                 contract_fp16: bool = False) -> None:
+                 contract_fp16: bool = False,
+                 fast_mode: str = "superblock") -> None:
+        if fast_mode not in FAST_MODES:
+            raise ValueError(f"unknown fast_mode {fast_mode!r}; "
+                             f"expected one of {FAST_MODES}")
         self.launch = launch
         self.kernel = launch.kernel
         self.on_exec = on_exec
@@ -90,6 +105,8 @@ class FunctionalEngine:
                 or quirks.brev_unsupported or quirks.fp16_unsupported):
             # Legacy semantics in play: take the reference interpreter
             # everywhere so quirky behaviour is modelled exactly.
+            fast_mode = "reference"
+        if fast_mode == "reference":
             self._fast = [None] * self._body_len
         else:
             fast = getattr(self.kernel, "_fastpath", None)
@@ -100,6 +117,23 @@ class FunctionalEngine:
             self._fast = fast
         self._contract_sites = (
             self._find_fp16_contractions() if contract_fp16 else {})
+        if fast_mode == "superblock" and contract_fp16:
+            # Contraction rewrites mul+add pairs at issue time; fused
+            # blocks would execute the pair unfused.  Step instead.
+            fast_mode = "fastpath"
+        self._superblocks = {}
+        if fast_mode == "superblock":
+            from repro.functional.superblock import compile_superblocks
+            # Cache keyed on the fastpath list identity: if tests swap
+            # kernel._fastpath, stale blocks must not survive.
+            cached = getattr(self.kernel, "_superblock", None)
+            if cached is None or cached[0] is not self._fast:
+                blocks = compile_superblocks(self.kernel, self._fast)
+                self.kernel._superblock = (self._fast, blocks)
+            else:
+                blocks = cached[1]
+            self._superblocks = blocks
+        self.fast_mode = fast_mode
 
     # ------------------------------------------------------------------
     # Single-instruction stepping (used by both modes)
@@ -123,14 +157,18 @@ class FunctionalEngine:
         mask = warp.simt.active_mask
         lanes = lanes_of(mask)
         if inst.pred is not None:
+            # Fold the guard into a bitmask so the (heavily repeated)
+            # lane tuple comes out of the lanes_of cache instead of a
+            # fresh list per issue.
             regs = warp.regs
             name = inst.pred
+            taken = 0
+            for lane in lanes:
+                if regs[lane].get(name, 0) & 1:
+                    taken |= 1 << lane
             if inst.pred_negated:
-                lanes = [lane for lane in lanes
-                         if not regs[lane].get(name, 0) & 1]
-            else:
-                lanes = [lane for lane in lanes
-                         if regs[lane].get(name, 0) & 1]
+                taken = mask & ~taken
+            lanes = lanes_of(taken)
         opcode = inst.opcode
         self.launch.clock += 1
         warp.instructions_executed += 1
@@ -171,7 +209,7 @@ class FunctionalEngine:
         return record
 
     def _exec_branch(self, warp: WarpState, inst: ast.Instruction,
-                     pc: int, lanes: list[int]) -> None:
+                     pc: int, lanes: Sequence[int]) -> None:
         target = None
         for operand in inst.operands:
             if operand.kind == ast.LABEL:
@@ -245,7 +283,8 @@ class FunctionalEngine:
             write_union(warp, nxt.operands[0].name,
                         write_typed(result, F16), 16, lane)
 
-    def _exec_exit(self, warp: WarpState, pc: int, lanes: list[int]) -> None:
+    def _exec_exit(self, warp: WarpState, pc: int,
+                   lanes: Sequence[int]) -> None:
         exit_mask = 0
         for lane in lanes:
             exit_mask |= 1 << lane
@@ -301,6 +340,12 @@ class FunctionalEngine:
     def _run_warp_slice(self, warp: WarpState, stats: RunStats | None,
                         budget: int | None) -> bool:
         """Run a warp until it finishes, parks, or exhausts *budget*."""
+        if (budget is None and self._superblocks
+                and self.on_exec is None):
+            # Functional mode with nothing observing per-instruction
+            # state: issue whole fused blocks.  Budgeted runs (partial
+            # checkpoint CTAs) and instrumented runs must step.
+            return self._run_warp_slice_fast(warp, stats)
         executed = 0
         while not warp.finished and not warp.at_barrier:
             if budget is not None and executed >= budget:
@@ -314,6 +359,45 @@ class FunctionalEngine:
                 opcode = result.inst.opcode
                 stats.dynamic_per_opcode[opcode] = (
                     stats.dynamic_per_opcode.get(opcode, 0) + 1)
+        return executed > 0
+
+    def _run_warp_slice_fast(self, warp: WarpState,
+                             stats: RunStats | None) -> bool:
+        """Superblock issue loop for functional mode.
+
+        Whole fused blocks execute in one call — no ``ExecRecord``, no
+        per-instruction dispatch; aggregate stats come from each block's
+        static metadata.  Any pc without a block (predicated code,
+        control flow, a mid-block pc restored from a checkpoint) falls
+        back to :meth:`step_warp` until the next block entry.
+        """
+        blocks = self._superblocks
+        simt = warp.simt
+        launch = self.launch
+        per_opcode = stats.dynamic_per_opcode if stats is not None else None
+        executed = 0
+        while not simt.empty and not warp.at_barrier:
+            block = blocks.get(simt.pc)
+            if block is None:
+                result = self.step_warp(warp)
+                if result is None or result == AT_BARRIER:
+                    break
+                executed += 1
+                if per_opcode is not None:
+                    opcode = result.inst.opcode
+                    per_opcode[opcode] = per_opcode.get(opcode, 0) + 1
+                continue
+            block.execute(warp, lanes_of(simt.active_mask))
+            count = block.count
+            executed += count
+            warp.instructions_executed += count
+            launch.clock += count
+            simt.advance(block.end)
+            if per_opcode is not None:
+                for opcode, times in block.opcode_counts.items():
+                    per_opcode[opcode] = per_opcode.get(opcode, 0) + times
+        if stats is not None:
+            stats.instructions += executed
         return executed > 0
 
     def run(self) -> RunStats:

@@ -349,10 +349,6 @@ def _compile_selp(inst: ast.Instruction) -> LaneFn | None:
     rb = _payload_reader(b, dtype)
     if ra is None or rb is None or pred.kind != ast.REG:
         return None
-    if dtype.is_float and any(
-            op.kind == ast.IMM and op.imm_float for op in (a, b)):
-        # float immediates already encoded per dtype by _payload_reader
-        pass
     write = _payload_writer(dst.name, dtype.bits)
 
     def run(warp, lanes, ra=ra, rb=rb, write=write, pname=pred.name):

@@ -11,6 +11,7 @@ Shared, local, param and const spaces are small linear arenas.
 
 from __future__ import annotations
 
+import bisect
 import struct
 
 from repro.errors import SimulationFault
@@ -27,6 +28,7 @@ class GlobalMemory:
         self._pages: dict[int, bytearray] = {}
         self._next = GLOBAL_BASE
         self._allocations: dict[int, int] = {}
+        self._bases: list[int] = []  # sorted allocation bases
 
     # -- allocation ----------------------------------------------------
     def allocate(self, nbytes: int, align: int = 256) -> int:
@@ -35,18 +37,30 @@ class GlobalMemory:
         base = (self._next + align - 1) // align * align
         self._next = base + nbytes
         self._allocations[base] = nbytes
+        bisect.insort(self._bases, base)
         return base
 
     def free(self, addr: int) -> None:
         if addr not in self._allocations:
             raise SimulationFault(f"free of unallocated address {addr:#x}")
         del self._allocations[addr]
+        index = bisect.bisect_left(self._bases, addr)
+        del self._bases[index]
 
     def allocation_containing(self, addr: int) -> tuple[int, int] | None:
-        """Return (base, size) of the allocation holding *addr*, if any."""
-        for base, size in self._allocations.items():
-            if base <= addr < base + size:
-                return base, size
+        """Return (base, size) of the allocation holding *addr*, if any.
+
+        Allocations never overlap (bump allocator), so the only candidate
+        is the allocation with the greatest base <= addr — found by
+        bisection over the sorted base list, not a dict scan.
+        """
+        index = bisect.bisect_right(self._bases, addr) - 1
+        if index < 0:
+            return None
+        base = self._bases[index]
+        size = self._allocations[base]
+        if addr < base + size:
+            return base, size
         return None
 
     @property
@@ -111,6 +125,7 @@ class GlobalMemory:
         self._next = state["next"]
         self._allocations = {int(a): s
                              for a, s in state["allocations"].items()}
+        self._bases = sorted(self._allocations)
 
 
 class LinearMemory:

@@ -176,6 +176,33 @@ class WarpState:
     # ------------------------------------------------------------------
     # Register / operand access
     # ------------------------------------------------------------------
+    @property
+    def special(self) -> dict[str, list[int]]:
+        """Per-lane value tables of the special registers (read-only).
+
+        Superblock-compiled closures hoist these tables once per block
+        execution instead of calling :meth:`reg_payload` per lane.
+        """
+        return self._special
+
+    def arena_for(self, space: str):
+        """The lane-invariant arena backing *space*.
+
+        ``local`` is per-thread and deliberately rejected — callers that
+        may touch local memory must go through :meth:`load`/:meth:`store`
+        with an explicit lane.
+        """
+        if space == "global":
+            return self.cta.launch.global_mem
+        if space == "shared":
+            return self.cta.shared
+        if space == "param":
+            return self.cta.launch.param_mem
+        if space == "const":
+            return self.cta.launch.const_mem
+        raise SimulationFault(
+            f"memory space {space!r} has no lane-invariant arena")
+
     def reg_payload(self, name: str, lane: int) -> int:
         special = self._special.get(name)
         if special is not None:

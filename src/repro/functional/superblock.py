@@ -1,0 +1,791 @@
+"""Superblock fusion: block-level compilation of straight-line PTX.
+
+The per-instruction fast path (:mod:`repro.functional.fastpath`) removes
+operand re-interpretation but still re-enters the engine's dispatch loop
+— ``ExecRecord`` allocation, predicate checks, SIMT-stack advance — for
+every dynamic instruction.  This module extends specialisation one tier
+up: maximal straight-line runs of unpredicated, non-control, non-barrier
+instructions whose per-instruction closures all compiled are fused into a
+single *superblock* closure that executes the entire run for a warp in
+one call.
+
+Each superblock is compiled to Python source and ``exec``'d once per
+kernel.  Register-only instructions and loads share **one outer lanes
+loop** with the per-lane register file hoisted: they are legal to
+reorder lane-major because they touch only lane-private state (the
+lane's register dict, read-only special registers, immediates) or read
+memory nothing in the run has written.  Stores are where lanes
+communicate, so each store keeps warp-lockstep instruction order in its
+own lanes loop.  Anything the emitter does not understand falls back to
+the already-compiled per-instruction ``LaneFn`` as an opaque call inside
+the block.
+
+Block-local optimisations (all bit-exact against the reference tier):
+
+* register payloads written earlier in the same lane chunk are forwarded
+  through locals instead of re-read from the register dict;
+* float reinterpretation inlines the two ``struct`` calls instead of
+  going through the :mod:`repro.ptx.values` wrappers;
+* linear arenas (shared/param/const) and single-page global accesses are
+  read and written directly on the backing buffers, with the same bounds
+  faults the arena methods raise;
+* no ``mem_trace`` bookkeeping at all — traces only feed
+  :class:`~repro.functional.executor.ExecRecord`, which superblock-
+  executed instructions never produce.
+
+Functional simulation mode (the paper's 7-8x-faster leg, §III-F)
+executes whole superblocks and synthesises aggregate stats from static
+block metadata; performance mode never sees superblocks — the timing
+model keeps its one-``ExecRecord``-per-instruction contract through
+``step_warp``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import SimulationFault
+from repro.functional.cfg import block_leaders
+from repro.functional.fastpath import (
+    LaneFn, _is_special, _payload_reader, _value_reader)
+from repro.functional.memory import PAGE_BITS, PAGE_SIZE
+from repro.ptx import ast
+from repro.ptx.dtypes import DType
+from repro.ptx.instructions.common import (
+    float_div, float_max, float_min, int_div, int_rem)
+from repro.ptx.values import (
+    _PACK_F32, _PACK_F64, _PACK_U32, _PACK_U64, MASK64,
+    f32_to_bits, f64_to_bits, mask, to_signed)
+
+#: Opcodes owned by the engine's SIMT logic; never fused.
+_CONTROL = frozenset({"bra", "exit", "ret", "bar"})
+
+#: Special registers whose per-lane value tables can be hoisted.
+_STATIC_SPECIAL = frozenset(
+    [f"%{base}.{axis}" for base in ("tid", "ntid", "ctaid", "nctaid")
+     for axis in "xyz"] + ["%laneid", "%warpid"])
+
+#: Fused runs shorter than this stay on the stepping path.
+MIN_RUN = 1
+
+
+def _arena_oob(addr: int, nbytes: int, size: int) -> None:
+    """Raise the same fault LinearMemory._check raises (inlined access)."""
+    raise SimulationFault(
+        f"access [{addr}, {addr + nbytes}) outside arena of "
+        f"{size} bytes")
+
+
+class Superblock:
+    """One fused straight-line run: ``[start, end)`` of the kernel body."""
+
+    __slots__ = ("start", "end", "count", "execute", "opcodes",
+                 "opcode_counts", "has_mem", "source")
+
+    def __init__(self, start: int, end: int, execute, opcodes: tuple[str, ...],
+                 has_mem: bool, source: str) -> None:
+        self.start = start
+        self.end = end
+        self.count = end - start
+        self.execute = execute
+        self.opcodes = opcodes
+        counts: dict[str, int] = {}
+        for opcode in opcodes:
+            counts[opcode] = counts.get(opcode, 0) + 1
+        self.opcode_counts = counts
+        self.has_mem = has_mem
+        self.source = source
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Superblock [{self.start}, {self.end}) x{self.count}>"
+
+
+# ----------------------------------------------------------------------
+# Code generation
+# ----------------------------------------------------------------------
+class _BlockCodegen:
+    """Accumulates generated lines + the objects they close over."""
+
+    def __init__(self) -> None:
+        self.bindings: dict[str, object] = {}
+        self.prologue: list[str] = []
+        self.chunks: list[tuple[str, list[str]]] = []
+        self.has_mem = False
+        self._hoisted: dict[tuple, str] = {}
+        self._counter = 0
+        # Register name -> local holding its full current payload, valid
+        # only inside the current lane chunk (locals are per-lane).
+        self._forward: dict[str, str] = {}
+
+    # -- naming --------------------------------------------------------
+    def fresh(self, prefix: str = "_t") -> str:
+        self._counter += 1
+        return f"{prefix}{self._counter}"
+
+    def helper(self, name: str, obj) -> str:
+        """Bind a module-level helper under a fixed name."""
+        self.bindings.setdefault(name, obj)
+        return name
+
+    def const(self, value) -> str:
+        """An immediate: ints inline as literals, floats bind by name
+        (repr of inf/nan is not a valid literal)."""
+        if isinstance(value, int):
+            return repr(value)
+        name = self.fresh("_k")
+        self.bindings[name] = value
+        return name
+
+    # -- per-call hoists (lane-invariant, warp-dependent) --------------
+    def _hoist(self, key: tuple, expr: str) -> str:
+        name = self._hoisted.get(key)
+        if name is None:
+            name = self.fresh("_h")
+            self.prologue.append(f"{name} = {expr}")
+            self._hoisted[key] = name
+        return name
+
+    def special_table(self, name: str) -> str:
+        return self._hoist(("special", name), f"warp.special[{name!r}]")
+
+    def arena(self, space: str) -> str:
+        return self._hoist(("arena", space), f"warp.arena_for({space!r})")
+
+    def arena_buffer(self, space: str) -> tuple[str, str]:
+        """(bytearray local, length local) of a linear arena."""
+        buf = self._hoist(("arena_buf", space), f"{self.arena(space)}.data")
+        length = self._hoist(("arena_len", space), f"len({buf})")
+        return buf, length
+
+    def global_pages(self) -> tuple[str, str]:
+        """(pages.get local, _page bound method local) of global memory."""
+        arena = self.arena("global")
+        return (self._hoist(("gpages_get",), f"{arena}._pages.get"),
+                self._hoist(("gpage",), f"{arena}._page"))
+
+    def symbol_addr(self, name: str, offset: int) -> str:
+        return self._hoist(("sym", name, offset),
+                           f"warp.symbol_address({name!r})[1] + {offset}")
+
+    def reg_payload_fn(self) -> str:
+        return self._hoist(("reg_payload",), "warp.reg_payload")
+
+    # -- chunks --------------------------------------------------------
+    def lane(self, *lines: str) -> None:
+        """Per-lane statements; consecutive ones share a lanes loop."""
+        if self.chunks and self.chunks[-1][0] == "lane":
+            self.chunks[-1][1].extend(lines)
+        else:
+            self.chunks.append(("lane", list(lines)))
+
+    def warp_loop(self, lines: list[str]) -> None:
+        """Statements needing their own instruction-ordered lanes loop."""
+        self.chunks.append(("warp", lines))
+        self._forward.clear()
+
+    def opaque(self, fn: LaneFn) -> None:
+        name = self.fresh("_f")
+        self.bindings[name] = fn
+        self.chunks.append(("call", [f"{name}(warp, lanes)"]))
+        self._forward.clear()
+
+    def end_lane_chunk(self) -> None:
+        """Invalidate forwarded locals before leaving the current chunk."""
+        self._forward.clear()
+
+    # -- operand expressions -------------------------------------------
+    def payload_expr(self, op: ast.Operand, dtype: DType) -> str | None:
+        """Expression yielding the raw payload of *op* for ``lane``."""
+        if op.kind == ast.IMM:
+            reader = _payload_reader(op, dtype)
+            if reader is None:
+                return None
+            return self.const(reader(None, 0))
+        if op.kind != ast.REG:
+            return None
+        return self.reg_expr(op.name)
+
+    def reg_expr(self, name: str) -> str:
+        """Payload of a register by name (forwarded local if available)."""
+        if _is_special(name):
+            if name in _STATIC_SPECIAL:
+                return f"{self.special_table(name)}[lane]"
+            return f"{self.reg_payload_fn()}({name!r}, lane)"
+        forwarded = self._forward.get(name)
+        if forwarded is not None:
+            return forwarded
+        return f"regs.get({name!r}, 0)"
+
+    def value_expr(self, op: ast.Operand, dtype: DType) -> str | None:
+        """Expression yielding the typed Python value of *op*."""
+        if op.kind == ast.IMM:
+            reader = _value_reader(op, dtype)
+            if reader is None:
+                return None
+            return self.const(reader(None, 0))
+        payload = self.payload_expr(op, dtype)
+        if payload is None:
+            return None
+        if dtype.is_float:
+            # bits_to_f32/f64 with the struct round-trip inlined.
+            if dtype.bits == 32:
+                up = self.helper("_upf", _PACK_F32.unpack)
+                pk = self.helper("_pki", _PACK_U32.pack)
+                return f"{up}({pk}(({payload}) & 0xffffffff))[0]"
+            if dtype.bits == 64:
+                up = self.helper("_upd", _PACK_F64.unpack)
+                pk = self.helper("_pkq", _PACK_U64.pack)
+                return f"{up}({pk}(({payload}) & {MASK64:#x}))[0]"
+            return None
+        if dtype.is_signed:
+            sign = 1 << (dtype.bits - 1)
+            return (f"((({payload}) & {mask(dtype.bits):#x})"
+                    f" ^ {sign:#x}) - {sign:#x}")
+        return f"({payload}) & {mask(dtype.bits):#x}"
+
+    # -- destination writes --------------------------------------------
+    def write_payload(self, name: str, bits: int, expr: str) -> None:
+        """Union-preserving register write + forwarding local."""
+        if bits >= 64:
+            full = f"({expr}) & {MASK64:#x}"
+        else:
+            keep = MASK64 ^ mask(bits)
+            old = self.reg_expr(name)
+            full = f"({old} & {keep:#x}) | (({expr}) & {mask(bits):#x})"
+        self._define(name, full)
+
+    def write_raw(self, name: str, expr: str) -> None:
+        """Whole-payload register write (ld destinations, predicates)."""
+        if expr.isidentifier():  # already a local: no copy needed
+            self.lane(f"regs[{name!r}] = {expr}")
+            self._forward[name] = expr
+            return
+        self._define(name, expr)
+
+    def write_float(self, name: str, bits: int, expr: str) -> None:
+        wrap = (self.helper("f2b", f32_to_bits) if bits == 32
+                else self.helper("d2b", f64_to_bits))
+        self.write_payload(name, bits, f"{wrap}({expr})")
+
+    def _define(self, name: str, expr: str) -> None:
+        temp = self.fresh("_p")
+        self.lane(f"{temp} = {expr}", f"regs[{name!r}] = {temp}")
+        self._forward[name] = temp
+
+    # -- assembly ------------------------------------------------------
+    def build(self, filename: str):
+        body: list[str] = list(self.prologue)
+        if any(kind in ("lane", "warp") for kind, _ in self.chunks):
+            body.append("warp_regs = warp.regs")
+        for kind, lines in self.chunks:
+            if kind == "call":
+                body.extend(lines)
+            else:
+                body.append("for lane in lanes:")
+                body.append("    regs = warp_regs[lane]")
+                body.extend("    " + line for line in lines)
+        if not body:
+            body = ["pass"]
+        params = ["warp", "lanes"] + [f"{k}={k}" for k in self.bindings]
+        source = (f"def _superblock({', '.join(params)}):\n"
+                  + "\n".join("    " + line for line in body) + "\n")
+        namespace = dict(self.bindings)
+        exec(compile(source, filename, "exec"), namespace)
+        return namespace["_superblock"], source
+
+
+# ----------------------------------------------------------------------
+# Per-opcode emitters.  Each returns True if it generated code; False
+# means the instruction stays an opaque per-instruction closure call.
+# Semantics mirror repro.functional.fastpath exactly — the differential
+# tier test holds all three tiers bit-identical.
+# ----------------------------------------------------------------------
+_INT_OPS = {"add": "+", "sub": "-", "and": "&", "or": "|", "xor": "^"}
+_CMP_OPS = {"eq": "==", "ne": "!=", "lt": "<", "le": "<=",
+            "gt": ">", "ge": ">=",
+            "lo": "<", "ls": "<=", "hi": ">", "hs": ">="}
+
+
+def _emit_int_binary(inst: ast.Instruction, gen: _BlockCodegen) -> bool:
+    operator = _INT_OPS.get(inst.opcode)
+    if operator is None or inst.dtype.is_float:
+        return False
+    dst, a, b = inst.operands
+    ea = gen.payload_expr(a, inst.dtype)
+    eb = gen.payload_expr(b, inst.dtype)
+    if ea is None or eb is None or dst.kind != ast.REG:
+        return False
+    gen.write_payload(dst.name, inst.dtype.bits,
+                      f"({ea}) {operator} ({eb})")
+    return True
+
+
+def _emit_float_binary(inst: ast.Instruction, gen: _BlockCodegen) -> bool:
+    dtype = inst.dtype
+    if dtype.bits not in (32, 64):
+        return False
+    dst, a, b = inst.operands
+    ea = gen.value_expr(a, dtype)
+    eb = gen.value_expr(b, dtype)
+    if ea is None or eb is None or dst.kind != ast.REG:
+        return False
+    opcode = inst.opcode
+    if opcode in ("add", "sub", "mul"):
+        operator = {"add": "+", "sub": "-", "mul": "*"}[opcode]
+        expr = f"({ea}) {operator} ({eb})"
+    elif opcode == "div":
+        expr = f"{gen.helper('fdiv', float_div)}({ea}, {eb})"
+    elif opcode == "min":
+        expr = f"{gen.helper('fmn', float_min)}({ea}, {eb})"
+    elif opcode == "max":
+        expr = f"{gen.helper('fmx', float_max)}({ea}, {eb})"
+    else:
+        return False
+    gen.write_float(dst.name, dtype.bits, expr)
+    return True
+
+
+def _emit_mul_mad(inst: ast.Instruction, gen: _BlockCodegen) -> bool:
+    dtype = inst.dtype
+    if dtype.is_float or inst.has_mod("hi"):
+        return False
+    wide = inst.has_mod("wide")
+    operands = inst.operands
+    dst = operands[0]
+    if dst.kind != ast.REG:
+        return False
+    if wide:
+        out_bits = dtype.bits * 2
+        ea = gen.value_expr(operands[1], dtype)
+        eb = gen.value_expr(operands[2], dtype)
+    else:
+        out_bits = dtype.bits
+        ea = gen.payload_expr(operands[1], dtype)
+        eb = gen.payload_expr(operands[2], dtype)
+    if ea is None or eb is None:
+        return False
+    if inst.opcode == "mul":
+        expr = f"({ea}) * ({eb})"
+    else:
+        if wide and out_bits < 64:
+            ec = gen.value_expr(operands[3], DType(dtype.kind, out_bits))
+        else:
+            # At 64-bit accumulator width sign extension is a no-op mod
+            # 2^64 (the result is masked back), so read the raw payload.
+            ec = gen.payload_expr(operands[3], dtype)
+        if ec is None:
+            return False
+        expr = f"({ea}) * ({eb}) + ({ec})"
+    gen.write_payload(dst.name, out_bits, expr)
+    return True
+
+
+def _emit_fma(inst: ast.Instruction, gen: _BlockCodegen) -> bool:
+    dtype = inst.dtype
+    if not dtype.is_float or dtype.bits not in (32, 64):
+        return False
+    dst, a, b, c = inst.operands
+    ea = gen.value_expr(a, dtype)
+    eb = gen.value_expr(b, dtype)
+    ec = gen.value_expr(c, dtype)
+    if None in (ea, eb, ec) or dst.kind != ast.REG:
+        return False
+    gen.write_float(dst.name, dtype.bits, f"({ea}) * ({eb}) + ({ec})")
+    return True
+
+
+def _emit_divrem_int(inst: ast.Instruction, gen: _BlockCodegen) -> bool:
+    dtype = inst.dtype
+    if dtype.is_float:
+        return False
+    dst, a, b = inst.operands
+    ea = gen.value_expr(a, dtype)
+    eb = gen.value_expr(b, dtype)
+    if ea is None or eb is None or dst.kind != ast.REG:
+        return False
+    # Superblocks only exist on quirk-free launches, so the fast path's
+    # dynamic rem_ignores_type check compiles away entirely.
+    helper = (gen.helper("idiv", int_div) if inst.opcode == "div"
+              else gen.helper("irem", int_rem))
+    gen.write_payload(dst.name, dtype.bits, f"{helper}({ea}, {eb})")
+    return True
+
+
+def _emit_mov(inst: ast.Instruction, gen: _BlockCodegen) -> bool:
+    dtype = inst.dtype
+    if dtype.kind == "p":
+        return False
+    dst, src = inst.operands
+    if dst.kind != ast.REG or src.kind in (ast.VEC, ast.SYM):
+        return False
+    expr = gen.payload_expr(src, dtype)
+    if expr is None:
+        return False
+    gen.write_payload(dst.name, dtype.bits, expr)
+    return True
+
+
+def _emit_setp(inst: ast.Instruction, gen: _BlockCodegen) -> bool:
+    operator = _CMP_OPS.get(inst.cmp or "eq")
+    if operator is None:
+        return False
+    dtype = inst.dtype
+    dst, a, b = inst.operands
+    ea = gen.value_expr(a, dtype)
+    eb = gen.value_expr(b, dtype)
+    if ea is None or eb is None or dst.kind != ast.REG:
+        return False
+    if dtype.is_float:
+        ta, tb = gen.fresh(), gen.fresh()
+        nan_result = 1 if (inst.cmp or "eq") == "ne" else 0
+        gen.lane(f"{ta} = {ea}", f"{tb} = {eb}")
+        gen.write_raw(
+            dst.name,
+            f"{nan_result} if ({ta} != {ta} or {tb} != {tb})"
+            f" else (1 if {ta} {operator} {tb} else 0)")
+    else:
+        gen.write_raw(dst.name, f"1 if ({ea}) {operator} ({eb}) else 0")
+    return True
+
+
+def _emit_selp(inst: ast.Instruction, gen: _BlockCodegen) -> bool:
+    dtype = inst.dtype
+    dst, a, b, pred = inst.operands
+    if pred.kind != ast.REG or dst.kind != ast.REG:
+        return False
+    ea = gen.payload_expr(a, dtype)
+    eb = gen.payload_expr(b, dtype)
+    if ea is None or eb is None:
+        return False
+    gen.write_payload(
+        dst.name, dtype.bits,
+        f"({ea}) if {gen.reg_expr(pred.name)} & 1 else ({eb})")
+    return True
+
+
+def _emit_shift(inst: ast.Instruction, gen: _BlockCodegen) -> bool:
+    dtype = inst.dtype
+    dst, a, b = inst.operands
+    bits = dtype.bits
+    eb = gen.payload_expr(b, dtype)
+    if eb is None or dst.kind != ast.REG:
+        return False
+    amount = gen.fresh()
+    if inst.opcode == "shl":
+        ea = gen.payload_expr(a, dtype)
+        if ea is None:
+            return False
+        gen.lane(f"{amount} = ({eb}) & 0xffffffff")
+        gen.write_payload(
+            dst.name, bits,
+            f"0 if {amount} >= {bits} else ({ea}) << {amount}")
+        return True
+    if inst.opcode == "shr":
+        ea = gen.value_expr(a, dtype)
+        if ea is None:
+            return False
+        value = gen.fresh()
+        if dtype.is_signed:
+            result = (f"(-1 if {value} < 0 else 0) if {amount} >= {bits}"
+                      f" else {value} >> {amount}")
+        else:
+            result = f"0 if {amount} >= {bits} else {value} >> {amount}"
+        gen.lane(f"{amount} = ({eb}) & 0xffffffff",
+                 f"{value} = {ea}")
+        gen.write_payload(dst.name, bits, f"({result})")
+        return True
+    return False
+
+
+def _emit_cvt(inst: ast.Instruction, gen: _BlockCodegen) -> bool:
+    if len(inst.dtypes) < 2 or inst.has_mod("sat"):
+        return False
+    dst_t, src_t = inst.dtypes[0], inst.dtypes[1]
+    if 16 in (dst_t.bits, src_t.bits) and (dst_t.is_float
+                                           or src_t.is_float):
+        return False
+    dst, src = inst.operands
+    if dst.kind != ast.REG:
+        return False
+    expr = gen.value_expr(src, src_t)
+    if expr is None:
+        return False
+    if dst_t.is_float:
+        if dst_t.bits not in (32, 64):
+            return False
+        gen.write_float(dst.name, dst_t.bits, f"float({expr})")
+        return True
+    if src_t.is_float:
+        rounders = {"rni": ("rnd_rni", round), "rzi": ("rnd_rzi", math.trunc),
+                    "rmi": ("rnd_rmi", math.floor),
+                    "rpi": ("rnd_rpi", math.ceil)}
+        name, fn = "rnd_rzi", math.trunc
+        for modifier in inst.modifiers:
+            if modifier in rounders:
+                name, fn = rounders[modifier]
+                break
+        helper = gen.helper(name, fn)
+        value = gen.fresh()
+        gen.lane(f"{value} = {expr}")
+        gen.write_payload(
+            dst.name, dst_t.bits,
+            f"0 if {value} != {value} else int({helper}({value}))")
+        return True
+    gen.write_payload(dst.name, dst_t.bits, expr)
+    return True
+
+
+def _addr_var(gen: _BlockCodegen, mem: ast.Operand,
+              lines: list[str]) -> str:
+    """A local (or invariant hoist) holding the access address.
+
+    Mirrors the fast path exactly: a register base reads the plain
+    register dict (never the special-register tables).
+    """
+    if not mem.is_reg_base:
+        return gen.symbol_addr(mem.name, mem.offset)
+    forwarded = gen._forward.get(mem.name)
+    base = (forwarded if forwarded is not None
+            else f"regs.get({mem.name!r}, 0)")
+    if mem.offset == 0:
+        # Stored payloads are always masked to 64 bits (union
+        # invariant), so base alone is already the address.
+        if forwarded is not None:
+            return forwarded
+        addr = gen.fresh("_a")
+        lines.append(f"{addr} = {base}")
+        return addr
+    addr = gen.fresh("_a")
+    lines.append(f"{addr} = ({base} + {mem.offset}) & {MASK64:#x}")
+    return addr
+
+
+def _emit_ld_st(inst: ast.Instruction, gen: _BlockCodegen) -> bool:
+    if inst.has_mod("v2") or inst.has_mod("v4"):
+        return False
+    space = inst.space
+    if space in (None, "generic", "local"):
+        return False
+    dtype = inst.dtype
+    nbytes = dtype.bytes
+    is_global = space == "global"
+    if inst.opcode == "ld":
+        # Loads don't mutate memory, so they can join the fused
+        # lane-major chunk: with no intervening store, every lane reads
+        # the same bytes regardless of lane/instruction interleaving.
+        dst, mem = inst.operands
+        if dst.kind != ast.REG or mem.kind != ast.MEM:
+            return False
+        lines: list[str] = []
+        addr = _addr_var(gen, mem, lines)
+        raw = gen.fresh("_m")
+        if is_global:
+            lines.extend(_global_read_lines(gen, raw, addr, nbytes))
+        else:
+            lines.extend(_linear_read_lines(gen, space, raw, addr, nbytes,
+                                            invariant=not mem.is_reg_base))
+        gen.lane(*lines)
+        if dtype.is_signed and dtype.bits < 64:
+            to_signed_h = gen.helper("ts", to_signed)
+            gen.write_raw(dst.name,
+                          f"{to_signed_h}({raw}, {dtype.bits})"
+                          f" & {MASK64:#x}")
+        else:
+            gen.write_raw(dst.name, raw)
+        gen.has_mem = True
+        return True
+    if inst.opcode == "st":
+        # Stores are where lanes communicate: keep warp-lockstep
+        # instruction order by giving each store its own lanes loop.
+        mem, src = inst.operands
+        if mem.kind != ast.MEM:
+            return False
+        # Forwarded locals are scoped to the previous lane loop — the
+        # store body runs in its own loop, so drop them first.
+        gen.end_lane_chunk()
+        expr = gen.payload_expr(src, dtype)
+        if expr is None:
+            return False
+        lines = []
+        addr = _addr_var(gen, mem, lines)
+        value = gen.fresh("_m")
+        lines.append(f"{value} = ({expr}) & {mask(dtype.bits):#x}")
+        if is_global:
+            lines.extend(_global_write_lines(gen, value, addr, nbytes))
+        else:
+            lines.extend(_linear_write_lines(gen, space, value, addr,
+                                             nbytes,
+                                             invariant=not mem.is_reg_base))
+        gen.warp_loop(lines)
+        gen.has_mem = True
+        return True
+    return False
+
+
+def _linear_read_lines(gen: _BlockCodegen, space: str, out: str,
+                       addr: str, nbytes: int, *,
+                       invariant: bool) -> list[str]:
+    buf, length = gen.arena_buffer(space)
+    oob = gen.helper("_oob", _arena_oob)
+    ifb = gen.helper("_ifb", int.from_bytes)
+    check = (f"if {addr} < 0 or {addr} + {nbytes} > {length}: "
+             f"{oob}({addr}, {nbytes}, {length})")
+    if invariant:
+        gen.prologue.append(check)  # address is lane-invariant: check once
+        lines = []
+    else:
+        lines = [check]
+    lines.append(
+        f"{out} = {ifb}({buf}[{addr}:{addr} + {nbytes}], 'little')")
+    return lines
+
+
+def _linear_write_lines(gen: _BlockCodegen, space: str, value: str,
+                        addr: str, nbytes: int, *,
+                        invariant: bool) -> list[str]:
+    buf, length = gen.arena_buffer(space)
+    oob = gen.helper("_oob", _arena_oob)
+    check = (f"if {addr} < 0 or {addr} + {nbytes} > {length}: "
+             f"{oob}({addr}, {nbytes}, {length})")
+    if invariant:
+        gen.prologue.append(check)
+        lines = []
+    else:
+        lines = [check]
+    lines.append(f"{buf}[{addr}:{addr} + {nbytes}] = "
+                 f"{value}.to_bytes({nbytes}, 'little')")
+    return lines
+
+
+def _global_read_lines(gen: _BlockCodegen, out: str, addr: str,
+                       nbytes: int) -> list[str]:
+    pages_get, page = gen.global_pages()
+    ifb = gen.helper("_ifb", int.from_bytes)
+    offset = gen.fresh("_o")
+    pg = gen.fresh("_g")
+    fallback = gen._hoist(("gread",), f"{gen.arena('global')}.read_uint")
+    return [
+        f"{offset} = {addr} & {PAGE_SIZE - 1:#x}",
+        f"if {offset} <= {PAGE_SIZE - nbytes}:",
+        f"    {pg} = {pages_get}({addr} >> {PAGE_BITS})",
+        f"    if {pg} is None: {pg} = {page}({addr} >> {PAGE_BITS})",
+        f"    {out} = {ifb}({pg}[{offset}:{offset} + {nbytes}], 'little')",
+        "else:",
+        f"    {out} = {fallback}({addr}, {nbytes})",
+    ]
+
+
+def _global_write_lines(gen: _BlockCodegen, value: str, addr: str,
+                        nbytes: int) -> list[str]:
+    pages_get, page = gen.global_pages()
+    offset = gen.fresh("_o")
+    pg = gen.fresh("_g")
+    fallback = gen._hoist(("gwrite",), f"{gen.arena('global')}.write_uint")
+    return [
+        f"{offset} = {addr} & {PAGE_SIZE - 1:#x}",
+        f"if {offset} <= {PAGE_SIZE - nbytes}:",
+        f"    {pg} = {pages_get}({addr} >> {PAGE_BITS})",
+        f"    if {pg} is None: {pg} = {page}({addr} >> {PAGE_BITS})",
+        f"    {pg}[{offset}:{offset} + {nbytes}] = "
+        f"{value}.to_bytes({nbytes}, 'little')",
+        "else:",
+        f"    {fallback}({addr}, {value}, {nbytes})",
+    ]
+
+
+_EMITTERS = {
+    "add": _emit_int_binary, "sub": _emit_int_binary,
+    "and": _emit_int_binary, "or": _emit_int_binary,
+    "xor": _emit_int_binary,
+    "mul": _emit_mul_mad, "mad": _emit_mul_mad,
+    "fma": _emit_fma,
+    "div": _emit_divrem_int, "rem": _emit_divrem_int,
+    "mov": _emit_mov,
+    "setp": _emit_setp, "selp": _emit_selp,
+    "shl": _emit_shift, "shr": _emit_shift,
+    "cvt": _emit_cvt,
+    "ld": _emit_ld_st, "st": _emit_ld_st,
+}
+
+
+def _emit(inst: ast.Instruction, gen: _BlockCodegen) -> bool:
+    opcode = inst.opcode
+    if (opcode in ("add", "sub", "mul", "div", "min", "max")
+            and inst.dtype.is_float):
+        handler = _emit_float_binary
+    else:
+        handler = _EMITTERS.get(opcode)
+        if handler is None:
+            return False
+    try:
+        return handler(inst, gen)
+    except (KeyError, IndexError, ValueError):
+        return False
+
+
+# ----------------------------------------------------------------------
+# Run discovery and fusion
+# ----------------------------------------------------------------------
+def _references_clock(inst: ast.Instruction) -> bool:
+    for op in inst.operands:
+        if op.kind in (ast.REG, ast.MEM) and op.name.startswith("%clock"):
+            return True
+        if op.kind == ast.VEC and any(
+                e.kind == ast.REG and e.name.startswith("%clock")
+                for e in op.elems):
+            return True
+    return False
+
+
+def eligible(inst: ast.Instruction, fast_fn: LaneFn | None) -> bool:
+    """Can *inst* live inside a superblock?
+
+    Requires an already-compiled per-instruction closure, no guard
+    predicate, no control flow / barrier, and no ``%clock`` read (the
+    clock must tick per instruction, which fused blocks batch).
+    """
+    if fast_fn is None or inst.pred is not None:
+        return False
+    if inst.opcode in _CONTROL:
+        return False
+    return not _references_clock(inst)
+
+
+def _fuse(kernel, run: list[ast.Instruction], start: int,
+          fast: list[LaneFn | None]) -> Superblock:
+    gen = _BlockCodegen()
+    for offset, inst in enumerate(run):
+        if not _emit(inst, gen):
+            gen.opaque(fast[start + offset])
+    filename = f"<superblock {kernel.name}@{start}>"
+    execute, source = gen.build(filename)
+    return Superblock(
+        start=start, end=start + len(run), execute=execute,
+        opcodes=tuple(inst.opcode for inst in run),
+        has_mem=gen.has_mem, source=source)
+
+
+def compile_superblocks(kernel,
+                        fast: list[LaneFn | None]) -> dict[int, Superblock]:
+    """Fuse every maximal eligible straight-line run of *kernel*.
+
+    Returns ``{entry pc: Superblock}``.  Runs never cross basic-block
+    leaders, so any pc a warp can branch or reconverge to is either a
+    block entry or outside every block (where the engine steps).
+    """
+    body = kernel.body
+    leaders = block_leaders(kernel)
+    blocks: dict[int, Superblock] = {}
+    pc, size = 0, len(body)
+    while pc < size:
+        if not eligible(body[pc], fast[pc]):
+            pc += 1
+            continue
+        start = pc
+        pc += 1
+        while (pc < size and pc not in leaders
+               and eligible(body[pc], fast[pc])):
+            pc += 1
+        if pc - start >= MIN_RUN:
+            blocks[start] = _fuse(kernel, body[start:pc], start, fast)
+    return blocks

@@ -121,3 +121,173 @@ def test_compile_kernel_covers_common_ops():
     compiled = fastpath.compile_kernel(kernel)
     coverage = sum(1 for fn in compiled if fn is not None) / len(compiled)
     assert coverage > 0.75, f"fast-path coverage too low: {coverage:.0%}"
+
+
+# ----------------------------------------------------------------------
+# Tri-modal differential: reference vs fastpath vs superblock
+# ----------------------------------------------------------------------
+
+from repro.cublas import Cublas  # noqa: E402
+from repro.cuda.runtime import FunctionalBackend, KernelRunResult  # noqa: E402
+from repro.cudnn import Cudnn, build_application_binary  # noqa: E402
+from repro.cudnn.algos import ConvFwdAlgo  # noqa: E402
+from repro.functional.executor import (  # noqa: E402
+    FAST_MODES, FunctionalEngine, RunStats)
+from repro.nn import synthetic_mnist  # noqa: E402
+from repro.nn.lenet import LeNet, LeNetConfig  # noqa: E402
+
+
+class _SnapshottingBackend(FunctionalBackend):
+    """Backend recording, per launch, the kernel name, the dynamic
+    instruction count and every warp's final register file."""
+
+    def __init__(self, fast_mode: str) -> None:
+        super().__init__(fast_mode=fast_mode)
+        self.trace: list[tuple[str, int, list]] = []
+
+    def execute(self, launch):
+        engine = FunctionalEngine(launch, fast_mode=self.fast_mode)
+        stats = RunStats()
+        regdump = []
+        for cta in engine.iter_ctas():
+            stats.ctas_launched += 1
+            stats.warps_launched += len(cta.warps)
+            engine.run_cta(cta, stats)
+            regdump.append([[dict(regs) for regs in warp.regs]
+                            for warp in cta.warps])
+        self.trace.append((launch.kernel.name, stats.instructions, regdump))
+        return KernelRunResult(
+            instructions=stats.instructions, cycles=0,
+            stats={"per_opcode": stats.dynamic_per_opcode})
+
+
+def _drive_library_workload(backend: _SnapshottingBackend):
+    """Run every cuDNN conv algorithm plus the cuBLAS entry points."""
+    rt = CudaRuntime(backend=backend)
+    rt.load_binary(build_application_binary())
+    dnn = Cudnn(rt)
+    outputs = []
+    for conv1, conv2 in ((ConvFwdAlgo.WINOGRAD_NONFUSED,
+                          ConvFwdAlgo.IMPLICIT_GEMM),
+                         (ConvFwdAlgo.FFT, ConvFwdAlgo.WINOGRAD)):
+        model = LeNet(dnn, LeNetConfig.reduced(conv1_fwd=conv1,
+                                               conv2_fwd=conv2))
+        images, _labels = synthetic_mnist(1, model.config.input_hw, seed=7)
+        outputs.append(model.forward(images))
+
+    blas = Cublas(rt)
+    rng = np.random.default_rng(11)
+    m = n = k = 8
+    a, b, c = (rt.malloc(4 * m * k), rt.malloc(4 * k * n),
+               rt.malloc(4 * m * n))
+    for ptr, count in ((a, m * k), (b, k * n), (c, m * n)):
+        rt.memcpy_h2d(ptr, rng.random(count, dtype=np.float32))
+    blas.sgemm(a, b, c, m, n, k)
+    x, y = rt.malloc(4 * k), rt.malloc(4 * m)
+    rt.memcpy_h2d(x, rng.random(k, dtype=np.float32))
+    rt.memcpy_h2d(y, rng.random(m, dtype=np.float32))
+    blas.sgemv_t(a, x, y, rows=m, cols=k)
+    blas.saxpy(x, y, 0.5, count=min(m, k))
+    blas.sscal(y, 1.25, count=m)
+    outputs.append(np.frombuffer(rt.memcpy_d2h(c, 4 * m * n),
+                                 dtype=np.float32))
+    outputs.append(np.frombuffer(rt.memcpy_d2h(y, 4 * m),
+                                 dtype=np.float32))
+
+    pages = {pid: bytes(page)
+             for pid, page in rt.global_mem._pages.items()}
+    return outputs, pages
+
+
+@pytest.mark.slow
+def test_library_kernels_trimodal_differential():
+    """Every cuDNN/cuBLAS kernel, bit-identical across all three tiers.
+
+    Register files (per warp, post-exit), the final global-memory
+    image, per-launch instruction counts and the launch sequence itself
+    must all match the reference interpreter exactly.
+    """
+    runs = {}
+    for mode in FAST_MODES:
+        backend = _SnapshottingBackend(mode)
+        outputs, pages = _drive_library_workload(backend)
+        runs[mode] = (backend.trace, outputs, pages)
+
+    ref_trace, ref_outputs, ref_pages = runs["reference"]
+    kernels = {name for name, _insns, _regs in ref_trace}
+    assert any("gemm" in name for name in kernels)
+    assert len(kernels) >= 8, f"workload too narrow: {sorted(kernels)}"
+
+    for mode in ("fastpath", "superblock"):
+        trace, outputs, pages = runs[mode]
+        assert [t[0] for t in trace] == [t[0] for t in ref_trace]
+        assert [t[1] for t in trace] == [t[1] for t in ref_trace]
+        for (name, _insns, regs), (_n, _i, ref_regs) in zip(trace,
+                                                            ref_trace):
+            assert regs == ref_regs, f"register files diverge in {name}"
+        for got, want in zip(outputs, ref_outputs):
+            assert got.tobytes() == want.tobytes()
+        assert pages == ref_pages
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_superblock_matches_fastpath_and_reference(seed):
+    ptx = _mixed_kernel(seed)
+    rng = np.random.default_rng(seed + 2000)
+    inputs = rng.integers(0, 2 ** 32, size=96, dtype=np.uint64
+                          ).astype(np.uint32)
+    outs = {}
+    for mode in FAST_MODES:
+        rt = CudaRuntime(backend=FunctionalBackend(fast_mode=mode))
+        rt.load_ptx(ptx, f"mix_sb_{mode}")
+        n = len(inputs)
+        xs = rt.malloc(4 * n)
+        rt.memcpy_h2d(xs, inputs)
+        out = rt.malloc(4 * n)
+        rt.launch("mix", ((n + 63) // 64, 1, 1), (64, 1, 1), [xs, out, n])
+        outs[mode] = np.frombuffer(rt.memcpy_d2h(out, 4 * n),
+                                   dtype=np.uint32)
+    assert (outs["superblock"] == outs["reference"]).all()
+    assert (outs["fastpath"] == outs["reference"]).all()
+
+
+def test_selp_float_immediates_compile_and_match():
+    """selp.f32 with float immediates takes the fast path and agrees
+    with the reference interpreter."""
+    b = PTXBuilder("selpf", [("xs", "u64"), ("out", "u64"), ("n", "u32")])
+    xs = b.ld_param("u64", "xs")
+    out = b.ld_param("u64", "out")
+    n = b.ld_param("u32", "n")
+    tid = b.global_tid_x()
+    b.guard_tid_below(tid, n)
+    x = b.reg("f32")
+    picked = b.reg("f32")
+    pred = b.reg("pred")
+    b.ins("ld.global.f32", x, f"[{b.elem_addr(xs, tid)}]")
+    b.ins("setp.gt.f32", pred, x, f32(0.5))
+    b.ins("selp.f32", picked, f32(1.5), f32(-2.25), pred)
+    b.ins("st.global.f32", f"[{b.elem_addr(out, tid)}]", picked)
+    ptx = b.build()
+
+    module = parse_module(ptx, "selpf")
+    kernel = module.kernel("selpf")
+    compiled = fastpath.compile_kernel(kernel)
+    selp_pcs = [pc for pc, inst in enumerate(kernel.body)
+                if inst.opcode.startswith("selp")]
+    assert selp_pcs and all(compiled[pc] is not None for pc in selp_pcs)
+
+    rng = np.random.default_rng(5)
+    values = rng.random(64, dtype=np.float32)
+    results = {}
+    for mode in ("reference", "fastpath"):
+        rt = CudaRuntime(backend=FunctionalBackend(fast_mode=mode))
+        rt.load_ptx(ptx, f"selpf_{mode}")
+        xs_ptr = rt.malloc(4 * 64)
+        rt.memcpy_h2d(xs_ptr, values)
+        out_ptr = rt.malloc(4 * 64)
+        rt.launch("selpf", (1, 1, 1), (64, 1, 1), [xs_ptr, out_ptr, 64])
+        results[mode] = np.frombuffer(rt.memcpy_d2h(out_ptr, 4 * 64),
+                                      dtype=np.float32)
+    expected = np.where(values > 0.5, np.float32(1.5), np.float32(-2.25))
+    assert (results["fastpath"] == results["reference"]).all()
+    assert (results["fastpath"] == expected).all()

@@ -48,6 +48,29 @@ class TestGlobalMemory:
         assert gm.allocation_containing(addr + 99) == (addr, 100)
         assert gm.allocation_containing(addr + 100) is None
 
+    def test_allocation_containing_many_allocations(self):
+        # The lookup bisects a sorted base list; probe hits in every
+        # allocation, misses in the alignment gaps between them, and
+        # misses past both ends.
+        gm = GlobalMemory()
+        sizes = [100, 1, 256, 300, 17]
+        bases = [gm.allocate(size) for size in sizes]
+        for base, size in zip(bases, sizes):
+            assert gm.allocation_containing(base) == (base, size)
+            assert gm.allocation_containing(base + size - 1) == (base, size)
+            assert gm.allocation_containing(base + size // 2) == (base, size)
+        for prev, nxt, size in zip(bases, bases[1:], sizes):
+            if prev + size < nxt:  # alignment left a gap
+                assert gm.allocation_containing(prev + size) is None
+                assert gm.allocation_containing(nxt - 1) is None
+        assert gm.allocation_containing(bases[0] - 1) is None
+        assert gm.allocation_containing(bases[-1] + sizes[-1]) is None
+        # Freeing a middle allocation leaves its neighbours findable.
+        gm.free(bases[2])
+        assert gm.allocation_containing(bases[2]) is None
+        assert gm.allocation_containing(bases[1]) == (bases[1], sizes[1])
+        assert gm.allocation_containing(bases[3]) == (bases[3], sizes[3])
+
     def test_free(self):
         gm = GlobalMemory()
         addr = gm.allocate(8)

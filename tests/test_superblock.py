@@ -1,0 +1,187 @@
+"""Superblock tier tests: fusion legality, bit-exactness against the
+lower tiers, and the engine's two-mode issue loop.
+
+The superblock compiler fuses straight-line runs of fast-path
+instructions into single per-block closures.  These tests pin down the
+block boundaries (no fused run may cross a leader or swallow control
+flow), the execution contract (identical architectural state to the
+reference interpreter), and the mode plumbing (quirky launches fall
+back to reference, ``contract_fp16`` to fastpath, and performance mode
+still emits one :class:`ExecRecord` per issued instruction).
+"""
+
+import numpy as np
+import pytest
+
+from repro.functional import fastpath
+from repro.functional.cfg import basic_blocks, block_leaders
+from repro.functional.executor import FAST_MODES, FunctionalEngine, RunStats
+from repro.functional.memory import GlobalMemory, LinearMemory
+from repro.functional.state import LaunchContext
+from repro.functional.superblock import compile_superblocks, eligible
+from repro.ptx.builder import PTXBuilder, f32
+from repro.ptx.parser import parse_module
+from repro.quirks import LegacyQuirks
+
+
+def _saxpy_ptx() -> str:
+    b = PTXBuilder("sax", [("xs", "u64"), ("ys", "u64"), ("n", "u32")])
+    xs = b.ld_param("u64", "xs")
+    ys = b.ld_param("u64", "ys")
+    n = b.ld_param("u32", "n")
+    tid = b.global_tid_x()
+    b.guard_tid_below(tid, n)
+    x = b.reg("f32")
+    y = b.reg("f32")
+    b.ins("ld.global.f32", x, f"[{b.elem_addr(xs, tid)}]")
+    b.ins("ld.global.f32", y, f"[{b.elem_addr(ys, tid)}]")
+    b.ins("fma.rn.f32", y, x, f32(2.0), y)
+    b.ins("st.global.f32", f"[{b.elem_addr(ys, tid)}]", y)
+    return b.build()
+
+
+def _build_launch(ptx: str, name: str, *, quirks=None) -> LaunchContext:
+    module = parse_module(ptx, "sb")
+    kernel = module.kernel(name)
+    n = 64
+    gm = GlobalMemory()
+    xs = gm.allocate(4 * n)
+    ys = gm.allocate(4 * n)
+    rng = np.random.default_rng(3)
+    gm.write(xs, rng.random(n, dtype=np.float32).tobytes())
+    gm.write(ys, rng.random(n, dtype=np.float32).tobytes())
+    pm = LinearMemory(max(kernel.param_bytes, 16))
+    for decl, value in zip(kernel.params, [xs, ys, n]):
+        pm.write_uint(decl.offset, value, decl.dtype.bytes)
+    kwargs = {} if quirks is None else {"quirks": quirks}
+    return LaunchContext(kernel=kernel, grid_dim=(2, 1, 1),
+                         block_dim=(32, 1, 1), global_mem=gm,
+                         param_mem=pm, **kwargs)
+
+
+class TestBlockDiscovery:
+    def test_basic_blocks_partition_the_kernel(self):
+        module = parse_module(_saxpy_ptx(), "part")
+        kernel = module.kernel("sax")
+        covered = []
+        for start, end in basic_blocks(kernel):
+            assert start < end
+            covered.extend(range(start, end))
+        assert covered == list(range(len(kernel.body)))
+
+    def test_runs_never_cross_leaders_or_control(self):
+        module = parse_module(_saxpy_ptx(), "lead")
+        kernel = module.kernel("sax")
+        fast = fastpath.compile_kernel(kernel)
+        blocks = compile_superblocks(kernel, fast)
+        leaders = block_leaders(kernel)
+        for start, block in blocks.items():
+            assert block.start == start
+            # Interior pcs are never leaders and never control flow.
+            for pc in range(start + 1, block.end):
+                assert pc not in leaders
+            for pc in range(start, block.end):
+                inst = kernel.body[pc]
+                assert inst.opcode.split(".")[0] not in (
+                    "bra", "exit", "ret", "bar")
+                assert inst.pred is None
+
+    def test_predicated_and_control_instructions_are_ineligible(self):
+        module = parse_module(_saxpy_ptx(), "elig")
+        kernel = module.kernel("sax")
+        fast = fastpath.compile_kernel(kernel)
+        for pc, inst in enumerate(kernel.body):
+            base = inst.opcode.split(".")[0]
+            if inst.pred is not None or base in ("bra", "exit", "ret",
+                                                 "bar"):
+                assert not eligible(inst, fast[pc])
+        # An uncompiled instruction can never join a fused run.
+        assert not eligible(kernel.body[0], None)
+
+    def test_fused_block_source_has_single_lane_loop_plus_store(self):
+        # saxpy's main block is ld/ld/fma/st: loads and register ops
+        # share one lane-major loop, the store gets its own.
+        module = parse_module(_saxpy_ptx(), "src")
+        kernel = module.kernel("sax")
+        blocks = compile_superblocks(kernel, fastpath.compile_kernel(kernel))
+        with_store = [blk for blk in blocks.values()
+                      if any(op.startswith("st") for op in blk.opcodes)]
+        assert with_store, "expected a fused block containing the store"
+        block = with_store[0]
+        # Loads and register ops fuse into one lane-major loop; the
+        # store is the only cross-lane communication and gets its own.
+        stores = sum(1 for op in block.opcodes if op.startswith("st"))
+        assert block.source.count("for lane in lanes:") == 1 + stores
+
+
+class TestEngineModes:
+    def test_unknown_fast_mode_rejected(self):
+        launch = _build_launch(_saxpy_ptx(), "sax")
+        with pytest.raises(ValueError, match="unknown fast_mode"):
+            FunctionalEngine(launch, fast_mode="turbo")
+
+    def test_quirky_launch_forces_reference(self):
+        quirks = LegacyQuirks(rem_ignores_type=True)
+        launch = _build_launch(_saxpy_ptx(), "sax", quirks=quirks)
+        engine = FunctionalEngine(launch, fast_mode="superblock")
+        assert engine.fast_mode == "reference"
+        assert not engine._superblocks
+
+    def test_contract_fp16_bypasses_superblocks(self):
+        launch = _build_launch(_saxpy_ptx(), "sax")
+        engine = FunctionalEngine(launch, contract_fp16=True,
+                                  fast_mode="superblock")
+        assert engine.fast_mode == "fastpath"
+        assert not engine._superblocks
+
+    def test_compiled_blocks_are_cached_on_the_kernel(self):
+        launch = _build_launch(_saxpy_ptx(), "sax")
+        first = FunctionalEngine(launch, fast_mode="superblock")
+        second = FunctionalEngine(launch, fast_mode="superblock")
+        assert second._superblocks is first._superblocks
+
+    def test_all_modes_agree_on_memory_and_counts(self):
+        results = {}
+        for mode in FAST_MODES:
+            launch = _build_launch(_saxpy_ptx(), "sax")
+            stats = FunctionalEngine(launch, fast_mode=mode).run()
+            ys = sorted(launch.global_mem.allocations)[1]
+            results[mode] = (launch.global_mem.read(ys, 4 * 64),
+                             stats.instructions,
+                             dict(stats.dynamic_per_opcode),
+                             launch.clock)
+        assert results["superblock"] == results["fastpath"]
+        assert results["fastpath"] == results["reference"]
+
+
+class TestPerformanceModeContract:
+    def test_one_exec_record_per_issued_instruction(self):
+        # With an observer attached the engine must take the stepping
+        # path: one ExecRecord per issued warp instruction, never a
+        # fused block.
+        records = []
+        launch = _build_launch(_saxpy_ptx(), "sax")
+        engine = FunctionalEngine(launch, fast_mode="superblock")
+        engine.on_exec = records.append  # post-hoc, as hwmodel does
+        stats = RunStats()
+        for cta in engine.iter_ctas():
+            engine.run_cta(cta, stats)
+        assert stats.instructions > 0
+        assert len(records) == stats.instructions
+
+    def test_budgeted_stepping_matches_free_run(self):
+        free = _build_launch(_saxpy_ptx(), "sax")
+        FunctionalEngine(free, fast_mode="superblock").run()
+
+        budgeted = _build_launch(_saxpy_ptx(), "sax")
+        engine = FunctionalEngine(budgeted, fast_mode="superblock")
+        for cta in engine.iter_ctas():
+            budget = 1
+            while not cta.finished:
+                engine.run_cta(cta, max_warp_instructions=budget)
+                budget += 1
+
+        allocs = sorted(free.global_mem.allocations)
+        for addr, size in zip(allocs, (4 * 64, 4 * 64)):
+            assert (free.global_mem.read(addr, size)
+                    == budgeted.global_mem.read(addr, size))
