@@ -80,11 +80,19 @@ class FunctionalBackend:
 
     name = "functional"
 
-    def __init__(self, *, fast_mode: str = "superblock") -> None:
+    def __init__(self, *, fast_mode: str = "superblock",
+                 on_exec=None, exec_override=None) -> None:
         self.fast_mode = fast_mode
+        #: Optional per-instruction hooks forwarded to FunctionalEngine
+        #: (fault injection / instrumentation); either forces the
+        #: engine off the superblock tier for the affected launch.
+        self.on_exec = on_exec
+        self.exec_override = exec_override
 
     def execute(self, launch: LaunchContext) -> KernelRunResult:
-        stats = FunctionalEngine(launch, fast_mode=self.fast_mode).run()
+        stats = FunctionalEngine(launch, fast_mode=self.fast_mode,
+                                 on_exec=self.on_exec,
+                                 exec_override=self.exec_override).run()
         return KernelRunResult(instructions=stats.instructions, cycles=0,
                                stats={"per_opcode": stats.dynamic_per_opcode})
 
@@ -230,25 +238,65 @@ class CudaRuntime:
         self._drain(only=None)
 
     def _drain(self, only: CudaStream | None) -> None:
-        targets = [only] if only is not None else self.streams
-        while True:
-            if only is not None and only.idle:
-                return
-            if only is None and all(s.idle for s in self.streams):
-                return
+        if only is not None:
+            # cudaStreamSynchronize: drain the target stream, running
+            # other streams only as far as its event waits require.
+            self._drain_stream(only, frozenset())
+            return
+        # cudaDeviceSynchronize: drain everything.
+        while not all(s.idle for s in self.streams):
             progressed = False
-            # Event completion may depend on other streams, so always
-            # consider every stream when draining.
             for stream in self.streams:
                 while stream.head_ready():
                     stream.pop_and_run(self.now)
                     progressed = True
-            del targets
             if not progressed:
                 blocked = [s.stream_id for s in self.streams if not s.idle]
                 raise CudaError(
                     f"stream deadlock: streams {blocked} are waiting on "
                     "events that will never complete")
+
+    def _drain_stream(self, stream: CudaStream,
+                      visiting: frozenset[CudaStream]) -> None:
+        """Fully drain *stream*; recursively satisfy its event waits."""
+        if stream in visiting:
+            raise CudaError(
+                f"stream deadlock: stream {stream.stream_id} waits on an "
+                "event whose record depends on this stream")
+        visiting = visiting | {stream}
+        while stream.queue:
+            if stream.head_ready():
+                stream.pop_and_run(self.now)
+                continue
+            # Head is a wait on a recorded-but-incomplete event: advance
+            # the producer stream just far enough to execute the record.
+            event = stream.queue[0].event
+            assert event is not None
+            self._complete_event(event, visiting)
+
+    def _complete_event(self, event: CudaEvent,
+                        visiting: frozenset[CudaStream]) -> None:
+        producer = next(
+            (s for s in self.streams
+             if any(op.kind == "record" and op.event is event
+                    for op in s.queue)), None)
+        if producer is None:
+            raise CudaError(
+                f"stream deadlock: event {event.event_id} was recorded "
+                "but its record op will never complete")
+        if producer in visiting:
+            raise CudaError(
+                f"stream deadlock: cyclic event dependency through "
+                f"stream {producer.stream_id}")
+        while not event.completed:
+            if producer.head_ready():
+                op = producer.pop_and_run(self.now)
+                if op.kind == "record" and op.event is event:
+                    return  # done, even if an injected fault ate the signal
+            else:
+                head = producer.queue[0].event
+                assert head is not None
+                self._complete_event(head, visiting | {producer})
 
     # ------------------------------------------------------------------
     # Kernel launch (Runtime API)

@@ -5,12 +5,15 @@ computation" (paper Section III-B); the missing API the authors added was
 ``cudaStreamWaitEvent``.  We model each stream as a FIFO of operations
 drained by the runtime; an event-wait op blocks its stream until the
 event has been recorded *and executed*, so cross-stream ordering is
-honoured exactly.
+honoured exactly.  A wait on an event that was never recorded is a
+no-op, matching real CUDA (cudaStreamWaitEvent on a fresh event does not
+block).
 """
 
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -42,8 +45,12 @@ class CudaStream:
 
     def __init__(self, stream_id: int | None = None) -> None:
         self.stream_id = stream_id if stream_id is not None else next(_ids)
-        self.queue: list[StreamOp] = []
+        self.queue: deque[StreamOp] = deque()
         self.ops_executed = 0
+        #: Fault-injection hook: called with the event of each executed
+        #: record op; returning True suppresses the completion signal
+        #: (the "never-signalled event" site of repro.faultinject).
+        self.on_record: Callable[[CudaEvent], bool] | None = None
 
     def enqueue(self, op: StreamOp) -> None:
         self.queue.append(op)
@@ -59,15 +66,20 @@ class CudaStream:
         head = self.queue[0]
         if head.kind == "wait":
             assert head.event is not None
-            return head.event.completed
+            # A wait on an event that was never recorded is a no-op —
+            # real CUDA only orders against an already-issued record.
+            return not head.event.recorded or head.event.completed
         return True
 
     def pop_and_run(self, now: float) -> StreamOp:
-        op = self.queue.pop(0)
+        op = self.queue.popleft()
         if op.kind == "record":
             assert op.event is not None
-            op.event.completed = True
-            op.event.timestamp = now
+            if self.on_record is not None and self.on_record(op.event):
+                pass  # injected fault: the completion signal is lost
+            else:
+                op.event.completed = True
+                op.event.timestamp = now
         elif op.action is not None:
             op.action()
         self.ops_executed += 1

@@ -36,6 +36,11 @@ from repro.quirks import FIXED, LegacyQuirks
 
 Workload = Callable[[Cudnn], None]
 
+#: Builds a fresh, empty runtime (no program loaded).  The debugger
+#: loads its application binary into whatever the factory returns, so a
+#: factory can pre-wire quirks, backends or fault injectors.
+RuntimeFactory = Callable[[], CudaRuntime]
+
 
 class DebugToolError(ReproError):
     pass
@@ -65,6 +70,41 @@ class DebugReport:
     @property
     def clean(self) -> bool:
         return self.api_index is None
+
+    @property
+    def level(self) -> int:
+        """Deepest bisection level reached: 0 clean, 1 API call,
+        2 kernel, 3 instruction."""
+        if self.api_index is None:
+            return 0
+        if self.kernel_ordinal is None:
+            return 1
+        if self.instruction is None:
+            return 2
+        return 3
+
+    def to_dict(self) -> dict:
+        """Machine-readable verdict (campaign scoreboards, tooling)."""
+        data: dict = {
+            "level": self.level,
+            "clean": self.clean,
+            "api_index": self.api_index,
+            "api_name": self.api_name,
+            "kernel_ordinal": self.kernel_ordinal,
+            "kernel_name": self.kernel_name,
+            "notes": list(self.notes),
+        }
+        if self.instruction is not None:
+            d = self.instruction
+            data["instruction"] = {
+                "pc": d.pc,
+                "text": d.text.strip(),
+                "thread": d.thread,
+                "entry_index": d.entry_index,
+                "suspect_payload": d.suspect_payload,
+                "reference_payload": d.reference_payload,
+            }
+        return data
 
     def render(self) -> str:
         if self.clean:
@@ -112,29 +152,34 @@ class DifferentialDebugger:
     """Drives the 3-level bisection for one workload."""
 
     def __init__(self, workload: Workload, *,
-                 suspect_quirks: LegacyQuirks,
+                 suspect_quirks: LegacyQuirks | None = None,
                  reference_quirks: LegacyQuirks = FIXED,
-                 binary=None) -> None:
+                 suspect_factory: RuntimeFactory | None = None,
+                 reference_factory: RuntimeFactory | None = None,
+                 binary=None,
+                 entries_per_thread: int = 4096) -> None:
+        if suspect_factory is None and suspect_quirks is None:
+            raise DebugToolError(
+                "need either suspect_quirks or suspect_factory")
         self.workload = workload
         self.suspect_quirks = suspect_quirks
         self.reference_quirks = reference_quirks
+        self._factories: dict[str, RuntimeFactory] = {
+            "suspect": suspect_factory or (
+                lambda: CudaRuntime(quirks=suspect_quirks)),
+            "reference": reference_factory or (
+                lambda: CudaRuntime(quirks=reference_quirks)),
+        }
         self.binary = binary or build_application_binary()
+        self.entries_per_thread = entries_per_thread
 
     # ------------------------------------------------------------------
-    def _run(self, quirks: LegacyQuirks, *,
-             on_api_end=None, before_kernel=None,
-             after_kernel=None) -> tuple[CudaRuntime, Cudnn]:
-        runtime = CudaRuntime(quirks=quirks)
+    def _new_runtime(self, role: str) -> CudaRuntime:
+        """Fresh runtime for *role* ("suspect"/"reference"), binary
+        loaded."""
+        runtime = self._factories[role]()
         runtime.load_binary(self.binary)
-        dnn = Cudnn(runtime)
-        dnn.on_api_end = on_api_end
-        if before_kernel is not None:
-            runtime.before_kernel_hooks.append(before_kernel)
-        if after_kernel is not None:
-            runtime.after_kernel_hooks.append(after_kernel)
-        self.workload(dnn)
-        runtime.synchronize()
-        return runtime, dnn
+        return runtime
 
     # ------------------------------------------------------------------
     # Level 1: API calls
@@ -150,17 +195,15 @@ class DifferentialDebugger:
             return hook
 
         box: list[CudaRuntime] = [None]  # type: ignore[list-item]
-        runtime = CudaRuntime(quirks=self.suspect_quirks)
+        runtime = self._new_runtime("suspect")
         box[0] = runtime
-        runtime.load_binary(self.binary)
         dnn = Cudnn(runtime)
         dnn.on_api_end = collect(suspect_digests, box)
         self._run_workload_tolerant(dnn)
 
         box2: list[CudaRuntime] = [None]  # type: ignore[list-item]
-        runtime2 = CudaRuntime(quirks=self.reference_quirks)
+        runtime2 = self._new_runtime("reference")
         box2[0] = runtime2
-        runtime2.load_binary(self.binary)
         dnn2 = Cudnn(runtime2)
         dnn2.on_api_end = collect(reference_digests, box2)
         self.workload(dnn2)
@@ -199,18 +242,16 @@ class DifferentialDebugger:
 
         suspect: list = []
         box: list = [None]
-        runtime = CudaRuntime(quirks=self.suspect_quirks)
+        runtime = self._new_runtime("suspect")
         box[0] = runtime
-        runtime.load_binary(self.binary)
         dnn = Cudnn(runtime)
         runtime.after_kernel_hooks.append(collector(suspect, box))
         self._run_workload_tolerant(dnn)
 
         reference: list = []
         box2: list = [None]
-        runtime2 = CudaRuntime(quirks=self.reference_quirks)
+        runtime2 = self._new_runtime("reference")
         box2[0] = runtime2
-        runtime2.load_binary(self.binary)
         dnn2 = Cudnn(runtime2)
         runtime2.after_kernel_hooks.append(collector(reference, box2))
         self.workload(dnn2)
@@ -242,9 +283,8 @@ class DifferentialDebugger:
                     memory=box[0].global_mem.snapshot())
 
         box: list = [None]
-        runtime = CudaRuntime(quirks=self.reference_quirks)
+        runtime = self._new_runtime("reference")
         box[0] = runtime
-        runtime.load_binary(self.binary)
         dnn = Cudnn(runtime)
         runtime.before_kernel_hooks.append(before)
         self.workload(dnn)
@@ -261,10 +301,8 @@ class DifferentialDebugger:
         threads = gx * gy * gz * bx * by * bz
 
         logs = {}
-        for label, quirks in (("suspect", self.suspect_quirks),
-                              ("reference", self.reference_quirks)):
-            replay = CudaRuntime(quirks=quirks)
-            replay.load_binary(self.binary)
+        for label in ("suspect", "reference"):
+            replay = self._new_runtime(label)
             replay.global_mem.restore(capture["memory"])
             replay.load_ptx(instrumented.ptx, file_id="instrumented")
             log_bytes = threads * instrumented.bytes_per_thread
@@ -282,30 +320,53 @@ class DifferentialDebugger:
             raw = replay.memcpy_d2h(log_ptr, log_bytes)
             logs[label] = decode_log(raw, threads, entries_per_thread)
 
+        # "The first instruction that executed incorrectly": each
+        # thread's log is its own dynamic clock, so the earliest
+        # divergence is the one with the smallest entry index across
+        # all threads — not the first divergence of the lowest thread
+        # id, whose corruption may be second-hand (propagated through
+        # memory from another thread's earlier bad write).  A bare
+        # length mismatch (identical common prefix) is weaker evidence
+        # — the suspect bug may have corrupted the instrumentation's
+        # own log addressing, leaving whole slots empty — so it is
+        # used only when no thread shows a real prefix divergence.
+        best: tuple[int, int, tuple, tuple] | None = None
+        best_length_only: tuple[int, int, tuple, tuple] | None = None
         for thread in range(threads):
             s_entries = logs["suspect"][thread]
             r_entries = logs["reference"][thread]
+            found = None
             for entry_index, (s_entry, r_entry) in enumerate(
                     zip(s_entries, r_entries)):
                 if s_entry != r_entry:
-                    pc = r_entry[0]
-                    from repro.debugtool.ptxprint import format_instruction
-                    return InstructionDiff(
-                        pc=pc, text=format_instruction(kernel.body[pc]),
-                        thread=thread, entry_index=entry_index,
-                        suspect_payload=s_entry[1],
-                        reference_payload=r_entry[1])
-            if len(s_entries) != len(r_entries):
+                    found = (entry_index, thread, s_entry, r_entry)
+                    break
+            if found is not None:
+                if best is None or found < best:
+                    best = found
+                    if best[0] == 0:
+                        break  # can't diverge earlier than entry 0
+            elif len(s_entries) != len(r_entries):
                 longer = r_entries if len(r_entries) > len(s_entries) \
                     else s_entries
                 entry_index = min(len(s_entries), len(r_entries))
-                pc = longer[entry_index][0]
-                from repro.debugtool.ptxprint import format_instruction
-                return InstructionDiff(
-                    pc=pc, text=format_instruction(kernel.body[pc]),
-                    thread=thread, entry_index=entry_index,
-                    suspect_payload=0, reference_payload=0)
-        return None
+                found = (entry_index, thread,
+                         (longer[entry_index][0], 0),
+                         (longer[entry_index][0], 0))
+                if best_length_only is None or found < best_length_only:
+                    best_length_only = found
+        if best is None:
+            best = best_length_only
+        if best is None:
+            return None
+        entry_index, thread, s_entry, r_entry = best
+        pc = r_entry[0]
+        from repro.debugtool.ptxprint import format_instruction
+        return InstructionDiff(
+            pc=pc, text=format_instruction(kernel.body[pc]),
+            thread=thread, entry_index=entry_index,
+            suspect_payload=s_entry[1],
+            reference_payload=r_entry[1])
 
     # ------------------------------------------------------------------
     def run(self) -> DebugReport:
@@ -325,7 +386,7 @@ class DifferentialDebugger:
         report.kernel_ordinal, report.kernel_name = bad_kernel
         try:
             report.instruction = self.find_bad_instruction(
-                report.kernel_ordinal)
+                report.kernel_ordinal, self.entries_per_thread)
         except ReproError as error:
             report.notes.append(f"instruction replay failed: {error}")
         return report

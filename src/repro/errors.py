@@ -54,5 +54,20 @@ class TimingDeadlockError(ReproError):
     """
 
 
+class CycleBudgetExceededError(ReproError):
+    """Raised when a kernel exceeds the configured ``max_cycles`` budget.
+
+    Deliberately *not* a :class:`TimingDeadlockError`: a budget overrun
+    means the simulation was still progressing when the wall was hit,
+    while a deadlock means no progress was possible at all.  The fault
+    campaign relies on the distinction — an injected dropped memory
+    response must surface as a genuine deadlock, never as a slow run.
+    """
+
+
+class FaultInjectionError(ReproError):
+    """Raised for malformed fault specs or unusable injection sites."""
+
+
 class CheckpointError(ReproError):
     """Raised on malformed or incompatible checkpoint data."""

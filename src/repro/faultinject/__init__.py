@@ -1,0 +1,30 @@
+"""Declarative fault injection for debugger validation.
+
+Seeds known bugs into the simulator (wrong instruction semantics,
+register bit-flips, lost memory responses, lost stream-event signals)
+so the three-level differential debugger's localisation claims can be
+*measured* instead of assumed — see ``repro.harness.faultcampaign`` for
+the campaign driver and ``results/fault_campaign.json`` for the
+scoreboard.
+"""
+
+from repro.faultinject.injector import FaultInjector, faulty_runtime_factory
+from repro.faultinject.sites import (
+    SITE_REGISTRY, FaultingFunctionalBackend, instruction_signature,
+    match_site, register_site)
+from repro.faultinject.spec import (
+    ALL_SITES, FUNCTIONAL_SITES, LIVENESS_SITES, FaultSpec)
+
+__all__ = [
+    "ALL_SITES",
+    "FUNCTIONAL_SITES",
+    "LIVENESS_SITES",
+    "FaultInjector",
+    "FaultSpec",
+    "FaultingFunctionalBackend",
+    "SITE_REGISTRY",
+    "faulty_runtime_factory",
+    "instruction_signature",
+    "match_site",
+    "register_site",
+]

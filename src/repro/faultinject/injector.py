@@ -1,0 +1,55 @@
+"""Attach a :class:`FaultSpec` to a runtime, and factory helpers.
+
+The factory form is what the differential debugger consumes: its
+``suspect_factory`` must build a *fresh* faulty runtime for every
+bisection pass, and each fresh runtime gets a fresh trigger state and a
+fresh ``random.Random(spec.seed)``, so every pass observes the identical
+bug — the property that makes level-3 instruction localisation sound.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.cuda.runtime import CudaRuntime
+from repro.errors import FaultInjectionError
+from repro.quirks import FIXED, LegacyQuirks
+
+from repro.faultinject.sites import SITE_REGISTRY, SiteAdapter
+from repro.faultinject.spec import FaultSpec
+
+
+class FaultInjector:
+    """Binds one spec to its site adapter and wires up a runtime."""
+
+    def __init__(self, spec: FaultSpec) -> None:
+        adapter_cls = SITE_REGISTRY.get(spec.site)
+        if adapter_cls is None:
+            raise FaultInjectionError(
+                f"no adapter registered for site {spec.site!r} "
+                f"(have {sorted(SITE_REGISTRY)})")
+        self.spec = spec
+        self.adapter: SiteAdapter = adapter_cls(spec)
+
+    def attach(self, runtime: CudaRuntime) -> CudaRuntime:
+        self.adapter.attach(runtime)
+        return runtime
+
+
+def faulty_runtime_factory(
+        spec: FaultSpec, *,
+        quirks: LegacyQuirks = FIXED,
+        backend_factory: Callable[[], object] | None = None,
+        ) -> Callable[[], CudaRuntime]:
+    """Factory building fresh runtimes with *spec* injected.
+
+    ``backend_factory`` supplies the pre-injection backend (e.g. a
+    TimingBackend for ``mem_drop_response``); instruction sites replace
+    whatever backend is present with their own faulting one.
+    """
+    def factory() -> CudaRuntime:
+        backend = backend_factory() if backend_factory is not None \
+            else None
+        runtime = CudaRuntime(quirks=quirks, backend=backend)
+        return FaultInjector(spec).attach(runtime)
+    return factory

@@ -1,0 +1,93 @@
+"""Declarative fault specifications.
+
+A :class:`FaultSpec` fully determines one seeded simulator bug: *where*
+it lives (``site`` — one of the registered injection sites) and *when*
+it fires (the trigger fields).  A spec is plain data — serialisable,
+hashable, replayable — so a campaign scoreboard can record exactly which
+bug was injected and any later session can re-run the identical faulty
+simulator from the JSON alone.
+
+Trigger fields compose (all present conditions must hold):
+
+* ``kernel`` — only launches of this kernel name are eligible.
+* ``kernel_ordinal`` — only the Nth launch of that kernel name.
+* ``pc`` — static instruction index *in the original kernel body*; the
+  injector re-resolves it by signature in reprinted/instrumented bodies
+  so localisation stays exact under PTX instrumentation.
+* ``dyn_index`` — only the Nth dynamic hit of the site (per launch for
+  instruction sites, global for memory/stream sites).
+* ``probability`` — fire per-hit with this probability, drawn from
+  ``random.Random(seed)``; the seed travels in the spec so a
+  probabilistic fault replays byte-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from repro.errors import FaultInjectionError
+
+#: Sites whose effect is wrong *functional* output (bisectable by the
+#: differential debugger down to the injected instruction).
+FUNCTIONAL_SITES = ("instruction_semantics", "register_bitflip")
+
+#: Sites whose effect is a lost completion signal (must terminate in a
+#: typed error — TimingDeadlockError / CudaError — never a hang).
+LIVENESS_SITES = ("mem_drop_response", "stream_event_lost")
+
+ALL_SITES = FUNCTIONAL_SITES + LIVENESS_SITES
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injectable simulator bug."""
+
+    fault_id: str
+    site: str
+    kernel: str | None = None
+    kernel_ordinal: int | None = None
+    pc: int | None = None
+    dyn_index: int | None = None
+    probability: float | None = None
+    seed: int = 0
+    #: register_bitflip: which active lane's destination to corrupt.
+    lane: int = 0
+    #: bit index to flip in the destination payload (modulo reg width).
+    bit: int = 0
+    #: instruction_semantics: explicit XOR applied to every active
+    #: lane's result; defaults to ``1 << bit`` when omitted.
+    xor_mask: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.site not in ALL_SITES:
+            raise FaultInjectionError(
+                f"unknown fault site {self.site!r}; "
+                f"expected one of {ALL_SITES}")
+        if self.site in FUNCTIONAL_SITES:
+            if self.kernel is None or self.pc is None:
+                raise FaultInjectionError(
+                    f"site {self.site!r} needs kernel= and pc= "
+                    f"(fault {self.fault_id!r})")
+        if self.probability is not None and not (
+                0.0 < self.probability <= 1.0):
+            raise FaultInjectionError(
+                f"probability must be in (0, 1], got {self.probability} "
+                f"(fault {self.fault_id!r})")
+
+    @property
+    def functional(self) -> bool:
+        return self.site in FUNCTIONAL_SITES
+
+    def to_dict(self) -> dict:
+        """Compact JSON form: defaulted fields are omitted."""
+        data = asdict(self)
+        return {key: value for key, value in data.items()
+                if value is not None and not (
+                    key in ("seed", "lane", "bit") and value == 0)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        try:
+            return cls(**data)
+        except TypeError as error:
+            raise FaultInjectionError(f"bad fault spec: {error}") from None

@@ -83,6 +83,9 @@ class FunctionalEngine:
 
     def __init__(self, launch: LaunchContext, *,
                  on_exec: Callable[[ExecRecord], None] | None = None,
+                 exec_override: Callable[
+                     [ast.Instruction, WarpState, Sequence[int], int],
+                     bool] | None = None,
                  reconverge_at_exit: bool = False,
                  contract_fp16: bool = False,
                  fast_mode: str = "superblock") -> None:
@@ -92,6 +95,10 @@ class FunctionalEngine:
         self.launch = launch
         self.kernel = launch.kernel
         self.on_exec = on_exec
+        #: Fault-injection hook: called as (inst, warp, lanes, pc) before
+        #: normal dispatch; returning True means the override performed
+        #: the (deliberately wrong) semantics and dispatch is skipped.
+        self.exec_override = exec_override
         self.contract_fp16 = contract_fp16
         if (not self.kernel.reconvergence
                 and any(i.opcode == "bra" and i.pred is not None
@@ -196,11 +203,15 @@ class FunctionalEngine:
         else:
             if lanes:
                 warp.mem_trace.clear()
-                fast = self._fast[pc]
-                if fast is not None:
-                    fast(warp, lanes)
+                if (self.exec_override is not None
+                        and self.exec_override(inst, warp, lanes, pc)):
+                    pass  # an injected fault supplied the semantics
                 else:
-                    lookup(opcode)(inst, warp, lanes)
+                    fast = self._fast[pc]
+                    if fast is not None:
+                        fast(warp, lanes)
+                    else:
+                        lookup(opcode)(inst, warp, lanes)
                 if warp.mem_trace:
                     record.mem_accesses = tuple(warp.mem_trace)
             warp.simt.advance(pc + 1)
@@ -341,7 +352,7 @@ class FunctionalEngine:
                         budget: int | None) -> bool:
         """Run a warp until it finishes, parks, or exhausts *budget*."""
         if (budget is None and self._superblocks
-                and self.on_exec is None):
+                and self.on_exec is None and self.exec_override is None):
             # Functional mode with nothing observing per-instruction
             # state: issue whole fused blocks.  Budgeted runs (partial
             # checkpoint CTAs) and instrumented runs must step.

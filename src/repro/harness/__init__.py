@@ -1,6 +1,8 @@
 """Experiment harnesses: oracle, correlation, case-study drivers."""
 
 from repro.harness.conv_study import StudyResult, run_case, sweep
+from repro.harness.faultcampaign import (
+    CampaignConfig, FaultResult, run_campaign)
 from repro.harness.correlation import (
     CorrelationResult, FIGURE7_KERNELS, KernelCorrelation,
     run_mnist_correlation)
@@ -10,8 +12,9 @@ from repro.harness.hwmodel import (
     SASS_TUNING_FACTORS)
 
 __all__ = [
-    "CorrelationResult", "FIGURE7_KERNELS", "HardwareEstimate",
+    "CampaignConfig", "CorrelationResult", "FIGURE7_KERNELS",
+    "FaultResult", "HardwareEstimate",
     "HardwareOracle", "HardwareOracleBackend", "KernelCorrelation",
-    "SASS_TUNING_FACTORS", "StudyResult", "run_case",
+    "SASS_TUNING_FACTORS", "StudyResult", "run_campaign", "run_case",
     "NVProfLike", "ProfilerRow", "run_mnist_correlation", "sweep",
 ]

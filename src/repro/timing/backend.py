@@ -24,10 +24,12 @@ class TimingBackend:
 
     def __init__(self, config: GPUConfig = TINY, *,
                  max_cycles: int = 50_000_000,
-                 reconverge_at_exit: bool = False) -> None:
+                 reconverge_at_exit: bool = False,
+                 mem_fault_filter=None) -> None:
         self.config = config
         self.gpu = GpuTiming(config, max_cycles=max_cycles,
-                             reconverge_at_exit=reconverge_at_exit)
+                             reconverge_at_exit=reconverge_at_exit,
+                             mem_fault_filter=mem_fault_filter)
         self.kernel_stats: list[KernelStats] = []
 
     def execute(self, launch: LaunchContext) -> KernelRunResult:

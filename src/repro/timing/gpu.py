@@ -19,7 +19,7 @@ import heapq
 import itertools
 from typing import Callable
 
-from repro.errors import TimingDeadlockError
+from repro.errors import CycleBudgetExceededError, TimingDeadlockError
 from repro.functional.executor import FunctionalEngine
 from repro.functional.state import CTAState, LaunchContext
 from repro.timing.config import GPUConfig, TINY
@@ -36,10 +36,15 @@ class GpuTiming:
 
     def __init__(self, config: GPUConfig = TINY, *,
                  max_cycles: int = _MAX_CYCLES_DEFAULT,
-                 reconverge_at_exit: bool = False) -> None:
+                 reconverge_at_exit: bool = False,
+                 mem_fault_filter=None) -> None:
         self.config = config
         self.max_cycles = max_cycles
         self.reconverge_at_exit = reconverge_at_exit
+        #: Fault-injection hook forwarded to the memory subsystem: a
+        #: predicate over MemRequest that makes the interconnect "lose"
+        #: matching requests (repro.faultinject's dropped-response site).
+        self.mem_fault_filter = mem_fault_filter
 
     def simulate(self, launch: LaunchContext, *,
                  first_cta: int = 0,
@@ -70,7 +75,8 @@ class GpuTiming:
 
         engine = FunctionalEngine(
             launch, reconverge_at_exit=self.reconverge_at_exit)
-        memsys = MemorySubsystem(config, stats, samples, schedule, respond)
+        memsys = MemorySubsystem(config, stats, samples, schedule, respond,
+                                 fault_filter=self.mem_fault_filter)
         sms = [SMCore(sm_id, config, engine, memsys, stats, samples)
                for sm_id in range(config.num_sms)]
 
@@ -123,7 +129,7 @@ class GpuTiming:
             if done:
                 break
             if now >= self.max_cycles:
-                raise TimingDeadlockError(
+                raise CycleBudgetExceededError(
                     f"kernel exceeded {self.max_cycles} cycles "
                     f"({launch.kernel.name})")
             if issued:
@@ -161,11 +167,17 @@ class GpuTiming:
     @staticmethod
     def _charge_idle(sms: list[SMCore], samples: SampleBlock,
                      stats: KernelStats, t0: float, t1: float) -> None:
-        """Attribute skipped scheduler-cycles to W0 buckets."""
+        """Attribute skipped scheduler-cycles to W0 buckets.
+
+        The skipped cycles span [t0 + 1, t1) — the first cycle was
+        already charged by issue_cycle — and are spread across every
+        sample interval the jump covers, so a long idle jump shows up as
+        a flat W0 band in AerialVision rather than one spiked bin at t0.
+        """
         span = int(t1 - t0)
         if span <= 1:
             return
-        extra = span - 1  # the first cycle was charged by issue_cycle
+        extra = span - 1
         for sm in sms:
             for scheduler in sm.schedulers:
                 if not scheduler.warps:
@@ -177,7 +189,7 @@ class GpuTiming:
                 else:
                     bucket = W0_ALU
                     stats.stall_alu_cycles += extra
-                samples.issue_event(t0, bucket, extra)
+                samples.issue_span(bucket, t0 + 1, t1)
 
     @staticmethod
     def _fold_cache_stats(sms: list[SMCore], memsys: MemorySubsystem,

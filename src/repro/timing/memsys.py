@@ -146,7 +146,9 @@ class MemorySubsystem:
     def __init__(self, config: GPUConfig, stats: KernelStats,
                  samples: SampleBlock,
                  schedule: Callable[[float, Callable], None],
-                 respond: Callable[[float, MemRequest], None]) -> None:
+                 respond: Callable[[float, MemRequest], None],
+                 fault_filter: Callable[[MemRequest], bool] | None = None
+                 ) -> None:
         self.config = config
         self.stats = stats
         self.partitions = [
@@ -154,6 +156,10 @@ class MemorySubsystem:
                             respond)
             for part_id in range(config.num_partitions)]
         self._schedule = schedule
+        #: Fault-injection hook: requests for which this returns True are
+        #: silently dropped by the interconnect, so their response never
+        #: arrives (repro.faultinject's dropped-response site).
+        self.fault_filter = fault_filter
 
     def partition_of(self, line_addr: int) -> int:
         addr = line_addr * self.config.line_size
@@ -162,6 +168,8 @@ class MemorySubsystem:
 
     def submit(self, req: MemRequest, now: float) -> None:
         self.stats.noc_flits += 1
+        if self.fault_filter is not None and self.fault_filter(req):
+            return
         partition = self.partitions[self.partition_of(req.line_addr)]
         self._schedule(now + self.config.icnt_latency,
                        lambda t, r=req, p=partition: p.arrive(r, t))

@@ -65,6 +65,19 @@ class SampleBlock:
     def issue_event(self, cycle: int, bucket: str, count: int = 1) -> None:
         self._issue[(bucket, self._bin(cycle))] += count
 
+    def issue_span(self, bucket: str, t0: float, t1: float) -> None:
+        """Charge one issue slot per cycle of [t0, t1) to *bucket*,
+        distributed across the sample intervals the span overlaps."""
+        start, end = int(t0), int(t1)
+        if end <= start:
+            return
+        for b in range(start // self.interval,
+                       (end - 1) // self.interval + 1):
+            lo = max(start, b * self.interval)
+            hi = min(end, (b + 1) * self.interval)
+            if hi > lo:
+                self._issue[(bucket, b)] += hi - lo
+
     def dram_busy_interval(self, partition: int, t0: float,
                            t1: float) -> None:
         self._add_interval(self._dram_busy, partition, t0, t1)

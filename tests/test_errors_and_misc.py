@@ -15,6 +15,7 @@ class TestErrorHierarchy:
         for name in ("PTXSyntaxError", "PTXNameError",
                      "UnsupportedInstructionError", "SimulationFault",
                      "CudaError", "CudnnError", "TimingDeadlockError",
+                     "CycleBudgetExceededError", "FaultInjectionError",
                      "CheckpointError"):
             cls = getattr(errors, name)
             assert issubclass(cls, errors.ReproError)
@@ -32,9 +33,17 @@ class TestStreamPrimitives:
     def test_event_wait_gates_on_completion(self):
         stream = CudaStream()
         event = CudaEvent()
+        event.recorded = True
         stream.enqueue(StreamOp(kind="wait", event=event))
         assert not stream.head_ready()
         event.completed = True
+        assert stream.head_ready()
+
+    def test_wait_on_unrecorded_event_is_noop(self):
+        """cudaStreamWaitEvent on a fresh event must not block — real
+        CUDA only orders against an already-issued record."""
+        stream = CudaStream()
+        stream.enqueue(StreamOp(kind="wait", event=CudaEvent()))
         assert stream.head_ready()
 
     def test_record_sets_timestamp(self):

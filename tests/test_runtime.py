@@ -142,10 +142,26 @@ class TestStreamsAndEvents:
         with pytest.raises(CudaError, match="cudaStreamWaitEvent"):
             runtime.stream_wait_event(stream, event)
 
-    def test_deadlock_detected(self, rt):
+    def test_wait_on_unrecorded_event_does_not_block(self, rt):
+        """cudaStreamWaitEvent on a never-recorded event is a no-op in
+        real CUDA; it used to deadlock the simulated device."""
         stream = rt.stream_create()
         event = rt.event_create()  # never recorded
         rt.stream_wait_event(stream, event)
+        dst = rt.malloc(4)
+        rt.memcpy_h2d_async(dst, np.float32([9.0]), stream)
+        rt.synchronize()  # must not raise
+        assert stream.idle
+        assert rt.download_f32(dst, 1)[0] == 9.0
+
+    def test_deadlock_detected(self, rt):
+        """A cross-stream wait cycle can never make progress."""
+        s1, s2 = rt.stream_create(), rt.stream_create()
+        e1, e2 = rt.event_create(), rt.event_create()
+        rt.stream_wait_event(s1, e2)
+        rt.event_record(e1, s1)
+        rt.stream_wait_event(s2, e1)
+        rt.event_record(e2, s2)
         with pytest.raises(CudaError, match="deadlock"):
             rt.synchronize()
 
@@ -170,6 +186,41 @@ class TestStreamsAndEvents:
                             action=lambda: hit.append(2)))
         rt.stream_synchronize(s1)
         assert 1 in hit
+        assert 2 not in hit  # unrelated streams are left alone
+        rt.synchronize()
+        assert 2 in hit
+
+    def test_stream_synchronize_runs_dependencies_minimally(self, rt):
+        """Draining a stream runs other streams only far enough to
+        satisfy its event waits."""
+        from repro.cuda.streams import StreamOp
+        s1, s2 = rt.stream_create(), rt.stream_create()
+        event = rt.event_create()
+        hit = []
+        rt.event_record(event, s2)
+        s2.enqueue(StreamOp(kind="callback",
+                            action=lambda: hit.append("after_record")))
+        rt.stream_wait_event(s1, event)
+        s1.enqueue(StreamOp(kind="callback",
+                            action=lambda: hit.append("target")))
+        rt.stream_synchronize(s1)
+        assert "target" in hit
+        assert "after_record" not in hit  # s2 stopped right past the record
+        assert s1.idle and not s2.idle
+
+    def test_stream_synchronize_cycle_raises(self, rt):
+        s1, s2 = rt.stream_create(), rt.stream_create()
+        e1, e2 = rt.event_create(), rt.event_create()
+        rt.stream_wait_event(s1, e2)
+        rt.event_record(e1, s1)
+        rt.stream_wait_event(s2, e1)
+        rt.event_record(e2, s2)
+        with pytest.raises(CudaError, match="deadlock"):
+            rt.stream_synchronize(s1)
+
+    def test_stream_queue_is_deque(self, rt):
+        from collections import deque
+        assert isinstance(rt.default_stream.queue, deque)
 
 
 class TestCheckpointSkip:

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.cuda import CudaRuntime
-from repro.errors import TimingDeadlockError
+from repro.errors import CycleBudgetExceededError, TimingDeadlockError
 from repro.ptx.builder import PTXBuilder, f32
 from repro.timing import GTX1050, GTX1080TI, TINY, GpuTiming, TimingBackend
 from repro.timing.cache import Cache
@@ -121,13 +121,18 @@ class TestTimingBasics:
         assert results["timing"][0] == results["functional"][0]
         assert np.allclose(results["timing"][1], results["functional"][1])
 
-    def test_max_cycles_deadlock_guard(self, rng):
+    def test_max_cycles_budget_guard(self, rng):
+        """Running out of cycle budget is *not* a deadlock: it raises
+        the distinct CycleBudgetExceededError so callers can tell 'too
+        slow' apart from 'wedged'."""
         rt = CudaRuntime(backend=TimingBackend(TINY, max_cycles=50))
         rt.load_ptx(_compute_kernel(), "c.cu")
         ptr = rt.upload_f32(rng.standard_normal(64).astype(np.float32))
         rt.launch("compute_heavy", 1, 64, [ptr, 64])
-        with pytest.raises(TimingDeadlockError, match="exceeded"):
+        with pytest.raises(CycleBudgetExceededError, match="exceeded"):
             rt.synchronize()
+        assert not issubclass(CycleBudgetExceededError,
+                              TimingDeadlockError)
 
 
 class TestSampling:
@@ -155,6 +160,38 @@ class TestSampling:
         issue = samples.warp_issue_matrix()
         total_slots = sum(float(series.sum()) for series in issue.values())
         assert total_slots > 0
+
+    def test_issue_span_distributes_across_bins(self):
+        from repro.timing.stats import SampleBlock
+        samples = SampleBlock(interval=10, num_sms=1, num_partitions=1,
+                              banks_per_partition=1)
+        samples.issue_span("W0_mem", 5, 35)
+        assert samples._issue[("W0_mem", 0)] == 5   # [5, 10)
+        assert samples._issue[("W0_mem", 1)] == 10  # [10, 20)
+        assert samples._issue[("W0_mem", 2)] == 10  # [20, 30)
+        assert samples._issue[("W0_mem", 3)] == 5   # [30, 35)
+        samples.issue_span("W0_mem", 7, 7)  # empty span: no-op
+        assert sum(samples._issue.values()) == 30
+
+    def test_long_idle_jump_charged_flat(self):
+        """_charge_idle must spread a long jump over every interval it
+        covers, not spike the interval containing its start."""
+        from types import SimpleNamespace
+        from repro.timing.stats import KernelStats, SampleBlock
+        samples = SampleBlock(interval=10, num_sms=1, num_partitions=1,
+                              banks_per_partition=1)
+        stats = KernelStats()
+        warp = SimpleNamespace(blocked_on_mem=lambda: True)
+        sms = [SimpleNamespace(
+            schedulers=[SimpleNamespace(warps=[warp])])]
+        GpuTiming._charge_idle(sms, samples, stats, t0=0.0, t1=100.0)
+        assert stats.stall_mem_cycles == 99
+        series = [samples._issue.get(("W0_mem", b), 0)
+                  for b in range(10)]
+        assert sum(series) == 99
+        # Flat band: every covered interval gets its share, and no
+        # interval holds more than its own width.
+        assert all(0 < count <= 10 for count in series)
 
     def test_efficiency_bounded(self, timing_rt, rng):
         n = 128

@@ -67,3 +67,23 @@ class TestMnistSample:
     def test_three_images_default(self, runtime):
         """The paper's headline workload size: three images."""
         assert MnistSampleConfig().images == 3
+
+
+class TestZeroFaultCampaign:
+    def test_clean_campaign_reports_all_clean(self):
+        """With no faults injected, the campaign must record clean
+        digests for every workload and report nothing effective —
+        the debugger's false-positive floor."""
+        from repro.harness import CampaignConfig, run_campaign
+        scoreboard = run_campaign(CampaignConfig(
+            faults=0, workloads=("conv_sample",), include_liveness=False))
+        summary = scoreboard["summary"]
+        assert summary["functional_total"] == 0
+        assert summary["effective"] == 0
+        assert summary["false_clean"] == 0
+        assert summary["liveness_total"] == 0
+        assert set(scoreboard["clean"]) == {"conv_sample"}
+        assert all(len(entry["digest"]) == 64
+                   and entry["kernel_launches"] > 0
+                   for entry in scoreboard["clean"].values())
+        assert scoreboard["faults"] == []
