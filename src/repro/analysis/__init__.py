@@ -1,0 +1,71 @@
+"""Static analysis over parsed PTX: dataflow engine, verifier, lints.
+
+Public surface:
+
+* :func:`analyze_kernel` — verifier + lint passes for one kernel.
+* :func:`analyze_module` — every kernel of a parsed module.
+* :func:`verify_launch` — the ``FunctionalEngine(verify=True)`` gate:
+  raises :class:`repro.errors.VerificationError` when the verifier (or
+  an enabled-quirk dependence check) reports an error-severity finding.
+* :mod:`repro.analysis.dataflow` — the reusable analyses (reaching
+  definitions, liveness, def-use chains, variance, producer slices).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import (
+    ERROR, Finding, INFO, LintReport, WARNING, sort_findings)
+from repro.analysis.lints import LINT_PASSES, run_lints
+from repro.analysis.verifier import QUIRK_RULES, verify_kernel
+from repro.errors import VerificationError
+from repro.ptx.ast import Kernel, PTXModule
+from repro.quirks import LegacyQuirks
+
+__all__ = [
+    "ERROR", "WARNING", "INFO", "Finding", "LintReport", "QUIRK_RULES",
+    "LINT_PASSES", "analyze_kernel", "analyze_module", "run_lints",
+    "sort_findings", "verify_kernel", "verify_launch",
+]
+
+
+def analyze_kernel(kernel: Kernel, *,
+                   quirks: LegacyQuirks | None = None,
+                   file_id: str = "",
+                   passes: list[str] | None = None) -> list[Finding]:
+    """Verifier + lint passes for one kernel, sorted for stable output."""
+    findings = verify_kernel(kernel, quirks=quirks, file_id=file_id)
+    findings.extend(run_lints(kernel, file_id=file_id, passes=passes))
+    return sort_findings(findings)
+
+
+def analyze_module(module: PTXModule, *,
+                   quirks: LegacyQuirks | None = None,
+                   passes: list[str] | None = None) -> list[Finding]:
+    """Analyse every kernel in a parsed PTX module."""
+    findings: list[Finding] = []
+    for kernel in module.kernels.values():
+        findings.extend(analyze_kernel(
+            kernel, quirks=quirks, file_id=module.file_id, passes=passes))
+    return sort_findings(findings)
+
+
+def verify_launch(kernel: Kernel,
+                  quirks: LegacyQuirks | None = None) -> list[Finding]:
+    """Pre-execution gate: verify *kernel* under *quirks*.
+
+    Raises :class:`VerificationError` carrying the error findings if the
+    typed-instruction verifier rejects the kernel or the kernel depends
+    on an active quirk; returns all (error + warning) findings
+    otherwise so callers can log them.
+    """
+    findings = verify_kernel(kernel, quirks=quirks)
+    errors = [f for f in findings if f.severity == ERROR]
+    if errors:
+        summary = "; ".join(
+            f"[{f.rule}] pc {f.pc}: {f.message}" for f in errors[:4])
+        if len(errors) > 4:
+            summary += f" (+{len(errors) - 4} more)"
+        raise VerificationError(
+            f"kernel {kernel.name!r} failed static verification: "
+            f"{summary}", findings=errors)
+    return findings

@@ -1,0 +1,84 @@
+"""Finding model shared by the verifier and the lint passes.
+
+Rule-id namespaces:
+
+* ``V1xx`` — typed-instruction verifier (structure/typing errors).
+* ``Q2xx`` — "kernel depends on an active quirk" diagnostics, keyed to
+  :class:`repro.quirks.LegacyQuirks` flags.
+* ``D3xx`` — dataflow lints (uninitialised read, dead store).
+* ``C4xx`` — control-flow lints (divergent barrier).
+* ``M5xx`` — memory lints (static shared-memory race heuristic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+_SEVERITY_ORDER = {ERROR: 0, WARNING: 1, INFO: 2}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic produced by a pass."""
+
+    rule: str                 # e.g. "V102", "Q201"
+    severity: str             # ERROR / WARNING / INFO
+    kernel: str               # kernel name
+    pc: int                   # instruction index (-1: kernel-level)
+    message: str
+    file_id: str = ""         # PTX file id when linting a module/corpus
+    text: str = ""            # source text of the offending instruction
+
+    def key(self) -> str:
+        """Stable identity for baseline comparison (message excluded so
+        wording tweaks do not churn the baseline)."""
+        return f"{self.file_id}::{self.kernel}::{self.rule}::{self.pc}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "kernel": self.kernel,
+            "pc": self.pc,
+            "message": self.message,
+            "file_id": self.file_id,
+            "text": self.text,
+        }
+
+    def render(self) -> str:
+        where = f"{self.file_id}:" if self.file_id else ""
+        site = f"pc {self.pc}" if self.pc >= 0 else "kernel"
+        line = (f"{where}{self.kernel}:{site}: "
+                f"{self.severity} [{self.rule}] {self.message}")
+        if self.text:
+            line += f"\n    {self.text}"
+        return line
+
+
+def sort_findings(findings: list[Finding]) -> list[Finding]:
+    return sorted(findings, key=lambda f: (
+        f.file_id, f.kernel, _SEVERITY_ORDER.get(f.severity, 3),
+        f.rule, f.pc))
+
+
+@dataclass
+class LintReport:
+    """Findings for one kernel (or one module's worth of kernels)."""
+
+    findings: list[Finding] = field(default_factory=list)
+
+    def extend(self, more: list[Finding]) -> None:
+        self.findings.extend(more)
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == ERROR]
+
+    def render(self) -> str:
+        if not self.findings:
+            return "clean: no findings"
+        return "\n".join(f.render() for f in sort_findings(self.findings))

@@ -1,0 +1,292 @@
+"""Typed-instruction verifier: static structure/typing checks over PTX.
+
+This is the pre-execution gate the paper's Section III-D motivates: the
+GPGPU-Sim bugs catalogued there (``rem`` computing an untyped ``u64``
+remainder, ``bfe`` ignoring signedness, ``brev`` missing outright) are
+all *statically visible* — an instruction whose type specifier the
+executor is known to ignore.  The verifier checks every instruction
+against a per-opcode signature (operand count, operand kinds, dtype
+family, declared register widths) and, given a
+:class:`~repro.quirks.LegacyQuirks` configuration, emits a ``Q2xx``
+"kernel depends on an active quirk" error for each instruction whose
+semantics the active quirks corrupt.
+
+Rule ids::
+
+    V100  unknown opcode (functional simulator would raise at runtime)
+    V101  wrong operand count
+    V102  dtype family not valid for this opcode
+    V103  malformed operand (wrong kind at a position, missing .cmp)
+    V104  declared register narrower than the instruction type
+    Q201  rem with a typed (.s*/sub-64-bit) specifier + rem_ignores_type
+    Q202  signed bfe + bfe_unsigned_only
+    Q203  brev + brev_unsupported
+    Q204  f16 arithmetic/conversion + fp16_unsupported
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.findings import ERROR, Finding, WARNING
+from repro.ptx import ast
+from repro.ptx.ast import Instruction, Kernel
+from repro.ptx.instructions import DISPATCH
+from repro.quirks import LegacyQuirks
+
+#: Quirk flag → the rule id that detects static dependence on it.
+QUIRK_RULES = {
+    "rem_ignores_type": "Q201",
+    "bfe_unsigned_only": "Q202",
+    "brev_unsupported": "Q203",
+    "fp16_unsupported": "Q204",
+}
+
+_CONTROL = frozenset(["bra", "exit", "ret", "bar"])
+_KNOWN_OPCODES = frozenset(DISPATCH) | _CONTROL
+
+_SRC_KINDS = (ast.REG, ast.IMM)
+
+
+@dataclass(frozen=True)
+class _Sig:
+    min_ops: int
+    max_ops: int
+    kinds: str | None = None      # allowed dtype kinds, None = unchecked
+
+
+_SIGNATURES: dict[str, _Sig] = {
+    "add": _Sig(3, 3, "usf"), "sub": _Sig(3, 3, "usf"),
+    "mul": _Sig(3, 3, "usf"), "mad": _Sig(4, 4, "usf"),
+    "fma": _Sig(4, 4, "f"), "div": _Sig(3, 3, "usf"),
+    "rem": _Sig(3, 3, "us"), "abs": _Sig(2, 2, "sf"),
+    "neg": _Sig(2, 2, "sf"), "min": _Sig(3, 3, "usf"),
+    "max": _Sig(3, 3, "usf"), "sad": _Sig(4, 4, "us"),
+    "and": _Sig(3, 3, "bp"), "or": _Sig(3, 3, "bp"),
+    "xor": _Sig(3, 3, "bp"), "not": _Sig(2, 2, "bp"),
+    "shl": _Sig(3, 3, "b"), "shr": _Sig(3, 3, "bus"),
+    "brev": _Sig(2, 2, "b"), "bfe": _Sig(4, 4, "us"),
+    "bfi": _Sig(5, 5, "b"), "popc": _Sig(2, 2, "b"),
+    "clz": _Sig(2, 2, "b"),
+    "setp": _Sig(3, 3, "usfb"), "selp": _Sig(4, 4, "usfb"),
+    "slct": _Sig(4, 4, "usfb"),
+    "mov": _Sig(2, 2, "usfbp"), "cvt": _Sig(2, 2, "usf"),
+    "cvta": _Sig(2, 2, None),
+    "ld": _Sig(2, 2, None), "ldu": _Sig(2, 2, None),
+    "st": _Sig(2, 2, None), "atom": _Sig(3, 4, None),
+    "red": _Sig(2, 3, None), "tex": _Sig(2, 3, None),
+    "sqrt": _Sig(2, 2, "f"), "rsqrt": _Sig(2, 2, "f"),
+    "rcp": _Sig(2, 2, "f"), "ex2": _Sig(2, 2, "f"),
+    "lg2": _Sig(2, 2, "f"), "sin": _Sig(2, 2, "f"),
+    "cos": _Sig(2, 2, "f"),
+    "membar": _Sig(0, 1, None), "fence": _Sig(0, 1, None),
+    "bra": _Sig(1, 1, None), "exit": _Sig(0, 0, None),
+    "ret": _Sig(0, 0, None), "bar": _Sig(0, 2, None),
+}
+
+#: Opcodes whose dtype suffix is structural (``bra`` carries a default
+#: ``.b32`` the parser fills in); never type-check these.
+_NO_DTYPE = frozenset(["bra", "exit", "ret", "bar", "membar", "fence",
+                       "cvta", "ld", "ldu", "st", "atom", "red", "tex",
+                       "mov", "setp", "selp", "slct"])
+
+
+def _dest_bits(inst: Instruction) -> int:
+    if inst.opcode == "cvt":
+        return inst.dtypes[0].bits
+    if inst.opcode in ("mul", "mad") and inst.has_mod("wide"):
+        return inst.dtype.bits * 2
+    if inst.opcode in ("popc", "clz"):
+        return 32
+    return inst.dtype.bits
+
+
+def _src_bits(inst: Instruction, position: int) -> int | None:
+    """Required width of the REG source at *position*, or None to skip."""
+    op = inst.opcode
+    if op == "cvt":
+        return inst.dtypes[1].bits if len(inst.dtypes) > 1 else None
+    if op in ("shl", "shr") and position == 2:
+        return 32                      # shift amount is always .u32
+    if op in ("bfe", "bfi") and position >= 2:
+        return 32                      # bit position/length are .u32
+    if op == "selp" and position == 3:
+        return None                    # predicate selector
+    if op in ("mad", "fma") and position == 3 and inst.has_mod("wide"):
+        return inst.dtype.bits * 2     # wide addend
+    if inst.dtypes and inst.dtype.kind != "p":
+        return inst.dtype.bits
+    return None
+
+
+class _KernelVerifier:
+    def __init__(self, kernel: Kernel, quirks: LegacyQuirks,
+                 file_id: str) -> None:
+        self.kernel = kernel
+        self.quirks = quirks
+        self.file_id = file_id
+        self.findings: list[Finding] = []
+
+    def emit(self, rule: str, severity: str, inst: Instruction,
+             message: str) -> None:
+        self.findings.append(Finding(
+            rule=rule, severity=severity, kernel=self.kernel.name,
+            pc=inst.index, message=message, file_id=self.file_id,
+            text=inst.text or str(inst)))
+
+    # -- structural checks ---------------------------------------------
+    def check(self, inst: Instruction) -> None:
+        if inst.opcode not in _KNOWN_OPCODES:
+            self.emit("V100", ERROR, inst,
+                      f"opcode {inst.opcode!r} is not implemented by the "
+                      "functional simulator")
+            return
+        sig = _SIGNATURES[inst.opcode]
+        count = len(inst.operands)
+        if not sig.min_ops <= count <= sig.max_ops:
+            expect = (str(sig.min_ops) if sig.min_ops == sig.max_ops
+                      else f"{sig.min_ops}..{sig.max_ops}")
+            self.emit("V101", ERROR, inst,
+                      f"{inst.opcode} takes {expect} operands, got {count}")
+            return
+        self._check_kinds(inst)
+        self._check_dtype(inst, sig)
+        self._check_widths(inst)
+        self._check_quirks(inst)
+
+    def _check_kinds(self, inst: Instruction) -> None:
+        op, operands = inst.opcode, inst.operands
+        if op == "bra":
+            if operands[0].kind != ast.LABEL:
+                self.emit("V103", ERROR, inst,
+                          "bra target must be a label")
+            return
+        if op in ("exit", "ret", "membar", "fence"):
+            return
+        if op == "bar":
+            for operand in operands:
+                if operand.kind != ast.IMM:
+                    self.emit("V103", ERROR, inst,
+                              "bar operands must be immediates")
+            return
+        if op == "st":
+            if operands[0].kind != ast.MEM:
+                self.emit("V103", ERROR, inst,
+                          "st destination must be a memory operand")
+            if operands[1].kind not in (ast.REG, ast.IMM, ast.VEC):
+                self.emit("V103", ERROR, inst,
+                          "st source must be a register, immediate or "
+                          "vector")
+            return
+        if op == "red":
+            if operands[0].kind != ast.MEM:
+                self.emit("V103", ERROR, inst,
+                          "red destination must be a memory operand")
+            return
+        # Everything else writes a register (or vector) destination.
+        if operands[0].kind not in (ast.REG, ast.VEC):
+            self.emit("V103", ERROR, inst,
+                      f"{op} destination must be a register")
+            return
+        if op in ("ld", "ldu", "atom", "tex"):
+            if operands[1].kind != ast.MEM:
+                self.emit("V103", ERROR, inst,
+                          f"{op} source must be a memory operand")
+            return
+        if op in ("setp", "set") and inst.cmp is None:
+            self.emit("V103", ERROR, inst,
+                      f"{op} requires a comparison modifier")
+        if op == "selp":
+            selector = operands[3]
+            if selector.kind != ast.REG:
+                self.emit("V103", ERROR, inst,
+                          "selp selector must be a predicate register")
+        allowed = (_SRC_KINDS + (ast.SYM,) if op in ("mov", "cvta")
+                   else _SRC_KINDS)
+        for operand in operands[1:]:
+            if operand.kind not in allowed:
+                self.emit("V103", ERROR, inst,
+                          f"{op} source operand of kind "
+                          f"{operand.kind!r} is not allowed")
+
+    def _check_dtype(self, inst: Instruction, sig: _Sig) -> None:
+        if sig.kinds is None or inst.opcode in _NO_DTYPE:
+            return
+        if not inst.dtypes:
+            self.emit("V102", ERROR, inst,
+                      f"{inst.opcode} requires a type specifier")
+            return
+        for dtype in inst.dtypes:
+            if dtype.kind not in sig.kinds:
+                wanted = "/".join(f".{k}*" for k in sig.kinds)
+                self.emit("V102", ERROR, inst,
+                          f"{inst.opcode} does not accept .{dtype.name} "
+                          f"(expected {wanted})")
+
+    def _check_widths(self, inst: Instruction) -> None:
+        decls = self.kernel.reg_decls
+        operands = inst.operands
+        if inst.opcode in ("st", "bra", "bar", "exit", "ret", "membar",
+                           "fence", "red", "tex"):
+            return
+        if not operands or not inst.dtypes:
+            return
+        dst = operands[0]
+        if dst.kind == ast.REG and dst.name in decls:
+            need = _dest_bits(inst)
+            have = decls[dst.name].bits
+            if decls[dst.name].kind != "p" and have < need:
+                self.emit("V104", WARNING, inst,
+                          f"destination {dst.name} is declared "
+                          f".{decls[dst.name].name} but the result is "
+                          f"{need} bits wide")
+        for position, operand in enumerate(operands[1:], start=1):
+            if operand.kind != ast.REG or operand.name not in decls:
+                continue
+            decl = decls[operand.name]
+            if decl.kind == "p":
+                continue
+            need = _src_bits(inst, position)
+            if need is not None and decl.bits < need:
+                self.emit("V104", WARNING, inst,
+                          f"source {operand.name} is declared "
+                          f".{decl.name} but {inst.opcode} reads "
+                          f"{need} bits")
+
+    # -- quirk dependence ----------------------------------------------
+    def _check_quirks(self, inst: Instruction) -> None:
+        quirks = self.quirks
+        op = inst.opcode
+        if (quirks.rem_ignores_type and op == "rem" and inst.dtypes
+                and (inst.dtype.kind == "s" or inst.dtype.bits < 64)):
+            self.emit("Q201", ERROR, inst,
+                      f"rem.{inst.dtype.name} depends on the active "
+                      "rem_ignores_type quirk: the legacy implementation "
+                      "computes an untyped u64 remainder")
+        if (quirks.bfe_unsigned_only and op == "bfe" and inst.dtypes
+                and inst.dtype.kind == "s"):
+            self.emit("Q202", ERROR, inst,
+                      f"bfe.{inst.dtype.name} depends on the active "
+                      "bfe_unsigned_only quirk: sign extension of the "
+                      "extracted field is skipped")
+        if quirks.brev_unsupported and op == "brev":
+            self.emit("Q203", ERROR, inst,
+                      "brev depends on the active brev_unsupported "
+                      "quirk: the legacy simulator aborts on bit-reverse")
+        if (quirks.fp16_unsupported
+                and any(d.kind == "f" and d.bits == 16
+                        for d in inst.dtypes)
+                and op not in ("ld", "ldu", "st")):
+            self.emit("Q204", ERROR, inst,
+                      "f16 operation depends on the active "
+                      "fp16_unsupported quirk")
+
+
+def verify_kernel(kernel: Kernel, *,
+                  quirks: LegacyQuirks | None = None,
+                  file_id: str = "") -> list[Finding]:
+    """Run the typed-instruction verifier over one kernel."""
+    checker = _KernelVerifier(kernel, quirks or LegacyQuirks(), file_id)
+    for inst in kernel.body:
+        checker.check(inst)
+    return checker.findings

@@ -81,18 +81,23 @@ class FunctionalBackend:
     name = "functional"
 
     def __init__(self, *, fast_mode: str = "superblock",
-                 on_exec=None, exec_override=None) -> None:
+                 on_exec=None, exec_override=None,
+                 verify: bool = False) -> None:
         self.fast_mode = fast_mode
         #: Optional per-instruction hooks forwarded to FunctionalEngine
         #: (fault injection / instrumentation); either forces the
         #: engine off the superblock tier for the affected launch.
         self.on_exec = on_exec
         self.exec_override = exec_override
+        #: Run the static verifier before every launch (VerificationError
+        #: on error-severity findings).
+        self.verify = verify
 
     def execute(self, launch: LaunchContext) -> KernelRunResult:
         stats = FunctionalEngine(launch, fast_mode=self.fast_mode,
                                  on_exec=self.on_exec,
-                                 exec_override=self.exec_override).run()
+                                 exec_override=self.exec_override,
+                                 verify=self.verify).run()
         return KernelRunResult(instructions=stats.instructions, cycles=0,
                                stats={"per_opcode": stats.dynamic_per_opcode})
 

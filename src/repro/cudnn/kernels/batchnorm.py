@@ -78,15 +78,16 @@ def bn_forward() -> str:
     beta = b.ld_param("u64", "beta")
     mean_ptr = b.ld_param("u64", "mean")
     invstd_ptr = b.ld_param("u64", "invstd")
-    dims = {name: b.ld_param("u32", name) for name, _ in _DIMS}
+    dims = {name: b.ld_param("u32", name) for name, _ in _DIMS
+            if name != "batch"}
     tid = b.global_tid_x()
     total = b.ld_param("u32", "total")
     b.guard_tid_below(tid, total)
 
     chw = b.reg("u32")
     b.ins("mul.lo.s32", chw, dims["channels"], dims["hw"])
-    _n, c_hw = div_mod(b, tid, chw)
-    c, _i = div_mod(b, c_hw, dims["hw"])
+    _, c_hw = div_mod(b, tid, chw, need_div=False)
+    c, _ = div_mod(b, c_hw, dims["hw"], need_rem=False)
 
     value = b.load_global_f32(b.elem_addr(x, tid))
     mu = b.load_global_f32(b.elem_addr(mean_ptr, c))
@@ -164,8 +165,8 @@ def bn_backward_dx() -> str:
 
     chw = b.reg("u32")
     b.ins("mul.lo.s32", chw, dims["channels"], dims["hw"])
-    _n, c_hw = div_mod(b, tid, chw)
-    c, _i = div_mod(b, c_hw, dims["hw"])
+    _, c_hw = div_mod(b, tid, chw, need_div=False)
+    c, _ = div_mod(b, c_hw, dims["hw"], need_rem=False)
     m = b.reg("u32")
     b.ins("mul.lo.s32", m, dims["batch"], dims["hw"])
     fm = b.reg("f32")

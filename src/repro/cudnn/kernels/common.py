@@ -43,14 +43,22 @@ def nchw_index(b: PTXBuilder, n: str, c: str, h: str, w: str,
     return out
 
 
-def div_mod(b: PTXBuilder, value: str, divisor: str) -> tuple[str, str]:
+def div_mod(b: PTXBuilder, value: str, divisor: str, *,
+            need_div: bool = True,
+            need_rem: bool = True) -> tuple[str | None, str | None]:
     """(value / divisor, value % divisor) for u32 registers.
 
     Emits the exact ``div.u32`` / ``rem.u32`` pair whose ``rem``
     implementation the paper had to fix inside ``fft2d_r2c_32x32``.
+    Callers that only need one half pass ``need_div``/``need_rem`` so
+    the other instruction is not emitted as a dead store.
     """
-    quotient = b.reg("u32")
-    b.ins("div.u32", quotient, value, divisor)
-    remainder = b.reg("u32")
-    b.ins("rem.u32", remainder, value, divisor)
+    quotient = None
+    if need_div:
+        quotient = b.reg("u32")
+        b.ins("div.u32", quotient, value, divisor)
+    remainder = None
+    if need_rem:
+        remainder = b.reg("u32")
+        b.ins("rem.u32", remainder, value, divisor)
     return quotient, remainder

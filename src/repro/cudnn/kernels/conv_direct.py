@@ -2,7 +2,7 @@
 
 cuDNN's "algo 0 / algo 1 / algo 3" families differ in how they
 parallelise and whether they use atomics; we keep those behavioural
-signatures (algo 0 scatters with ``atom.global.add.f32``, algo 1 gathers
+signatures (algo 0 scatters with ``red.global.add.f32``, algo 1 gathers
 race-free, algo 3 tiles the reduction differently), which is what makes
 their DRAM/IPC profiles distinguishable in the Section V case studies.
 """
@@ -21,8 +21,11 @@ _GEOM = [
 ]
 
 
-def _load_geom(b: PTXBuilder) -> dict[str, str]:
-    return {name: b.ld_param("u32", name) for name, _ in _GEOM}
+def _load_geom(b: PTXBuilder, *, skip: tuple[str, ...] = ()) -> dict[str, str]:
+    """Load the geometry params a kernel actually reads; kernels whose
+    thread decomposition never needs ``batch`` skip its ``ld.param``."""
+    return {name: b.ld_param("u32", name) for name, _ in _GEOM
+            if name not in skip}
 
 
 def implicit_gemm_fwd() -> str:
@@ -35,7 +38,7 @@ def implicit_gemm_fwd() -> str:
     image = b.ld_param("u64", "image")
     weight = b.ld_param("u64", "weight")
     out = b.ld_param("u64", "out")
-    g = _load_geom(b)
+    g = _load_geom(b, skip=("batch",))
     tid = b.global_tid_x()
     total = b.ld_param("u32", "total")
     b.guard_tid_below(tid, total)
@@ -90,7 +93,7 @@ def conv_bwd_data_algo0() -> str:
     """dgrad algo 0: scatter dy through the filter with atomics.
 
     One thread per (n, k, p, q); each contributes to C*R*S dx positions
-    via ``atom.global.add.f32``.  Non-deterministic order, heavy
+    via ``red.global.add.f32``.  Non-deterministic order, heavy
     partition traffic — the classic "algorithm 0" signature.
     """
     b = PTXBuilder("conv_bwd_data_algo0",
@@ -99,7 +102,7 @@ def conv_bwd_data_algo0() -> str:
     dy = b.ld_param("u64", "dy")
     weight = b.ld_param("u64", "weight")
     dx = b.ld_param("u64", "dx")
-    g = _load_geom(b)
+    g = _load_geom(b, skip=("batch",))
     tid = b.global_tid_x()
     total = b.ld_param("u32", "total")
     b.guard_tid_below(tid, total)
@@ -147,8 +150,7 @@ def conv_bwd_data_algo0() -> str:
                     b.ins("mad.lo.s32", x_idx, x_idx, g["height"], h)
                     b.ins("mad.lo.s32", x_idx, x_idx, g["width"], w)
                     addr = b.elem_addr(dx, x_idx)
-                    old = b.reg("f32")
-                    b.ins("atom.global.add.f32", old, f"[{addr}]", contrib)
+                    b.ins("red.global.add.f32", f"[{addr}]", contrib)
     return b.build()
 
 
@@ -160,7 +162,7 @@ def conv_bwd_data_algo1() -> str:
     dy = b.ld_param("u64", "dy")
     weight = b.ld_param("u64", "weight")
     dx = b.ld_param("u64", "dx")
-    g = _load_geom(b)
+    g = _load_geom(b, skip=("batch",))
     tid = b.global_tid_x()
     total = b.ld_param("u32", "total")
     b.guard_tid_below(tid, total)
@@ -233,7 +235,7 @@ def conv_bwd_filter_algo0() -> str:
     image = b.ld_param("u64", "image")
     dy = b.ld_param("u64", "dy")
     dw = b.ld_param("u64", "dw")
-    g = _load_geom(b)
+    g = _load_geom(b, skip=("batch",))
     tid = b.global_tid_x()
     total = b.ld_param("u32", "total")
     b.guard_tid_below(tid, total)
@@ -281,8 +283,7 @@ def conv_bwd_filter_algo0() -> str:
                     b.ins("mad.lo.s32", w_idx, w_idx, g["ksize_h"], r)
                     b.ins("mad.lo.s32", w_idx, w_idx, g["ksize_w"], s)
                     addr = b.elem_addr(dw, w_idx)
-                    old = b.reg("f32")
-                    b.ins("atom.global.add.f32", old, f"[{addr}]", contrib)
+                    b.ins("red.global.add.f32", f"[{addr}]", contrib)
     return b.build()
 
 
@@ -359,8 +360,7 @@ def _bwd_filter_gather(name: str, images_per_block: int) -> str:
                     b.ins("fma.rn.f32", acc, xv, dyv, acc)
     addr = b.elem_addr(dw, tid)
     if images_per_block:
-        old = b.reg("f32")
-        b.ins("atom.global.add.f32", old, f"[{addr}]", acc)
+        b.ins("red.global.add.f32", f"[{addr}]", acc)
     else:
         b.store_global_f32(addr, acc)
     return b.build()
@@ -388,7 +388,7 @@ def implicit_gemm_fwd_fp16() -> str:
     image = b.ld_param("u64", "image")
     weight = b.ld_param("u64", "weight")
     out = b.ld_param("u64", "out")
-    g = _load_geom(b)
+    g = _load_geom(b, skip=("batch",))
     tid = b.global_tid_x()
     total = b.ld_param("u32", "total")
     b.guard_tid_below(tid, total)

@@ -28,12 +28,10 @@ def im2col() -> str:
                     ("batch", "u32"), *_CONV_GEOM, ("total", "u32")])
     image = b.ld_param("u64", "image")
     columns = b.ld_param("u64", "columns")
-    batch = b.ld_param("u32", "batch")
     geom = {name: b.ld_param("u32", name) for name, _ in _CONV_GEOM}
     tid = b.global_tid_x()
     total = b.ld_param("u32", "total")
     b.guard_tid_below(tid, total)
-    del batch
 
     # Decompose tid = row * (N*P*Q) + col_index, with
     # row = c*R*S + r*S + s and col_index = n*P*Q + p*Q + q.

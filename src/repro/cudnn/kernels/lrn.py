@@ -42,7 +42,10 @@ def _lrn_forward(name: str, use_texture: bool) -> str:
     inp = b.ld_param("u64", "inp")
     out = b.ld_param("u64", "out")
     scale_buf = b.ld_param("u64", "scale")
-    g = {gname: b.ld_param("u32", gname) for gname, _ in _GEOM}
+    # ``batch`` is declared for the host launch math; the kernels index
+    # with n = tid / (C*H*W) and never read it.
+    g = {gname: b.ld_param("u32", gname) for gname, _ in _GEOM
+         if gname != "batch"}
     alpha = b.ld_param("f32", "alpha")
     beta = b.ld_param("f32", "beta")
     kconst = b.ld_param("f32", "kconst")
@@ -126,7 +129,10 @@ def lrn_backward() -> str:
     dy = b.ld_param("u64", "dy")
     scale_buf = b.ld_param("u64", "scale")
     dx = b.ld_param("u64", "dx")
-    g = {gname: b.ld_param("u32", gname) for gname, _ in _GEOM}
+    # ``batch`` is declared for the host launch math; the kernels index
+    # with n = tid / (C*H*W) and never read it.
+    g = {gname: b.ld_param("u32", gname) for gname, _ in _GEOM
+         if gname != "batch"}
     alpha = b.ld_param("f32", "alpha")
     beta = b.ld_param("f32", "beta")
     tid = b.global_tid_x()

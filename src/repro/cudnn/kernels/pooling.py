@@ -13,7 +13,10 @@ _GEOM = [
 
 
 def _load_geom(b: PTXBuilder) -> dict[str, str]:
-    return {name: b.ld_param("u32", name) for name, _ in _GEOM}
+    # ``batch`` is declared for the host-side launch math but no pooling
+    # kernel reads it; loading it would be a dead store.
+    return {name: b.ld_param("u32", name) for name, _ in _GEOM
+            if name != "batch"}
 
 
 def maxpool_forward() -> str:
@@ -82,8 +85,7 @@ def maxpool_backward() -> str:
     idx = b.reg("u32")
     b.ins("ld.global.u32", idx, f"[{b.elem_addr(argmax, tid)}]")
     addr = b.elem_addr(dx, idx)
-    old = b.reg("f32")
-    b.ins("atom.global.add.f32", old, f"[{addr}]", dyv)
+    b.ins("red.global.add.f32", f"[{addr}]", dyv)
     return b.build()
 
 

@@ -94,7 +94,6 @@ def softmax_nll_backward() -> str:
     probs = b.ld_param("u64", "probs")
     labels = b.ld_param("u64", "labels")
     dx = b.ld_param("u64", "dx")
-    b.ld_param("u32", "rows")
     cols = b.ld_param("u32", "cols")
     scale = b.ld_param("f32", "scale")
     tid = b.global_tid_x()

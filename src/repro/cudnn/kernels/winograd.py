@@ -238,8 +238,6 @@ def input_transform(transposed: bool = False) -> str:
 
     d = _load_patch_4x4(b, image, n, c, th2, tw, g)
     out = _bt_d_b(b, d)
-    ct = b.reg("u32")
-    b.ins("mul.lo.s32", ct, g["channels"], ntiles)
     for xi in range(16):
         if transposed:
             # idx = (xi*T + t)*C + c
@@ -252,7 +250,6 @@ def input_transform(transposed: bool = False) -> str:
             b.ins("mad.lo.s32", idx, str(xi), g["channels"], c)
             b.ins("mad.lo.s32", idx, idx, ntiles, t)
         b.store_global_f32(b.elem_addr(v, idx), out[xi])
-    del ct
     return b.build()
 
 
@@ -268,7 +265,6 @@ def filter_transform() -> str:
     tid = b.global_tid_x()
     total = b.ld_param("u32", "total")
     b.guard_tid_below(tid, total)
-    k, c = div_mod(b, tid, channels)
     base = b.reg("u32")
     b.ins("mul.lo.s32", base, tid, "9")
     g_regs = []
@@ -281,7 +277,6 @@ def filter_transform() -> str:
         idx = b.reg("u32")
         b.ins("mad.lo.s32", idx, str(xi), kc, tid)
         b.store_global_f32(b.elem_addr(u, idx), out[xi])
-    del k
     return b.build()
 
 

@@ -54,6 +54,12 @@ class InstructionDiff:
     entry_index: int
     suspect_payload: int
     reference_payload: int
+    #: Static def-use slice of the bad instruction's source registers:
+    #: ``{"pc", "depth", "register", "text"}`` per producer site, nearest
+    #: first (from :func:`repro.analysis.dataflow.producer_chain`).  The
+    #: first wrong *value* often surfaces instructions after the wrong
+    #: *semantics* executed; the slice names the upstream candidates.
+    producers: list[dict] = field(default_factory=list)
 
 
 @dataclass
@@ -103,6 +109,7 @@ class DebugReport:
                 "entry_index": d.entry_index,
                 "suspect_payload": d.suspect_payload,
                 "reference_payload": d.reference_payload,
+                "producers": [dict(site) for site in d.producers],
             }
         return data
 
@@ -121,6 +128,12 @@ class DebugReport:
                 f"(thread {d.thread}, entry {d.entry_index}: "
                 f"suspect={d.suspect_payload:#x} "
                 f"reference={d.reference_payload:#x})")
+            if d.producers:
+                lines.append("static producer chain of its sources:")
+                for site in d.producers:
+                    lines.append(
+                        f"  [depth {site['depth']}] pc={site['pc']} "
+                        f"{site['register']}: {site['text'].strip()}")
         lines.extend(self.notes)
         return "\n".join(lines)
 
@@ -361,12 +374,14 @@ class DifferentialDebugger:
             return None
         entry_index, thread, s_entry, r_entry = best
         pc = r_entry[0]
+        from repro.analysis.dataflow import producer_chain
         from repro.debugtool.ptxprint import format_instruction
         return InstructionDiff(
             pc=pc, text=format_instruction(kernel.body[pc]),
             thread=thread, entry_index=entry_index,
             suspect_payload=s_entry[1],
-            reference_payload=r_entry[1])
+            reference_payload=r_entry[1],
+            producers=producer_chain(kernel, pc))
 
     # ------------------------------------------------------------------
     def run(self) -> DebugReport:

@@ -21,6 +21,11 @@ class PTXSyntaxError(ReproError):
         super().__init__(message)
 
 
+class PTXLabelError(PTXSyntaxError):
+    """Raised for duplicate label definitions or branches to undefined
+    labels, at parse/build time rather than as a ``KeyError`` mid-run."""
+
+
 class PTXNameError(ReproError):
     """Raised for duplicate or missing symbol names in a PTX module.
 
@@ -71,3 +76,16 @@ class FaultInjectionError(ReproError):
 
 class CheckpointError(ReproError):
     """Raised on malformed or incompatible checkpoint data."""
+
+
+class VerificationError(ReproError):
+    """Raised by the ``FunctionalEngine(verify=True)`` launch gate when
+    the static verifier reports error-severity findings.
+
+    ``findings`` holds the :class:`repro.analysis.Finding` objects so
+    callers can inspect rule ids programmatically.
+    """
+
+    def __init__(self, message: str, findings: list | None = None) -> None:
+        super().__init__(message)
+        self.findings = list(findings or [])

@@ -84,6 +84,10 @@ def build_cfg(kernel: Kernel) -> nx.DiGraph:
                     graph.add_edge(leader, _EXIT)
         elif last.opcode in ("exit", "ret"):
             graph.add_edge(leader, _EXIT)
+            # A predicated exit terminates only the lanes whose guard
+            # holds; the rest fall through into the next block.
+            if last.pred is not None and end < len(kernel.body):
+                graph.add_edge(leader, block_of[end])
         elif end < len(kernel.body):
             graph.add_edge(leader, block_of[end])
         else:

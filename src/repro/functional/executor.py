@@ -88,12 +88,20 @@ class FunctionalEngine:
                      bool] | None = None,
                  reconverge_at_exit: bool = False,
                  contract_fp16: bool = False,
+                 verify: bool = False,
                  fast_mode: str = "superblock") -> None:
         if fast_mode not in FAST_MODES:
             raise ValueError(f"unknown fast_mode {fast_mode!r}; "
                              f"expected one of {FAST_MODES}")
         self.launch = launch
         self.kernel = launch.kernel
+        if verify:
+            # Opt-in pre-launch gate: run the static verifier + lints
+            # and refuse the launch on error-severity findings (raises
+            # repro.errors.VerificationError).  Off by default — it
+            # costs a CFG + dataflow solve per launch.
+            from repro.analysis import verify_launch
+            verify_launch(self.kernel, quirks=launch.quirks)
         self.on_exec = on_exec
         #: Fault-injection hook: called as (inst, warp, lanes, pc) before
         #: normal dispatch; returning True means the override performed

@@ -20,10 +20,19 @@ own lanes loop.  Anything the emitter does not understand falls back to
 the already-compiled per-instruction ``LaneFn`` as an opaque call inside
 the block.
 
-Block-local optimisations (all bit-exact against the reference tier):
+Block-local optimisations (bit-exact against the reference tier for
+memory and every *live* register):
 
 * register payloads written earlier in the same lane chunk are forwarded
   through locals instead of re-read from the register dict;
+* register-dict writebacks are deferred to the end of each lane chunk,
+  so a register rewritten several times in a chunk is stored once; at
+  the end of the block the flush is filtered by the liveness solution
+  from :mod:`repro.analysis.dataflow`, so registers that are statically
+  dead after the run are never written back at all (their stale dict
+  entries are unobservable: liveness proves no later instruction reads
+  them, and the analysis already counts partial sub-64-bit writes as
+  reads of the old payload union);
 * float reinterpretation inlines the two ``struct`` calls instead of
   going through the :mod:`repro.ptx.values` wrappers;
 * linear arenas (shared/param/const) and single-page global accesses are
@@ -44,6 +53,7 @@ from __future__ import annotations
 
 import math
 
+from repro.analysis.dataflow import liveness
 from repro.errors import SimulationFault
 from repro.functional.cfg import block_leaders
 from repro.functional.fastpath import (
@@ -80,10 +90,11 @@ class Superblock:
     """One fused straight-line run: ``[start, end)`` of the kernel body."""
 
     __slots__ = ("start", "end", "count", "execute", "opcodes",
-                 "opcode_counts", "has_mem", "source")
+                 "opcode_counts", "has_mem", "source", "pruned")
 
     def __init__(self, start: int, end: int, execute, opcodes: tuple[str, ...],
-                 has_mem: bool, source: str) -> None:
+                 has_mem: bool, source: str,
+                 pruned: frozenset[str] = frozenset()) -> None:
         self.start = start
         self.end = end
         self.count = end - start
@@ -95,6 +106,9 @@ class Superblock:
         self.opcode_counts = counts
         self.has_mem = has_mem
         self.source = source
+        #: Registers whose final writeback the liveness flush dropped:
+        #: their dict entries may be stale (or absent) after the block.
+        self.pruned = pruned
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Superblock [{self.start}, {self.end}) x{self.count}>"
@@ -116,6 +130,13 @@ class _BlockCodegen:
         # Register name -> local holding its full current payload, valid
         # only inside the current lane chunk (locals are per-lane).
         self._forward: dict[str, str] = {}
+        #: Registers whose end-of-block writeback was dropped as dead.
+        self.pruned: set[str] = set()
+        # Register name -> local whose regs[...] writeback is deferred to
+        # the end of the current lane chunk.  Rewrites inside the chunk
+        # overwrite the entry, so only the final value is stored; the
+        # end-of-block flush additionally drops statically dead registers.
+        self._pending: dict[str, str] = {}
 
     # -- naming --------------------------------------------------------
     def fresh(self, prefix: str = "_t") -> str:
@@ -180,10 +201,12 @@ class _BlockCodegen:
 
     def warp_loop(self, lines: list[str]) -> None:
         """Statements needing their own instruction-ordered lanes loop."""
+        self._flush_pending()
         self.chunks.append(("warp", lines))
         self._forward.clear()
 
     def opaque(self, fn: LaneFn) -> None:
+        self._flush_pending()
         name = self.fresh("_f")
         self.bindings[name] = fn
         self.chunks.append(("call", [f"{name}(warp, lanes)"]))
@@ -191,7 +214,23 @@ class _BlockCodegen:
 
     def end_lane_chunk(self) -> None:
         """Invalidate forwarded locals before leaving the current chunk."""
+        self._flush_pending()
         self._forward.clear()
+
+    def _flush_pending(self, live: frozenset[str] | None = None) -> None:
+        """Emit the deferred register writebacks of the current chunk.
+
+        With *live* given (the end-of-block flush), registers not in it
+        are dead after the run and their writebacks are skipped.
+        """
+        if not self._pending:
+            return
+        for name, local in self._pending.items():
+            if live is None or name in live:
+                self.lane(f"regs[{name!r}] = {local}")
+            else:
+                self.pruned.add(name)
+        self._pending.clear()
 
     # -- operand expressions -------------------------------------------
     def payload_expr(self, op: ast.Operand, dtype: DType) -> str | None:
@@ -257,8 +296,8 @@ class _BlockCodegen:
     def write_raw(self, name: str, expr: str) -> None:
         """Whole-payload register write (ld destinations, predicates)."""
         if expr.isidentifier():  # already a local: no copy needed
-            self.lane(f"regs[{name!r}] = {expr}")
             self._forward[name] = expr
+            self._pending[name] = expr
             return
         self._define(name, expr)
 
@@ -269,11 +308,14 @@ class _BlockCodegen:
 
     def _define(self, name: str, expr: str) -> None:
         temp = self.fresh("_p")
-        self.lane(f"{temp} = {expr}", f"regs[{name!r}] = {temp}")
+        self.lane(f"{temp} = {expr}")
         self._forward[name] = temp
+        self._pending[name] = temp
 
     # -- assembly ------------------------------------------------------
-    def build(self, filename: str):
+    def build(self, filename: str,
+              live_out: frozenset[str] | None = None):
+        self._flush_pending(live_out)
         body: list[str] = list(self.prologue)
         if any(kind in ("lane", "warp") for kind, _ in self.chunks):
             body.append("warp_regs = warp.regs")
@@ -752,17 +794,19 @@ def eligible(inst: ast.Instruction, fast_fn: LaneFn | None) -> bool:
 
 
 def _fuse(kernel, run: list[ast.Instruction], start: int,
-          fast: list[LaneFn | None]) -> Superblock:
+          fast: list[LaneFn | None],
+          live_out: frozenset[str] | None) -> Superblock:
     gen = _BlockCodegen()
     for offset, inst in enumerate(run):
         if not _emit(inst, gen):
             gen.opaque(fast[start + offset])
     filename = f"<superblock {kernel.name}@{start}>"
-    execute, source = gen.build(filename)
+    execute, source = gen.build(filename, live_out)
     return Superblock(
         start=start, end=start + len(run), execute=execute,
         opcodes=tuple(inst.opcode for inst in run),
-        has_mem=gen.has_mem, source=source)
+        has_mem=gen.has_mem, source=source,
+        pruned=frozenset(gen.pruned))
 
 
 def compile_superblocks(kernel,
@@ -772,9 +816,14 @@ def compile_superblocks(kernel,
     Returns ``{entry pc: Superblock}``.  Runs never cross basic-block
     leaders, so any pc a warp can branch or reconverge to is either a
     block entry or outside every block (where the engine steps).
+
+    One liveness solve per kernel feeds the end-of-run writeback flush:
+    the set live before the instruction that follows a run is exactly
+    what later code can still read, so everything else stays in locals.
     """
     body = kernel.body
     leaders = block_leaders(kernel)
+    live = liveness(kernel)
     blocks: dict[int, Superblock] = {}
     pc, size = 0, len(body)
     while pc < size:
@@ -787,5 +836,8 @@ def compile_superblocks(kernel,
                and eligible(body[pc], fast[pc])):
             pc += 1
         if pc - start >= MIN_RUN:
-            blocks[start] = _fuse(kernel, body[start:pc], start, fast)
+            live_out = (live.before.get(pc, frozenset())
+                        if pc < size else frozenset())
+            blocks[start] = _fuse(kernel, body[start:pc], start, fast,
+                                  live_out)
     return blocks

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 
+from repro.errors import PTXLabelError
 from repro.ptx.values import f32_to_bits, f64_to_bits
 
 _REG_PREFIX = {
@@ -202,6 +203,35 @@ class PTXBuilder:
     # ------------------------------------------------------------------
     # Assembly
     # ------------------------------------------------------------------
+    def _check_labels(self, body_lines: list[str]) -> None:
+        """Reject duplicate labels and branches to labels never placed.
+
+        Both bugs would otherwise only surface downstream — the parser
+        rejects the duplicate, but an undefined target survives all the
+        way to the first warp that takes the branch.
+        """
+        defined: set[str] = set()
+        for line in body_lines:
+            text = line.strip()
+            if text.endswith(":") and not text.startswith("//"):
+                label = text[:-1]
+                if label in defined:
+                    raise PTXLabelError(
+                        f"kernel {self.name!r}: label {label!r} placed "
+                        "twice")
+                defined.add(label)
+        for line in body_lines:
+            text = line.strip()
+            if text.startswith("//"):
+                continue
+            tokens = text.rstrip(";").split()
+            if "bra" in tokens:
+                target = tokens[-1]
+                if target not in defined:
+                    raise PTXLabelError(
+                        f"kernel {self.name!r}: branch to undefined "
+                        f"label {target!r}")
+
     def build(self) -> str:
         params = ",\n".join(
             f"    .param .{dtype} {name}" for name, dtype in self._params)
@@ -216,6 +246,7 @@ class PTXBuilder:
         if not body_lines or not body_lines[-1].strip().startswith(
                 ("exit", "ret")):
             body_lines.append("    exit;")
+        self._check_labels(body_lines)
         parts = [
             f".version {self.version}",
             f".target {self.target}",

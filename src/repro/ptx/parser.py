@@ -13,7 +13,7 @@ behaviour by default and implements the initialiser as the opt-in
 
 from __future__ import annotations
 
-from repro.errors import PTXSyntaxError
+from repro.errors import PTXLabelError, PTXSyntaxError
 from repro.ptx import ast
 from repro.ptx.dtypes import DType, dtype_from_name, is_dtype_name
 from repro.ptx.lexer import EOF, FLOAT, INT, PUNCT, WORD, Token, tokenize
@@ -208,12 +208,30 @@ class Parser:
                 label = self._next().text
                 self._expect(PUNCT, ":")
                 if label in kernel.labels:
-                    raise PTXSyntaxError(f"duplicate label {label!r}",
-                                         token.line)
+                    raise PTXLabelError(f"duplicate label {label!r}",
+                                        token.line)
                 kernel.labels[label] = len(kernel.body)
             else:
                 inst = self._parse_instruction(len(kernel.body))
                 kernel.body.append(inst)
+        # A branch to a label the body never defines would otherwise
+        # surface as a KeyError (or a "bra without target" fault) the
+        # first time a warp reaches it.  Bare-word targets lex as SYM;
+        # promote the ones that resolve, reject the rest here.
+        for inst in kernel.body:
+            for operand in inst.operands:
+                if (operand.kind == ast.SYM and inst.opcode == "bra"
+                        and operand.name in kernel.labels):
+                    operand.kind = ast.LABEL
+                if (operand.kind == ast.LABEL
+                        and operand.name not in kernel.labels):
+                    raise PTXLabelError(
+                        f"branch to undefined label {operand.name!r} "
+                        f"in kernel {kernel.name!r}", inst.line)
+                if (operand.kind == ast.SYM and inst.opcode == "bra"):
+                    raise PTXLabelError(
+                        f"branch to undefined label {operand.name!r} "
+                        f"in kernel {kernel.name!r}", inst.line)
 
     def _parse_reg_decl(self, kernel: ast.Kernel) -> None:
         self._expect(WORD, ".reg")

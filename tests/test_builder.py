@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.cuda import CudaRuntime
+from repro.errors import PTXLabelError
 from repro.ptx.builder import PTXBuilder, f32, f64
 from repro.ptx.parser import parse_module
 
@@ -53,6 +54,35 @@ class TestBuilder:
     def test_fresh_labels_unique(self):
         b = PTXBuilder("k", [])
         assert b.fresh_label() != b.fresh_label()
+
+    def test_duplicate_label_rejected_at_build_time(self):
+        b = PTXBuilder("k", [])
+        label = b.fresh_label()
+        b.place(label)
+        b.ins("mov.u32", b.reg("u32"), "1")
+        b.place(label)
+        with pytest.raises(PTXLabelError, match="placed twice"):
+            b.build()
+
+    def test_branch_to_unplaced_label_rejected_at_build_time(self):
+        b = PTXBuilder("k", [])
+        b.ins(f"bra {b.fresh_label()}")
+        with pytest.raises(PTXLabelError, match="undefined label"):
+            b.build()
+
+    def test_predicated_branch_target_also_checked(self):
+        b = PTXBuilder("k", [])
+        pred = b.reg("pred")
+        b.ins(f"bra {b.fresh_label()}", pred=pred)
+        with pytest.raises(PTXLabelError, match="undefined label"):
+            b.build()
+
+    def test_placed_branch_builds_fine(self):
+        b = PTXBuilder("k", [])
+        label = b.fresh_label()
+        b.ins(f"bra {label}")
+        b.place(label)
+        assert "bra $_L_1;" in b.build()
 
     def test_predicated_emission(self):
         b = PTXBuilder("k", [])

@@ -157,6 +157,22 @@ class TestBisection:
         assert fft_debug_report.instruction is not None
         assert fft_debug_report.render()
 
+    def test_level3_names_the_static_producer_chain(self, fft_debug_report):
+        """The report augments the dynamic divergence site with the
+        static def-use slice of its source registers."""
+        diff = fft_debug_report.instruction
+        assert diff.producers, "divergent instruction has producers"
+        site = diff.producers[0]
+        assert {"pc", "depth", "register", "text"} <= set(site)
+        rendered = fft_debug_report.render()
+        assert "static producer chain" in rendered
+        assert f"pc={site['pc']}" in rendered
+
+    def test_report_dict_includes_producers(self, fft_debug_report):
+        data = fft_debug_report.to_dict()
+        sites = data["instruction"]["producers"]
+        assert sites and all(isinstance(s["pc"], int) for s in sites)
+
     def test_clean_run_reports_no_divergence(self):
         rng = np.random.default_rng(6)
         x = rng.standard_normal((1, 1, 6, 6)).astype(np.float32)

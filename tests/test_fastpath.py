@@ -143,7 +143,7 @@ class _SnapshottingBackend(FunctionalBackend):
 
     def __init__(self, fast_mode: str) -> None:
         super().__init__(fast_mode=fast_mode)
-        self.trace: list[tuple[str, int, list]] = []
+        self.trace: list[tuple[str, int, list, frozenset]] = []
 
     def execute(self, launch):
         engine = FunctionalEngine(launch, fast_mode=self.fast_mode)
@@ -155,7 +155,14 @@ class _SnapshottingBackend(FunctionalBackend):
             engine.run_cta(cta, stats)
             regdump.append([[dict(regs) for regs in warp.regs]
                             for warp in cta.warps])
-        self.trace.append((launch.kernel.name, stats.instructions, regdump))
+        # Registers whose final writeback the liveness flush dropped in
+        # any fused block: stale/absent in the post-exit dump, by design.
+        pruned = frozenset().union(
+            *(block.pruned
+              for block in engine._superblocks.values())) \
+            if engine._superblocks else frozenset()
+        self.trace.append((launch.kernel.name, stats.instructions,
+                           regdump, pruned))
         return KernelRunResult(
             instructions=stats.instructions, cycles=0,
             stats={"per_opcode": stats.dynamic_per_opcode})
@@ -203,9 +210,13 @@ def _drive_library_workload(backend: _SnapshottingBackend):
 def test_library_kernels_trimodal_differential():
     """Every cuDNN/cuBLAS kernel, bit-identical across all three tiers.
 
-    Register files (per warp, post-exit), the final global-memory
-    image, per-launch instruction counts and the launch sequence itself
-    must all match the reference interpreter exactly.
+    The final global-memory image, per-launch instruction counts and
+    the launch sequence must match the reference interpreter exactly in
+    every tier.  Register files (per warp, post-exit) match exactly in
+    the fastpath tier; the superblock tier is allowed to differ only on
+    the registers its liveness flush provably pruned (each block
+    reports them in ``Superblock.pruned``) — every other register must
+    still be bit-identical, and no tier may invent registers.
     """
     runs = {}
     for mode in FAST_MODES:
@@ -214,7 +225,7 @@ def test_library_kernels_trimodal_differential():
         runs[mode] = (backend.trace, outputs, pages)
 
     ref_trace, ref_outputs, ref_pages = runs["reference"]
-    kernels = {name for name, _insns, _regs in ref_trace}
+    kernels = {entry[0] for entry in ref_trace}
     assert any("gemm" in name for name in kernels)
     assert len(kernels) >= 8, f"workload too narrow: {sorted(kernels)}"
 
@@ -222,9 +233,22 @@ def test_library_kernels_trimodal_differential():
         trace, outputs, pages = runs[mode]
         assert [t[0] for t in trace] == [t[0] for t in ref_trace]
         assert [t[1] for t in trace] == [t[1] for t in ref_trace]
-        for (name, _insns, regs), (_n, _i, ref_regs) in zip(trace,
-                                                            ref_trace):
-            assert regs == ref_regs, f"register files diverge in {name}"
+        for (name, _insns, regs, pruned), (_n, _i, ref_regs, _p) in zip(
+                trace, ref_trace):
+            if mode == "fastpath":
+                assert regs == ref_regs, \
+                    f"register files diverge in {name}"
+                continue
+            for cta, ref_cta in zip(regs, ref_regs):
+                for warp, ref_warp in zip(cta, ref_cta):
+                    for lane_regs, ref_lane in zip(warp, ref_warp):
+                        assert set(lane_regs) <= set(ref_lane), \
+                            f"{name}: superblock invented registers"
+                        for reg, value in ref_lane.items():
+                            if reg in pruned:
+                                continue
+                            assert lane_regs.get(reg) == value, \
+                                f"live register {reg} diverges in {name}"
         for got, want in zip(outputs, ref_outputs):
             assert got.tobytes() == want.tobytes()
         assert pages == ref_pages

@@ -1,0 +1,157 @@
+"""End-to-end tests for the ``repro-lint`` command-line front end."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import main
+
+_REM_PTX = """
+.version 6.0
+.target sm_60
+.address_size 64
+.visible .entry remk(.param .u64 out)
+{
+    .reg .b32 %r<4>;
+    .reg .b64 %rd<2>;
+    ld.param.u64 %rd0, [out];
+    mov.u32 %r0, 7;
+    mov.u32 %r1, 3;
+    rem.u32 %r2, %r0, %r1;
+    st.global.u32 [%rd0], %r2;
+    exit;
+}
+"""
+
+_CLEAN_PTX = """
+.version 6.0
+.target sm_60
+.address_size 64
+.visible .entry addk(.param .u64 out)
+{
+    .reg .b32 %r<4>;
+    .reg .b64 %rd<2>;
+    ld.param.u64 %rd0, [out];
+    mov.u32 %r0, 7;
+    add.u32 %r1, %r0, 3;
+    st.global.u32 [%rd0], %r1;
+    exit;
+}
+"""
+
+
+@pytest.fixture
+def rem_file(tmp_path: Path) -> Path:
+    path = tmp_path / "rem.ptx"
+    path.write_text(_REM_PTX)
+    return path
+
+
+@pytest.fixture
+def clean_file(tmp_path: Path) -> Path:
+    path = tmp_path / "clean.ptx"
+    path.write_text(_CLEAN_PTX)
+    return path
+
+
+def test_clean_file_exits_zero(clean_file, capsys):
+    assert main([str(clean_file)]) == 0
+    assert "clean: no findings" in capsys.readouterr().out
+
+
+def test_stock_quirks_flag_rem_text_output(rem_file, capsys):
+    code = main([str(rem_file), "--quirks", "stock"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "Q201" in out
+    assert "[new]" in out
+    assert "1 finding(s), 1 new" in out
+
+
+def test_fixed_quirks_do_not_flag_rem(rem_file):
+    assert main([str(rem_file)]) == 0
+
+
+def test_json_output_schema(rem_file, capsys):
+    code = main([str(rem_file), "--quirks", "stock",
+                 "--format", "json"])
+    assert code == 1
+    data = json.loads(capsys.readouterr().out)
+    assert data["quirks"] == "stock"
+    assert data["files"] == 1
+    [finding] = [f for f in data["findings"] if f["rule"] == "Q201"]
+    assert finding["new"] is True
+    assert finding["severity"] == "error"
+    assert finding["kernel"] == "remk"
+    assert "::" in finding["key"]
+
+
+def test_baseline_suppresses_known_findings(rem_file, tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    assert main([str(rem_file), "--quirks", "stock",
+                 "--baseline", str(baseline), "--write-baseline"]) == 0
+    written = json.loads(baseline.read_text())
+    assert written["quirks"] == "stock"
+    assert written["findings"]
+    capsys.readouterr()
+
+    # Same findings, now baselined: exit 0, marked as not-new.
+    code = main([str(rem_file), "--quirks", "stock",
+                 "--baseline", str(baseline)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "[new]" not in out
+    assert "0 new" in out and "baselined" in out
+
+
+def test_new_finding_on_top_of_baseline_fails(rem_file, clean_file,
+                                              tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    main([str(clean_file), "--quirks", "stock",
+          "--baseline", str(baseline), "--write-baseline"])
+    capsys.readouterr()
+    code = main([str(rem_file), "--quirks", "stock",
+                 "--baseline", str(baseline)])
+    assert code == 1
+    assert "[new]" in capsys.readouterr().out
+
+
+def test_missing_file_is_a_usage_error(tmp_path, capsys):
+    code = main([str(tmp_path / "nope.ptx")])
+    assert code == 2
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_parse_failure_is_reported(tmp_path, capsys):
+    bad = tmp_path / "bad.ptx"
+    bad.write_text("this is not ptx at all {{{")
+    code = main([str(bad)])
+    assert code == 2
+    assert "parse failed" in capsys.readouterr().err
+
+
+def test_no_inputs_is_a_usage_error(capsys):
+    with pytest.raises(SystemExit) as info:
+        main([])
+    assert info.value.code == 2
+
+
+def test_write_baseline_requires_baseline_path(rem_file):
+    with pytest.raises(SystemExit) as info:
+        main([str(rem_file), "--write-baseline"])
+    assert info.value.code == 2
+
+
+@pytest.mark.slow
+def test_embedded_corpus_matches_committed_baseline(capsys):
+    """The CI contract: every embedded kernel lints clean against the
+    checked-in baseline under fixed semantics."""
+    baseline = Path(__file__).resolve().parents[1] / "results" / \
+        "lint_baseline.json"
+    assert baseline.exists()
+    code = main(["--all-embedded", "--baseline", str(baseline)])
+    capsys.readouterr()
+    assert code == 0

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import PTXSyntaxError
+from repro.errors import PTXLabelError, PTXSyntaxError
 from repro.ptx import ast
 from repro.ptx.lexer import EOF, FLOAT, INT, PUNCT, WORD, tokenize
 from repro.ptx.parser import parse_module
@@ -190,6 +190,47 @@ $a:
 $a:
     exit;
 }""")
+
+    def test_duplicate_label_is_typed_label_error(self):
+        with pytest.raises(PTXLabelError):
+            parse_module(HEADER + """
+.entry k() {
+$a:
+    exit;
+$a:
+    exit;
+}""")
+
+    def test_branch_to_undefined_label_rejected_at_parse_time(self):
+        with pytest.raises(PTXLabelError, match="undefined label"):
+            parse_module(HEADER + """
+.entry k() {
+    .reg .pred %p<1>;
+@%p0 bra $missing;
+    exit;
+}""")
+
+    def test_bare_word_branch_target_rejected_when_undefined(self):
+        # Bare-word targets lex as SYM, not LABEL; they must still be
+        # validated instead of surfacing as a fault mid-run.
+        with pytest.raises(PTXLabelError, match="MISSING"):
+            parse_module(HEADER + """
+.entry k() {
+    bra MISSING;
+    exit;
+}""")
+
+    def test_bare_word_branch_target_promoted_when_defined(self):
+        module = parse_module(HEADER + """
+.entry k() {
+    bra DONE;
+    exit;
+DONE:
+    exit;
+}""")
+        bra = module.kernel("k").body[0]
+        assert bra.operands[0].kind == ast.LABEL
+        assert module.kernel("k").labels["DONE"] == 2
 
     def test_cvt_has_two_dtypes(self):
         module = parse_module(HEADER + """

@@ -113,6 +113,37 @@ class TestBlockDiscovery:
         stores = sum(1 for op in block.opcodes if op.startswith("st"))
         assert block.source.count("for lane in lanes:") == 1 + stores
 
+    def test_dead_registers_pruned_from_final_writeback(self):
+        # saxpy's address temporaries (mad.wide results) die inside the
+        # block; liveness lets the closure skip their final writeback.
+        module = parse_module(_saxpy_ptx(), "src")
+        kernel = module.kernel("sax")
+        blocks = compile_superblocks(kernel, fastpath.compile_kernel(kernel))
+        pruned = frozenset().union(
+            *(blk.pruned for blk in blocks.values()))
+        assert pruned, "expected at least one dead end-of-block register"
+        # Pruned names never appear as writeback targets in the source.
+        for blk in blocks.values():
+            for name in blk.pruned:
+                assert f"regs[{name!r}] =" not in blk.source
+
+    def test_live_out_registers_survive_pruning(self):
+        # The loop counter of a for_range block is live across the back
+        # edge and must keep its writeback.
+        b = PTXBuilder("loopk", [("out", "u64")])
+        out = b.ld_param("u64", "out")
+        acc = b.imm_u32(0)
+        i = b.reg("u32")
+        with b.for_range(i, 0, "8"):
+            b.ins("add.u32", acc, acc, i)
+        b.ins("st.global.u32", f"[{out}]", acc)
+        module = parse_module(b.build(), "src")
+        kernel = module.kernel("loopk")
+        blocks = compile_superblocks(kernel, fastpath.compile_kernel(kernel))
+        body_blocks = [blk for blk in blocks.values()
+                       if i in blk.pruned]
+        assert not body_blocks, "live loop counter must not be pruned"
+
 
 class TestEngineModes:
     def test_unknown_fast_mode_rejected(self):
