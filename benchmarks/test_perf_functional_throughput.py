@@ -23,6 +23,7 @@ from repro.cudnn import Cudnn, build_application_binary
 from repro.cudnn.algos import ConvFwdAlgo
 from repro.nn import synthetic_mnist
 from repro.nn.lenet import LeNet, LeNetConfig
+from repro.trace import Tracer
 from repro.workloads.conv_sample import ConvSample, ConvSampleConfig
 
 OUT_PATH = Path(__file__).resolve().parent.parent / (
@@ -31,9 +32,10 @@ OUT_PATH = Path(__file__).resolve().parent.parent / (
 MODES = ("reference", "fastpath", "superblock")
 
 
-def _lenet_forward(mode: str) -> tuple[int, float]:
+def _lenet_forward(mode: str, tracer=None) -> tuple[int, float]:
     """(warp instructions, wall seconds) for one LeNet forward pass."""
-    rt = CudaRuntime(backend=FunctionalBackend(fast_mode=mode))
+    rt = CudaRuntime(backend=FunctionalBackend(fast_mode=mode),
+                     tracer=tracer)
     rt.load_binary(build_application_binary())
     model = LeNet(Cudnn(rt), LeNetConfig())
     images, _labels = synthetic_mnist(2, model.config.input_hw, seed=7)
@@ -77,9 +79,26 @@ def test_functional_throughput(benchmark, record):
         return (table["superblock"]["warp_instructions_per_second"]
                 / table[over]["warp_instructions_per_second"])
 
+    # Tracer overhead on the superblock hot path: the disabled tracer
+    # (NULL_TRACER, the default above) must be free, and even a live
+    # Tracer only pays per kernel launch, never per instruction.
+    def throughput(result):
+        instructions, wall = result
+        return instructions / wall
+
+    disabled = max(throughput(_lenet_forward("superblock"))
+                   for _ in range(2))
+    enabled = throughput(_lenet_forward("superblock", tracer=Tracer()))
+    baseline = lenet["superblock"]["warp_instructions_per_second"]
+
     report = {
         "lenet_forward": lenet,
         "conv_sample_winograd_forward": conv,
+        "tracer_overhead_superblock": {
+            "disabled_warp_instructions_per_second": round(disabled),
+            "enabled_warp_instructions_per_second": round(enabled),
+            "enabled_over_disabled": round(enabled / disabled, 3),
+        },
         "superblock_over_fastpath": {
             "lenet_forward": round(ratio(lenet, "fastpath"), 2),
             "conv_sample_winograd_forward": round(ratio(conv, "fastpath"),
@@ -103,3 +122,7 @@ def test_functional_throughput(benchmark, record):
     # functional throughput on the LeNet forward pass.
     assert report["superblock_over_fastpath"]["lenet_forward"] >= 2.0, (
         report)
+
+    # A disabled tracer must reproduce the recorded superblock
+    # throughput within 5% (best-of-2 to shed scheduler noise).
+    assert disabled >= 0.95 * baseline, (disabled, baseline)

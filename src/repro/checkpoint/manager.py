@@ -27,6 +27,7 @@ from repro.functional.executor import FunctionalEngine, RunStats
 from repro.functional.state import CTAState, LaunchContext
 from repro.checkpoint.state import Checkpoint, capture_cta, restore_cta
 from repro.errors import CheckpointError
+from repro.trace.tracer import NULL_TRACER
 
 
 class CheckpointingBackend:
@@ -47,6 +48,8 @@ class CheckpointingBackend:
         self.y = warp_instruction_budget
         self._ordinal = 0
         self.checkpoint: Checkpoint | None = None
+        #: Set by the owning CudaRuntime when tracing is on.
+        self.tracer = NULL_TRACER
 
     @property
     def taken(self) -> bool:
@@ -77,6 +80,13 @@ class CheckpointingBackend:
             checkpoint.cta_snapshots.append(capture_cta(cta))
         checkpoint.global_memory = launch.global_mem.snapshot()
         self.checkpoint = checkpoint
+        if self.tracer.enabled:
+            self.tracer.instant(
+                f"checkpoint:save:{launch.kernel.name}", cat="checkpoint",
+                args={"kernel_ordinal": self.x, "first_cta": self.m,
+                      "partial_ctas": len(checkpoint.cta_snapshots),
+                      "warp_instruction_budget": self.y,
+                      "instructions": stats.instructions})
         return KernelRunResult(instructions=stats.instructions)
 
 
@@ -91,6 +101,8 @@ class ResumeBackend:
         self.inner = inner
         self._ordinal = 0
         self._restored = False
+        #: Set by the owning CudaRuntime when tracing is on.
+        self.tracer = NULL_TRACER
 
     def execute(self, launch: LaunchContext) -> KernelRunResult:
         ordinal = self._ordinal
@@ -106,11 +118,21 @@ class ResumeBackend:
                     f"{cp.kernel_name!r}")
             launch.global_mem.restore(cp.global_memory)
             self._restored = True
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    f"checkpoint:restore:{launch.kernel.name}",
+                    cat="checkpoint",
+                    args={"kernel_ordinal": cp.kernel_ordinal,
+                          "first_cta": cp.first_cta,
+                          "ctas_restored": len(cp.cta_snapshots)})
             return self._resume_kernel(launch)
         if not self._restored:
             raise CheckpointError(
                 "resume reached a later kernel before the checkpoint "
                 "kernel; was the workload replayed identically?")
+        if (self.tracer.enabled
+                and getattr(self.inner, "tracer", None) is NULL_TRACER):
+            self.inner.tracer = self.tracer
         return self.inner.execute(launch)
 
     def _resume_kernel(self, launch: LaunchContext) -> KernelRunResult:

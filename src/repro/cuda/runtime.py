@@ -30,6 +30,9 @@ from repro.functional.state import LaunchContext
 from repro.ptx.ast import Kernel
 from repro.ptx.values import write_typed
 from repro.quirks import FIXED, LegacyQuirks
+from repro.trace.bridge import emit_sample_counters
+from repro.trace.clock import SimClock
+from repro.trace.tracer import NULL_TRACER, TID_RUNTIME, stream_tid
 
 Dim = int | tuple[int, ...]
 
@@ -92,12 +95,24 @@ class FunctionalBackend:
         #: Run the static verifier before every launch (VerificationError
         #: on error-severity findings).
         self.verify = verify
+        #: Set by the owning CudaRuntime when tracing is on.
+        self.tracer = NULL_TRACER
 
     def execute(self, launch: LaunchContext) -> KernelRunResult:
-        stats = FunctionalEngine(launch, fast_mode=self.fast_mode,
-                                 on_exec=self.on_exec,
-                                 exec_override=self.exec_override,
-                                 verify=self.verify).run()
+        tracer = self.tracer
+        engine = FunctionalEngine(launch, fast_mode=self.fast_mode,
+                                  on_exec=self.on_exec,
+                                  exec_override=self.exec_override,
+                                  verify=self.verify,
+                                  tracer=tracer)
+        stats = engine.run()
+        if tracer.enabled:
+            tracer.complete(
+                f"functional:{launch.kernel.name}",
+                ts=tracer.clock.now, dur=float(stats.instructions),
+                cat="engine",
+                args={"tier": engine.fast_mode, "verify": self.verify,
+                      "instructions": stats.instructions})
         return KernelRunResult(instructions=stats.instructions, cycles=0,
                                stats={"per_opcode": stats.dynamic_per_opcode})
 
@@ -107,7 +122,9 @@ class CudaRuntime:
 
     def __init__(self, *, quirks: LegacyQuirks = FIXED,
                  backend: object | None = None,
-                 allow_brace_init: bool = False) -> None:
+                 allow_brace_init: bool = False,
+                 tracer: object | None = None,
+                 clock: SimClock | None = None) -> None:
         self.quirks = quirks
         self.global_mem = GlobalMemory()
         self.loader = ProgramLoader(self.global_mem, quirks,
@@ -117,7 +134,22 @@ class CudaRuntime:
         self.backend = backend or FunctionalBackend()
         self.default_stream = CudaStream(stream_id=0)
         self.streams: list[CudaStream] = [self.default_stream]
-        self.now = 0.0
+        #: Single monotonic sim-time source shared by the virtual
+        #: timeline (``self.now``), the tracer's span stamps and — in
+        #: timing mode — the SampleBlock interval bins, so the three can
+        #: never disagree.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if clock is not None:
+            self.clock = clock
+            if self.tracer.enabled:
+                self.tracer.clock = clock
+        elif self.tracer.enabled:
+            self.clock = self.tracer.clock
+        else:
+            self.clock = SimClock()
+        if self.tracer.enabled:
+            self.tracer.name_track(TID_RUNTIME, "CUDA runtime")
+            self.tracer.name_track(stream_tid(0), "stream 0 (default)")
         self.profiles: list[KernelProfile] = []
         self.launch_log: list[dict] = []
         #: Checkpoint hook — when set, kernels with launch ordinal below
@@ -128,6 +160,15 @@ class CudaRuntime:
         #: (ordinal, name, grid, block, args).
         self.before_kernel_hooks: list = []
         self.after_kernel_hooks: list = []
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (cycles), read from the shared clock."""
+        return self.clock.now
+
+    @now.setter
+    def now(self, value: float) -> None:
+        self.clock.advance_to(value)
 
     # ------------------------------------------------------------------
     # Program loading
@@ -163,14 +204,24 @@ class CudaRuntime:
 
     def memcpy_h2d(self, dst: int, src: bytes | np.ndarray) -> None:
         self.synchronize()
-        self.global_mem.write(dst, self._as_bytes(src))
+        data = self._as_bytes(src)
+        if self.tracer.enabled:
+            self.tracer.instant("memcpy:h2d", tid=TID_RUNTIME, cat="memory",
+                                args={"nbytes": len(data)})
+        self.global_mem.write(dst, data)
 
     def memcpy_d2h(self, src: int, nbytes: int) -> bytes:
         self.synchronize()
+        if self.tracer.enabled:
+            self.tracer.instant("memcpy:d2h", tid=TID_RUNTIME, cat="memory",
+                                args={"nbytes": nbytes})
         return self.global_mem.read(src, nbytes)
 
     def memcpy_d2d(self, dst: int, src: int, nbytes: int) -> None:
         self.synchronize()
+        if self.tracer.enabled:
+            self.tracer.instant("memcpy:d2d", tid=TID_RUNTIME, cat="memory",
+                                args={"nbytes": nbytes})
         self.global_mem.write(dst, self.global_mem.read(src, nbytes))
 
     def memset(self, dst: int, value: int, nbytes: int) -> None:
@@ -207,6 +258,9 @@ class CudaRuntime:
     def stream_create(self) -> CudaStream:
         stream = CudaStream()
         self.streams.append(stream)
+        if self.tracer.enabled:
+            self.tracer.name_track(stream_tid(stream.stream_id),
+                                   f"stream {stream.stream_id}")
         return stream
 
     def event_create(self) -> CudaEvent:
@@ -242,6 +296,19 @@ class CudaRuntime:
         """cudaDeviceSynchronize: drain every stream."""
         self._drain(only=None)
 
+    def _run_op(self, stream: CudaStream) -> StreamOp:
+        """Pop-and-run the stream head; non-kernel ops (event record /
+        wait, async memcpy) become instants on the stream's track."""
+        op = stream.pop_and_run(self.now)
+        if self.tracer.enabled and op.kind != "kernel":
+            name = op.kind if op.label is None else f"{op.kind}:{op.label}"
+            args = None
+            if op.event is not None:
+                args = {"event": op.event.event_id}
+            self.tracer.instant(name, tid=stream_tid(stream.stream_id),
+                                cat="stream", args=args)
+        return op
+
     def _drain(self, only: CudaStream | None) -> None:
         if only is not None:
             # cudaStreamSynchronize: drain the target stream, running
@@ -253,7 +320,7 @@ class CudaRuntime:
             progressed = False
             for stream in self.streams:
                 while stream.head_ready():
-                    stream.pop_and_run(self.now)
+                    self._run_op(stream)
                     progressed = True
             if not progressed:
                 blocked = [s.stream_id for s in self.streams if not s.idle]
@@ -271,7 +338,7 @@ class CudaRuntime:
         visiting = visiting | {stream}
         while stream.queue:
             if stream.head_ready():
-                stream.pop_and_run(self.now)
+                self._run_op(stream)
                 continue
             # Head is a wait on a recorded-but-incomplete event: advance
             # the producer stream just far enough to execute the record.
@@ -295,7 +362,7 @@ class CudaRuntime:
                 f"stream {producer.stream_id}")
         while not event.completed:
             if producer.head_ready():
-                op = producer.pop_and_run(self.now)
+                op = self._run_op(producer)
                 if op.kind == "record" and op.event is event:
                     return  # done, even if an injected fault ate the signal
             else:
@@ -357,9 +424,35 @@ class CudaRuntime:
                 module_symbols=self.program.module_symbols,
                 textures=self.textures.view(),  # type: ignore[arg-type]
                 quirks=self.quirks)
+            tracer = self.tracer
+            tid = stream_tid(stream.stream_id)
+            if tracer.enabled:
+                if getattr(self.backend, "tracer", NULL_TRACER) \
+                        is NULL_TRACER:
+                    try:
+                        self.backend.tracer = tracer
+                    except AttributeError:
+                        pass
+                tracer.begin(name, tid=tid, cat="kernel",
+                             args={"grid": grid3, "block": block3,
+                                   "ordinal": ordinal})
+                tracer.push_default_tid(tid)
             start = self.now
-            result = self.backend.execute(launch)
+            try:
+                result = self.backend.execute(launch)
+            finally:
+                if tracer.enabled:
+                    tracer.pop_default_tid()
             self.now += result.cycles or result.instructions
+            if tracer.enabled:
+                tracer.end(tid=tid,
+                           args={"instructions": result.instructions,
+                                 "cycles": result.cycles})
+                if result.samples is not None:
+                    tracer.attach_samples(f"{name}#{ordinal}",
+                                          result.samples)
+                    emit_sample_counters(tracer, result.samples, start,
+                                         tid=tid)
             self.profiles.append(KernelProfile(
                 name=name, grid=grid3, block=block3, start=start,
                 end=self.now, result=result))

@@ -24,6 +24,7 @@ from repro.cudnn.descriptors import (
     ActivationDescriptor, ConvolutionDescriptor, FilterDescriptor,
     LRNDescriptor, PoolingDescriptor, TensorDescriptor)
 from repro.cudnn.kernels.lrn import LRN_TEXTURE_NAME
+from repro.trace.tracer import TID_API
 
 _BLOCK = 128
 
@@ -63,6 +64,9 @@ class Cudnn:
         if outer is None:
             self._active_call = call
             self.api_log.append(call)
+        tracer = self.rt.tracer
+        trace_this = tracer.enabled and outer is None
+        t0 = self.rt.now if trace_this else 0.0
         try:
             yield call
         finally:
@@ -73,6 +77,18 @@ class Cudnn:
                     self.rt.launch_log[call.first_ordinal:
                                        call.last_ordinal + 1]]
                 self._active_call = None
+                if trace_this:
+                    # Force the lazily-enqueued kernels to run now so the
+                    # API slice spans them on the sim timeline.  cuDNN
+                    # launches only on the default stream, so draining it
+                    # cannot disturb unrelated cross-stream event chains.
+                    self.rt.stream_synchronize(self.rt.default_stream)
+                    tracer.complete(
+                        call.name, ts=t0, dur=self.rt.now - t0,
+                        tid=TID_API, cat="api",
+                        args={"kernels": len(call.kernels),
+                              "first_ordinal": call.first_ordinal,
+                              "last_ordinal": call.last_ordinal})
                 if self.on_api_end is not None:
                     self.rt.synchronize()
                     self.on_api_end(call)
@@ -85,6 +101,10 @@ class Cudnn:
                        (block, 1, 1), args)
 
     def _workspace(self, nbytes: int) -> int:
+        tracer = self.rt.tracer
+        if tracer.enabled:
+            tracer.instant("workspace", tid=TID_API, cat="api",
+                           args={"nbytes": max(nbytes, 4)})
         return self.rt.malloc(max(nbytes, 4))
 
     # ------------------------------------------------------------------

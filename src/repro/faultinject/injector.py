@@ -33,6 +33,13 @@ class FaultInjector:
 
     def attach(self, runtime: CudaRuntime) -> CudaRuntime:
         self.adapter.attach(runtime)
+        tracer = runtime.tracer
+        if tracer.enabled:
+            tracer.instant("fault:armed", cat="fault",
+                           args=self.spec.to_dict())
+            self.adapter.on_fire = (
+                lambda info: tracer.instant("fault:fired", cat="fault",
+                                            args=info))
         return runtime
 
 

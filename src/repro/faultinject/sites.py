@@ -38,6 +38,7 @@ from repro.errors import FaultInjectionError
 from repro.functional.executor import FunctionalEngine, lanes_of
 from repro.ptx import ast
 from repro.ptx.instructions import lookup
+from repro.trace.tracer import NULL_TRACER
 
 from repro.faultinject.spec import FaultSpec
 
@@ -125,6 +126,14 @@ class SiteAdapter:
 
     def __init__(self, spec: FaultSpec) -> None:
         self.spec = spec
+        #: Observer called with a small info dict every time the fault
+        #: actually fires (FaultInjector wires this to the tracer).
+        self.on_fire: Callable[[dict], None] | None = None
+
+    def _fire(self, **info) -> None:
+        if self.on_fire is not None:
+            self.on_fire({"site": self.site,
+                          "fault_id": self.spec.fault_id, **info})
 
     def attach(self, runtime) -> None:
         raise NotImplementedError
@@ -175,6 +184,7 @@ class InstructionSemanticsSite(_InstructionSite):
             regs = warp.regs
             for lane in lanes:
                 regs[lane][dst] = regs[lane].get(dst, 0) ^ mask
+            self._fire(pc=pc, lanes=len(lanes))
             return True
         return {"exec_override": override}
 
@@ -207,6 +217,7 @@ class RegisterBitflipSite(_InstructionSite):
             lane = lanes[spec.lane % len(lanes)]
             regs = record.warp.regs[lane]
             regs[dst] = regs.get(dst, 0) ^ mask
+            self._fire(pc=record.pc, lane=lane)
         return {"on_exec": on_exec}
 
 
@@ -225,7 +236,10 @@ class MemDropResponseSite(SiteAdapter):
         def fault_filter(req) -> bool:
             # Writes are fire-and-forget in the timing model; only a
             # lost *read* response can wedge a warp.
-            return not req.is_write and should_fire()
+            dropped = not req.is_write and should_fire()
+            if dropped:
+                self._fire(line_addr=req.line_addr)
+            return dropped
         gpu.mem_fault_filter = fault_filter
 
 
@@ -237,7 +251,10 @@ class StreamEventLostSite(SiteAdapter):
         should_fire = _liveness_trigger(self.spec)
 
         def on_record(event) -> bool:
-            return should_fire()
+            lost = should_fire()
+            if lost:
+                self._fire(event=event.event_id)
+            return lost
 
         for stream in runtime.streams:
             stream.on_record = on_record
@@ -269,6 +286,8 @@ class FaultingFunctionalBackend:
         self.adapter = adapter
         self.fast_mode = fast_mode
         self._launches_seen: dict[str, int] = defaultdict(int)
+        #: Set by the owning CudaRuntime when tracing is on.
+        self.tracer = NULL_TRACER
 
     def _resolve_pc(self, kernel: ast.Kernel) -> int:
         spec = self.adapter.spec
@@ -294,7 +313,7 @@ class FaultingFunctionalBackend:
                 target_pc = self._resolve_pc(kernel)
                 hooks = self.adapter.make_hooks(kernel, target_pc)
         stats = FunctionalEngine(launch, fast_mode=self.fast_mode,
-                                 **hooks).run()
+                                 tracer=self.tracer, **hooks).run()
         return KernelRunResult(
             instructions=stats.instructions, cycles=0,
             stats={"per_opcode": stats.dynamic_per_opcode})

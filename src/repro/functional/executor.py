@@ -89,19 +89,28 @@ class FunctionalEngine:
                  reconverge_at_exit: bool = False,
                  contract_fp16: bool = False,
                  verify: bool = False,
-                 fast_mode: str = "superblock") -> None:
+                 fast_mode: str = "superblock",
+                 tracer=None) -> None:
         if fast_mode not in FAST_MODES:
             raise ValueError(f"unknown fast_mode {fast_mode!r}; "
                              f"expected one of {FAST_MODES}")
         self.launch = launch
         self.kernel = launch.kernel
+        if tracer is None:
+            from repro.trace.tracer import NULL_TRACER
+            tracer = NULL_TRACER
+        #: Observability sink (repro.trace).  Instrumentation here is
+        #: kernel/CTA-granular only — step_warp and the superblock loop
+        #: carry no tracer checks, keeping the disabled path free.
+        self.tracer = tracer
         if verify:
             # Opt-in pre-launch gate: run the static verifier + lints
             # and refuse the launch on error-severity findings (raises
             # repro.errors.VerificationError).  Off by default — it
             # costs a CFG + dataflow solve per launch.
             from repro.analysis import verify_launch
-            verify_launch(self.kernel, quirks=launch.quirks)
+            with tracer.span(f"verify:{self.kernel.name}", cat="engine"):
+                verify_launch(self.kernel, quirks=launch.quirks)
         self.on_exec = on_exec
         #: Fault-injection hook: called as (inst, warp, lanes, pc) before
         #: normal dispatch; returning True means the override performed
@@ -422,8 +431,21 @@ class FunctionalEngine:
     def run(self) -> RunStats:
         """Execute the whole grid in functional simulation mode."""
         stats = RunStats()
+        tracer = self.tracer
+        trace_ctas = tracer.enabled and tracer.cta_spans
         for cta in self.iter_ctas():
             stats.ctas_launched += 1
             stats.warps_launched += len(cta.warps)
-            self.run_cta(cta, stats)
+            if trace_ctas:
+                # CTA spans ride the kernel's intra-launch clock: the
+                # runtime advances sim time only after the whole kernel,
+                # so launch.clock (instructions issued so far) gives the
+                # CTAs distinct, monotonic stamps inside the slice.
+                base = tracer.clock.now
+                tracer.begin(f"cta {cta.cta_linear}", cat="cta",
+                             ts=base + self.launch.clock)
+                self.run_cta(cta, stats)
+                tracer.end(ts=base + self.launch.clock)
+            else:
+                self.run_cta(cta, stats)
         return stats

@@ -33,17 +33,40 @@ class ProfilerRow:
 
 
 class NVProfLike:
-    """Aggregates a runtime's kernel profiles into an nvprof table."""
+    """Aggregates kernel profiles into an nvprof table.
 
-    def __init__(self, runtime: CudaRuntime) -> None:
-        self.runtime = runtime
+    Accepts either a live :class:`CudaRuntime` (reads ``.profiles``) or
+    any iterable of profile-shaped records (``name`` plus a ``result``
+    with ``cycles``/``instructions``) — e.g. the records that
+    :func:`repro.trace.bridge.profiles_from_trace` reconstructs from a
+    Chrome-trace file, making a saved trace renderable offline.
+    """
+
+    def __init__(self, source: CudaRuntime | list) -> None:
+        if hasattr(source, "profiles"):
+            self.runtime: CudaRuntime | None = source
+            self._records = None
+        else:
+            self.runtime = None
+            self._records = list(source)
+
+    @classmethod
+    def from_trace(cls, source) -> "NVProfLike":
+        """Build the profiler from a Tracer, event list or trace path."""
+        from repro.trace.bridge import profiles_from_trace
+        return cls(profiles_from_trace(source))
+
+    @property
+    def profiles(self) -> list:
+        return (self.runtime.profiles if self.runtime is not None
+                else self._records)
 
     def rows(self) -> list[ProfilerRow]:
         grouped: dict[str, list] = {}
-        for profile in self.runtime.profiles:
+        for profile in self.profiles:
             grouped.setdefault(profile.name, []).append(profile)
         total = sum(p.result.cycles or p.result.instructions
-                    for p in self.runtime.profiles) or 1
+                    for p in self.profiles) or 1
         rows = []
         for name, profiles in grouped.items():
             costs = [p.result.cycles or p.result.instructions

@@ -9,6 +9,7 @@ from repro.functional.state import LaunchContext
 from repro.timing.config import GPUConfig, TINY
 from repro.timing.gpu import GpuTiming
 from repro.timing.stats import KernelStats
+from repro.trace.tracer import NULL_TRACER
 
 
 class TimingBackend:
@@ -31,10 +32,21 @@ class TimingBackend:
                              reconverge_at_exit=reconverge_at_exit,
                              mem_fault_filter=mem_fault_filter)
         self.kernel_stats: list[KernelStats] = []
+        #: Set by the owning CudaRuntime when tracing is on.
+        self.tracer = NULL_TRACER
 
     def execute(self, launch: LaunchContext) -> KernelRunResult:
         stats, samples = self.gpu.simulate(launch)
         self.kernel_stats.append(stats)
+        if self.tracer.enabled:
+            self.tracer.complete(
+                f"timing:{launch.kernel.name}",
+                ts=self.tracer.clock.now, dur=float(stats.cycles),
+                cat="engine",
+                args={"tier": "timing", "cycles": stats.cycles,
+                      "instructions": stats.warp_instructions,
+                      "ipc": round(stats.warp_instructions / stats.cycles,
+                                   4) if stats.cycles else 0.0})
         payload = asdict(stats)
         payload.pop("extra", None)
         payload.update(stats.extra)

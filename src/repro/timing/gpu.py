@@ -27,6 +27,7 @@ from repro.timing.memsys import MemRequest, MemorySubsystem
 from repro.timing.shader import SMCore
 from repro.timing.stats import (
     KernelStats, SampleBlock, W0_ALU, W0_IDLE, W0_MEM)
+from repro.trace.clock import SimClock
 
 _MAX_CYCLES_DEFAULT = 50_000_000
 
@@ -59,9 +60,14 @@ class GpuTiming:
         """
         config = self.config
         stats = KernelStats()
+        # One monotonic clock drives the whole kernel: the main loop,
+        # event delivery, and the SampleBlock's final cycle count all
+        # read it, so interval bins can never disagree with the span
+        # stamps derived from the same run.
+        clock = SimClock()
         samples = SampleBlock(config.sample_interval, config.num_sms,
                               config.num_partitions,
-                              config.banks_per_partition)
+                              config.banks_per_partition, clock=clock)
         events: list[tuple[float, int, Callable[[float], None]]] = []
         sequence = itertools.count()
 
@@ -107,9 +113,9 @@ class GpuTiming:
             return assigned
 
         refill()
-        now = 0.0
         stagnant = 0
         while True:
+            now = clock.now
             # Deliver due events.
             while events and events[0][0] <= now:
                 _t, _seq, fn = heapq.heappop(events)
@@ -133,7 +139,7 @@ class GpuTiming:
                     f"kernel exceeded {self.max_cycles} cycles "
                     f"({launch.kernel.name})")
             if issued:
-                now += 1.0
+                clock.advance(1.0)
                 stagnant = 0
                 continue
             # Idle jump: advance to the next event or warp wake-up.
@@ -153,14 +159,14 @@ class GpuTiming:
                     f"({launch.kernel.name})")
             target = max(now + 1.0, min(candidates))
             self._charge_idle(sms, samples, stats, now, target)
-            now = target
+            clock.advance_to(target)
             stagnant += 1
             if stagnant > 1_000_000:
                 raise TimingDeadlockError(
                     f"livelock detected in {launch.kernel.name}")
-        memsys.drain_active(now)
-        stats.cycles = int(now)
-        samples.cycles = int(now)
+        memsys.drain_active(clock.now)
+        stats.cycles = clock.cycles
+        samples.finalize()
         self._fold_cache_stats(sms, memsys, stats)
         return stats, samples
 

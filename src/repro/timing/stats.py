@@ -33,14 +33,22 @@ ISSUE_BUCKETS = ([W0_IDLE, W0_MEM, W0_ALU, W0_BARRIER]
 
 
 class SampleBlock:
-    """Accumulates interval-binned counters during one kernel run."""
+    """Accumulates interval-binned counters during one kernel run.
+
+    When a :class:`~repro.trace.clock.SimClock` is injected, the final
+    cycle count is read from it at :meth:`finalize` time — the same
+    monotonic source that stamps trace spans, so interval bins and span
+    timestamps can never disagree about how long the kernel ran.
+    """
 
     def __init__(self, interval: int, num_sms: int,
-                 num_partitions: int, banks_per_partition: int) -> None:
+                 num_partitions: int, banks_per_partition: int,
+                 clock=None) -> None:
         self.interval = interval
         self.num_sms = num_sms
         self.num_partitions = num_partitions
         self.banks_per_partition = banks_per_partition
+        self.clock = clock
         self._global_ipc: dict[int, int] = defaultdict(int)
         self._shader_ipc: dict[tuple[int, int], int] = defaultdict(int)
         self._dram_busy: dict[tuple[int, int], float] = defaultdict(float)
@@ -109,6 +117,12 @@ class SampleBlock:
             self._bank_row_hits[(partition, bank, b)] += 1
 
     # -- finalisation ------------------------------------------------------
+    def finalize(self) -> None:
+        """Close the block: when a clock was injected, the cycle count
+        comes from it rather than a separately-tracked float."""
+        if self.clock is not None:
+            self.cycles = self.clock.cycles
+
     def num_bins(self) -> int:
         return self._bin(max(self.cycles - 1, 0)) + 1
 

@@ -1,0 +1,57 @@
+"""Unified tracing & metrics for the whole simulator stack.
+
+The paper's methodology is built on *seeing inside* the simulator —
+AerialVision time-lapse views, NVProf-comparable statistics, and the
+three-level divergence debugger all depend on knowing which API call
+launched which kernels on which stream, and when.  :mod:`repro.trace`
+is the cross-layer event timeline that ties those views together:
+
+* :class:`SimClock` — one injected monotonic simulated-time source,
+  shared by the runtime's kernel timeline, the timing model's interval
+  sampler and every trace stamp, so bins and spans can never disagree.
+* :class:`Tracer` — nested spans (process / stream / kernel / CTA
+  scope), instant annotations and a counter registry, stamped with both
+  sim-time and wall-time.
+* :data:`NULL_TRACER` — the no-op fast path.  A disabled tracer is a
+  singleton whose methods do nothing; the functional core's superblock
+  loop contains no tracer checks at all, so tracing off costs nothing.
+* :mod:`repro.trace.export` — Chrome-trace JSON (loads in Perfetto /
+  ``chrome://tracing``; streams become tracks, kernels become slices)
+  and a plain-text timeline.
+* :mod:`repro.trace.bridge` — feeds :class:`repro.harness.profiler.
+  NVProfLike` tables and :mod:`repro.aerialvision` figure reports from
+  a trace instead of from the runtime, making the trace the single
+  source of truth for reporting.
+* ``repro-trace`` (:mod:`repro.trace.cli`) — summarize / validate /
+  convert a trace file from the command line.
+
+Quickstart::
+
+    from repro.cuda import CudaRuntime
+    from repro.trace import Tracer, write_chrome_trace
+
+    tracer = Tracer()
+    rt = CudaRuntime(tracer=tracer)
+    ...  # run any workload
+    write_chrome_trace("out_trace.json", tracer)
+"""
+
+from repro.trace.clock import SimClock
+from repro.trace.tracer import (
+    NULL_TRACER, NullTracer, Span, TraceEvent, Tracer,
+    TID_API, TID_RUNTIME, stream_tid)
+from repro.trace.export import (
+    chrome_trace_events, load_chrome_trace, render_text_timeline,
+    validate_chrome_events, write_chrome_trace)
+from repro.trace.bridge import (
+    emit_sample_counters, kernel_records_from_events, profiles_from_trace,
+    figure_reports_from_tracer)
+
+__all__ = [
+    "SimClock", "Tracer", "NullTracer", "NULL_TRACER", "Span",
+    "TraceEvent", "TID_API", "TID_RUNTIME", "stream_tid",
+    "chrome_trace_events", "write_chrome_trace", "load_chrome_trace",
+    "render_text_timeline", "validate_chrome_events",
+    "emit_sample_counters", "kernel_records_from_events",
+    "profiles_from_trace", "figure_reports_from_tracer",
+]

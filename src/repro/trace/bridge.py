@@ -1,0 +1,176 @@
+"""Feed the existing reporting tools from a trace.
+
+Before this module, :class:`repro.harness.profiler.NVProfLike` and
+:mod:`repro.aerialvision.report` reached into a live
+:class:`~repro.cuda.runtime.CudaRuntime` for their data.  The bridge
+reconstructs the same inputs from trace events instead, so a trace file
+— on disk or in memory — is the single source of truth for every
+report:
+
+* :func:`kernel_records_from_events` / :func:`profiles_from_trace`
+  rebuild per-launch profile records from kernel slices; hand them to
+  ``NVProfLike`` (or use ``NVProfLike.from_trace``) for the nvprof
+  table.
+* :func:`emit_sample_counters` re-emits a timing-model
+  :class:`~repro.timing.stats.SampleBlock` as Chrome counter series
+  (global IPC, DRAM utilisation/efficiency), aligned to the kernel's
+  start on the shared clock.
+* :func:`figure_reports_from_tracer` turns sample blocks attached to a
+  live tracer into AerialVision :class:`FigureReport` bundles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.trace.tracer import Tracer
+
+#: Category assigned by the runtime to kernel-execution slices.
+KERNEL_CATEGORY = "kernel"
+
+
+@dataclass
+class TraceRunResult:
+    """Mirror of :class:`repro.cuda.runtime.KernelRunResult` rebuilt
+    from a kernel slice's args (kept import-cycle-free)."""
+
+    instructions: int = 0
+    cycles: int = 0
+    stats: dict = field(default_factory=dict)
+
+
+@dataclass
+class TraceKernelRecord:
+    """Profile-shaped record reconstructed from one kernel slice.
+
+    Duck-compatible with :class:`repro.cuda.runtime.KernelProfile` as
+    far as ``NVProfLike`` is concerned (name/start/end/result).
+    """
+
+    name: str
+    start: float
+    end: float
+    result: TraceRunResult
+    grid: tuple | None = None
+    block: tuple | None = None
+
+    @property
+    def cycles(self) -> int:
+        return self.result.cycles
+
+    @property
+    def instructions(self) -> int:
+        return self.result.instructions
+
+
+def kernel_records_from_events(events: list[dict]) -> list[TraceKernelRecord]:
+    """Rebuild per-launch records from kernel B/E slices in *events*.
+
+    Only events with ``cat == "kernel"`` participate; B/E pairs are
+    matched per (pid, tid) track, so concurrent streams reconstruct
+    correctly.  Slices whose E carries ``instructions``/``cycles`` args
+    (the runtime always attaches them) yield exact profiles.
+    """
+    open_slices: dict[tuple, list[dict]] = {}
+    records: list[TraceKernelRecord] = []
+    for event in events:
+        if event.get("cat") != KERNEL_CATEGORY:
+            continue
+        ph = event.get("ph")
+        track = (event.get("pid"), event.get("tid"))
+        if ph == "B":
+            open_slices.setdefault(track, []).append(event)
+        elif ph == "E":
+            stack = open_slices.get(track)
+            if not stack:
+                raise ValueError(
+                    f"kernel E without B on track {track}: "
+                    f"{event.get('name')!r}")
+            begin = stack.pop()
+            args = {**(begin.get("args") or {}),
+                    **(event.get("args") or {})}
+            records.append(TraceKernelRecord(
+                name=begin.get("name", "?"),
+                start=float(begin.get("ts", 0.0)),
+                end=float(event.get("ts", 0.0)),
+                grid=tuple(args["grid"]) if "grid" in args else None,
+                block=tuple(args["block"]) if "block" in args else None,
+                result=TraceRunResult(
+                    instructions=int(args.get("instructions", 0)),
+                    cycles=int(args.get("cycles", 0)))))
+        elif ph == "X":
+            args = event.get("args") or {}
+            start = float(event.get("ts", 0.0))
+            records.append(TraceKernelRecord(
+                name=event.get("name", "?"), start=start,
+                end=start + float(event.get("dur", 0.0)),
+                result=TraceRunResult(
+                    instructions=int(args.get("instructions", 0)),
+                    cycles=int(args.get("cycles", 0)))))
+    leftovers = [s for stack in open_slices.values() for s in stack]
+    if leftovers:
+        raise ValueError(
+            f"{len(leftovers)} kernel slices never closed "
+            f"(first: {leftovers[0].get('name')!r})")
+    records.sort(key=lambda r: r.start)
+    return records
+
+
+def profiles_from_trace(source) -> list[TraceKernelRecord]:
+    """Kernel records from a :class:`Tracer`, an event list, or a
+    Chrome-trace file path."""
+    if isinstance(source, Tracer):
+        from repro.trace.export import chrome_trace_events
+        events = chrome_trace_events(source)
+    elif isinstance(source, (str, bytes)) or hasattr(source, "read_text"):
+        from repro.trace.export import load_chrome_trace
+        events = load_chrome_trace(source)
+    else:
+        events = list(source)
+    return kernel_records_from_events(events)
+
+
+# ---------------------------------------------------------------------------
+# SampleBlock -> counter series
+# ---------------------------------------------------------------------------
+def emit_sample_counters(tracer: Tracer, samples, t0: float, *,
+                         tid: int | None = None,
+                         prefix: str = "") -> int:
+    """Re-emit a timing-model SampleBlock as Chrome counter series.
+
+    One counter sample per interval bin, stamped ``t0 + bin*interval``
+    on the same clock the spans use (``t0`` is the kernel's start).
+    Emits ``ipc`` (global instructions/cycle), ``dram_util`` and
+    ``dram_eff`` (both averaged over partitions).  Returns the number
+    of counter events emitted.
+    """
+    interval = samples.interval
+    ipc = samples.global_ipc_series()
+    util = samples.dram_utilization_matrix()
+    eff = samples.dram_efficiency_matrix()
+    emitted = 0
+    for b in range(len(ipc)):
+        ts = t0 + b * interval
+        tracer.counter(f"{prefix}ipc", round(float(ipc[b]), 4),
+                       ts=ts, tid=tid)
+        emitted += 1
+        if util.size:
+            tracer.counter(f"{prefix}dram_util",
+                           round(float(util[:, b].mean()), 4),
+                           ts=ts, tid=tid)
+            tracer.counter(f"{prefix}dram_eff",
+                           round(float(eff[:, b].mean()), 4),
+                           ts=ts, tid=tid)
+            emitted += 2
+    return emitted
+
+
+def figure_reports_from_tracer(tracer: Tracer) -> list:
+    """AerialVision :class:`FigureReport` bundles for every kernel whose
+    SampleBlock was attached to the tracer (timing backend runs)."""
+    from repro.aerialvision.report import kernel_figures
+    reports = []
+    for key, samples in tracer.samples.items():
+        name = key if isinstance(key, str) else str(key)
+        reports.append(kernel_figures(name, samples))
+    return reports

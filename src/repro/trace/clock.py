@@ -1,0 +1,57 @@
+"""The single monotonic simulated-time source.
+
+Before this module existed, the runtime kernel timeline
+(``CudaRuntime.now``), the timing model's main loop (a local ``now``
+float) and the interval sampler (:class:`repro.timing.stats.SampleBlock`
+binning stamps it was handed) each carried time independently; the
+idle-jump spreading in ``GpuTiming._charge_idle`` and profiler
+aggregation could in principle drift apart.  :class:`SimClock` is the
+one injected source both sides share: span stamps and interval bins are
+derived from the same monotonically-advancing value, so they can never
+disagree.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """A monotonic simulated-time counter (cycles or virtual cost units).
+
+    The clock only moves forward: :meth:`advance_to` rejects a target
+    earlier than ``now``, which turns any double-charging or
+    out-of-order stamping bug into a loud error instead of a silently
+    skewed timeline.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Move forward by ``dt`` (must be >= 0); returns the new time."""
+        if dt < 0:
+            raise ValueError(f"SimClock cannot move backwards (dt={dt})")
+        self._now += dt
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Move forward to absolute time ``t`` (must be >= now)."""
+        if t < self._now:
+            raise ValueError(
+                f"SimClock cannot move backwards ({self._now} -> {t})")
+        self._now = float(t)
+        return self._now
+
+    @property
+    def cycles(self) -> int:
+        """``now`` truncated to whole cycles."""
+        return int(self._now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self._now})"

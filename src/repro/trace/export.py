@@ -1,0 +1,154 @@
+"""Trace exporters: Chrome-trace JSON and a plain-text timeline.
+
+The JSON form is the `Trace Event Format`_ consumed by Perfetto and
+``chrome://tracing``: a ``traceEvents`` array where every event carries
+``ph``/``ts``/``pid``/``tid``, plus ``M`` (metadata) events naming the
+process and per-stream tracks.  Simulated time maps directly onto the
+microsecond ``ts`` axis (1 cycle = 1 us on screen).
+
+.. _Trace Event Format:
+   https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.trace.tracer import TraceEvent, Tracer
+
+#: Phases a conforming trace may contain.
+_KNOWN_PHASES = {"B", "E", "X", "i", "C", "M"}
+
+
+def chrome_trace_events(tracer: Tracer) -> list[dict]:
+    """Serialise a tracer into Chrome-trace event dicts (metadata
+    first, then the recorded events in order)."""
+    out: list[dict] = [{
+        "name": "process_name", "ph": "M", "pid": tracer.pid, "tid": 0,
+        "ts": 0, "args": {"name": tracer.process_name},
+    }]
+    for tid, name in sorted(tracer.track_names.items()):
+        out.append({
+            "name": "thread_name", "ph": "M", "pid": tracer.pid,
+            "tid": tid, "ts": 0, "args": {"name": name},
+        })
+    for event in tracer.events:
+        out.append(_event_dict(event))
+    return out
+
+
+def _event_dict(event: TraceEvent) -> dict:
+    record: dict = {
+        "name": event.name, "ph": event.ph, "ts": event.ts,
+        "pid": event.pid, "tid": event.tid,
+    }
+    if event.cat:
+        record["cat"] = event.cat
+    if event.dur is not None:
+        record["dur"] = event.dur
+    args = dict(event.args) if event.args else {}
+    args["wall_s"] = round(event.wall, 6)
+    record["args"] = args
+    if event.ph == "i":
+        record["s"] = "t"  # instant scope: thread
+    return record
+
+
+def write_chrome_trace(path: str | Path, tracer: Tracer,
+                       *, finish: bool = True) -> Path:
+    """Finalize *tracer* (close open spans) and write Chrome JSON."""
+    if finish:
+        tracer.finish()
+    path = Path(path)
+    payload = {
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ms",
+        "otherData": {"exporter": "repro.trace", "clock": "sim-cycles"},
+    }
+    path.write_text(json.dumps(payload, indent=1) + "\n")
+    return path
+
+
+def load_chrome_trace(path: str | Path) -> list[dict]:
+    """Read a Chrome-trace file back into its event dicts.
+
+    Accepts both the object form (``{"traceEvents": [...]}``) and the
+    bare-array form.
+    """
+    data = json.loads(Path(path).read_text())
+    if isinstance(data, dict):
+        events = data.get("traceEvents")
+        if not isinstance(events, list):
+            raise ValueError(f"{path}: no traceEvents array")
+        return events
+    if isinstance(data, list):
+        return data
+    raise ValueError(f"{path}: not a Chrome trace")
+
+
+def validate_chrome_events(events: list[dict]) -> list[str]:
+    """Schema-check event dicts; returns a list of problems (empty =
+    valid).  Checks the acceptance contract: every event has
+    ``ph``/``ts``/``pid``/``tid``, phases are known, and B/E events are
+    balanced (and properly nested) per (pid, tid) track.
+    """
+    problems: list[str] = []
+    stacks: dict[tuple, list[str]] = {}
+    for index, event in enumerate(events):
+        for key in ("ph", "ts", "pid", "tid"):
+            if key not in event:
+                problems.append(f"event {index}: missing {key!r}")
+        ph = event.get("ph")
+        if ph not in _KNOWN_PHASES:
+            problems.append(f"event {index}: unknown phase {ph!r}")
+            continue
+        track = (event.get("pid"), event.get("tid"))
+        if ph == "B":
+            stacks.setdefault(track, []).append(event.get("name", "?"))
+        elif ph == "E":
+            stack = stacks.get(track)
+            if not stack:
+                problems.append(
+                    f"event {index}: E with no open B on track {track}")
+            else:
+                opened = stack.pop()
+                name = event.get("name")
+                if name is not None and name != opened:
+                    problems.append(
+                        f"event {index}: E({name!r}) closes B({opened!r})"
+                        f" on track {track}")
+        elif ph == "X" and "dur" not in event:
+            problems.append(f"event {index}: X without dur")
+    for track, stack in stacks.items():
+        if stack:
+            problems.append(
+                f"track {track}: unbalanced B events {stack}")
+    return problems
+
+
+def render_text_timeline(events: list[dict], *,
+                         max_events: int | None = None) -> str:
+    """A human-readable timeline of the trace (one line per event)."""
+    lines = ["# ts(cycles)    track  ev  name"]
+    shown = 0
+    for event in sorted(
+            (e for e in events if e.get("ph") != "M"),
+            key=lambda e: (e.get("ts", 0), e.get("tid", 0))):
+        if max_events is not None and shown >= max_events:
+            lines.append(f"... ({len(events)} events total)")
+            break
+        ph = event.get("ph", "?")
+        name = event.get("name", "?")
+        tid = event.get("tid", 0)
+        ts = event.get("ts", 0)
+        detail = ""
+        if ph == "X":
+            detail = f" dur={event.get('dur')}"
+        elif ph == "C":
+            args = {k: v for k, v in (event.get("args") or {}).items()
+                    if k != "wall_s"}
+            detail = f" {args}"
+        lines.append(f"{ts:12.1f}  tid={tid:<4d} {ph:>2}  {name}{detail}")
+        shown += 1
+    return "\n".join(lines)

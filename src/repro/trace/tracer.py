@@ -1,0 +1,305 @@
+"""Span/counter instrumentation core.
+
+A :class:`Tracer` records a flat, append-only list of
+:class:`TraceEvent` records — Chrome-trace-shaped (``ph``/``ts``/
+``pid``/``tid``) so export is a serialisation, not a transformation.
+Spans nest per track (``tid``): ``begin``/``end`` pairs are balanced by
+a per-track stack, and the context-manager form makes misnesting
+impossible.  Every event is stamped with monotonic simulated time from
+the shared :class:`~repro.trace.clock.SimClock` *and* host wall time,
+so a trace supports both "what overlapped what" (sim) and "what was
+slow to simulate" (wall) questions.
+
+Track layout (the Perfetto view):
+
+* ``TID_API`` — cuDNN/cuBLAS host API calls.
+* ``TID_RUNTIME`` — runtime operations (mallocs, memcpys, syncs).
+* ``stream_tid(stream_id)`` — one track per CUDA stream; kernel
+  executions are slices, event record/wait ops are instants.
+
+The disabled path is :data:`NULL_TRACER`, a singleton whose methods do
+nothing.  Instrumented code guards larger work with ``tracer.enabled``;
+the functional superblock loop is not instrumented at all, so a
+disabled tracer costs nothing on the hot path.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.trace.clock import SimClock
+
+#: Well-known tracks.  Streams get ``stream_tid(stream_id)``.
+TID_API = 1
+TID_RUNTIME = 2
+_TID_STREAM_BASE = 10
+
+
+def stream_tid(stream_id: int) -> int:
+    """Track id for a CUDA stream (stream 0 = the default stream)."""
+    return _TID_STREAM_BASE + stream_id
+
+
+@dataclass
+class TraceEvent:
+    """One Chrome-trace-shaped event."""
+
+    name: str
+    ph: str                    # "B" | "E" | "X" | "i" | "C"
+    ts: float                  # simulated time
+    pid: int
+    tid: int
+    cat: str = ""
+    args: dict | None = None
+    dur: float | None = None   # "X" (complete) events only
+    wall: float = 0.0          # host wall-clock stamp (perf_counter)
+
+
+@dataclass
+class Span:
+    """An open span, returned by :meth:`Tracer.begin`."""
+
+    name: str
+    tid: int
+    cat: str
+    begin_ts: float
+    begin_index: int           # index of the "B" event in Tracer.events
+    args: dict | None = None
+    end_ts: float | None = None
+
+    @property
+    def closed(self) -> bool:
+        return self.end_ts is not None
+
+    @property
+    def duration(self) -> float:
+        if self.end_ts is None:
+            raise ValueError(f"span {self.name!r} is still open")
+        return self.end_ts - self.begin_ts
+
+
+class _NullSpanContext:
+    """Reusable no-op context manager for ``NULL_TRACER.span(...)``."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpanContext()
+
+
+class NullTracer:
+    """The no-op fast path: every method does nothing.
+
+    ``enabled`` is False so instrumentation sites can skip argument
+    construction entirely; calling the methods anyway is also safe.
+    """
+
+    enabled = False
+    default_tid = TID_RUNTIME
+    cta_spans = False
+
+    def begin(self, name, **kwargs):
+        return None
+
+    def end(self, **kwargs):
+        return None
+
+    def span(self, name, **kwargs):
+        return _NULL_SPAN
+
+    def instant(self, name, **kwargs):
+        return None
+
+    def complete(self, name, ts, dur, **kwargs):
+        return None
+
+    def counter(self, name, value, **kwargs):
+        return None
+
+    def name_track(self, tid, name):
+        return None
+
+    def attach_samples(self, key, samples):
+        return None
+
+    def push_default_tid(self, tid):
+        return None
+
+    def pop_default_tid(self):
+        return None
+
+    def finish(self):
+        return None
+
+
+#: The process-wide disabled tracer.  Identity-comparable: runtime code
+#: uses ``tracer is NULL_TRACER`` to detect "tracing off".
+NULL_TRACER = NullTracer()
+
+
+class _SpanContext:
+    __slots__ = ("tracer", "name", "kwargs")
+
+    def __init__(self, tracer: "Tracer", name: str, kwargs: dict) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.kwargs = kwargs
+
+    def __enter__(self) -> Span:
+        return self.tracer.begin(self.name, **self.kwargs)
+
+    def __exit__(self, *exc) -> bool:
+        self.tracer.end(tid=self.kwargs.get("tid"))
+        return False
+
+
+class Tracer:
+    """Records spans, instants and counters against a shared sim clock.
+
+    Parameters
+    ----------
+    clock:
+        The monotonic :class:`SimClock` to stamp events with.  Pass the
+        runtime's clock so trace stamps and profiler/interval times are
+        the same timeline; a fresh clock is created otherwise.
+    pid:
+        Chrome-trace process id for all events (one simulated device).
+    cta_spans:
+        Opt-in per-CTA spans from the functional engine.  Off by
+        default: CTA scope is the highest-volume level and most traces
+        only need kernel granularity.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: SimClock | None = None, *, pid: int = 1,
+                 process_name: str = "repro-sim",
+                 cta_spans: bool = False) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self.pid = pid
+        self.process_name = process_name
+        self.cta_spans = cta_spans
+        self.events: list[TraceEvent] = []
+        self.spans: list[Span] = []
+        self.track_names: dict[int, str] = {
+            TID_API: "cuDNN API",
+            TID_RUNTIME: "CUDA runtime",
+        }
+        #: Out-of-band payloads (e.g. SampleBlock objects) keyed by the
+        #: caller — kept off the JSON export, used by the bridge.
+        self.samples: dict[object, object] = {}
+        self._stacks: dict[int, list[Span]] = {}
+        self._default_tid_stack: list[int] = []
+        self.default_tid = TID_RUNTIME
+        self._wall0 = time.perf_counter()
+
+    # -- time ----------------------------------------------------------
+    def _ts(self, ts: float | None) -> float:
+        return self.clock.now if ts is None else float(ts)
+
+    def _wall(self) -> float:
+        return time.perf_counter() - self._wall0
+
+    def _tid(self, tid: int | None) -> int:
+        return self.default_tid if tid is None else tid
+
+    # -- default-track scoping -----------------------------------------
+    def push_default_tid(self, tid: int) -> None:
+        """Temporarily route un-tid'd events to *tid* (kernel scope)."""
+        self._default_tid_stack.append(self.default_tid)
+        self.default_tid = tid
+
+    def pop_default_tid(self) -> None:
+        self.default_tid = self._default_tid_stack.pop()
+
+    # -- spans ---------------------------------------------------------
+    def begin(self, name: str, *, tid: int | None = None, cat: str = "",
+              args: dict | None = None, ts: float | None = None) -> Span:
+        tid = self._tid(tid)
+        stamp = self._ts(ts)
+        span = Span(name=name, tid=tid, cat=cat, begin_ts=stamp,
+                    begin_index=len(self.events), args=args)
+        self.events.append(TraceEvent(
+            name=name, ph="B", ts=stamp, pid=self.pid, tid=tid, cat=cat,
+            args=args, wall=self._wall()))
+        self._stacks.setdefault(tid, []).append(span)
+        self.spans.append(span)
+        return span
+
+    def end(self, *, tid: int | None = None, ts: float | None = None,
+            args: dict | None = None) -> Span:
+        tid = self._tid(tid)
+        stack = self._stacks.get(tid)
+        if not stack:
+            raise ValueError(f"end() with no open span on track {tid}")
+        span = stack.pop()
+        stamp = self._ts(ts)
+        span.end_ts = stamp
+        if args:
+            span.args = {**(span.args or {}), **args}
+        self.events.append(TraceEvent(
+            name=span.name, ph="E", ts=stamp, pid=self.pid, tid=tid,
+            cat=span.cat, args=args, wall=self._wall()))
+        return span
+
+    def span(self, name: str, **kwargs) -> _SpanContext:
+        """``with tracer.span("name"): ...`` — begin/end as a context."""
+        return _SpanContext(self, name, kwargs)
+
+    def open_depth(self, tid: int | None = None) -> int:
+        """How many spans are currently open on a track."""
+        return len(self._stacks.get(self._tid(tid), ()))
+
+    # -- other phases --------------------------------------------------
+    def complete(self, name: str, ts: float, dur: float, *,
+                 tid: int | None = None, cat: str = "",
+                 args: dict | None = None) -> None:
+        """A pre-measured slice (Chrome ``X`` event)."""
+        self.events.append(TraceEvent(
+            name=name, ph="X", ts=ts, pid=self.pid, tid=self._tid(tid),
+            cat=cat, args=args, dur=dur, wall=self._wall()))
+
+    def instant(self, name: str, *, tid: int | None = None, cat: str = "",
+                args: dict | None = None, ts: float | None = None) -> None:
+        self.events.append(TraceEvent(
+            name=name, ph="i", ts=self._ts(ts), pid=self.pid,
+            tid=self._tid(tid), cat=cat, args=args, wall=self._wall()))
+
+    def counter(self, name: str, value, *, ts: float | None = None,
+                tid: int | None = None, cat: str = "metric") -> None:
+        """A counter sample; ``value`` is a number or a {series: num}
+        dict (Chrome renders multi-series counters stacked)."""
+        if not isinstance(value, dict):
+            value = {"value": float(value)}
+        self.events.append(TraceEvent(
+            name=name, ph="C", ts=self._ts(ts), pid=self.pid,
+            tid=self._tid(tid), cat=cat, args=value, wall=self._wall()))
+
+    # -- registry ------------------------------------------------------
+    def name_track(self, tid: int, name: str) -> None:
+        self.track_names[tid] = name
+
+    def attach_samples(self, key: object, samples: object) -> None:
+        """Associate an out-of-band payload (a SampleBlock) with a span
+        key; consumed by :func:`repro.trace.bridge.figure_reports_from_tracer`."""
+        self.samples[key] = samples
+
+    def finish(self) -> None:
+        """Close any spans still open (balances B/E for export)."""
+        for tid, stack in self._stacks.items():
+            while stack:
+                self.end(tid=tid)
+
+    # -- queries (tests & bridge) --------------------------------------
+    def closed_spans(self, *, cat: str | None = None,
+                     tid: int | None = None) -> list[Span]:
+        return [s for s in self.spans if s.closed
+                and (cat is None or s.cat == cat)
+                and (tid is None or s.tid == tid)]
