@@ -16,15 +16,19 @@ from __future__ import annotations
 from repro.analysis.findings import (
     ERROR, Finding, INFO, LintReport, WARNING, sort_findings)
 from repro.analysis.lints import LINT_PASSES, run_lints
+from repro.analysis.vectorize import (
+    ANALYSIS_VERSION, VectorReport, classify_kernel, grid_variance)
 from repro.analysis.verifier import QUIRK_RULES, verify_kernel
 from repro.errors import VerificationError
 from repro.ptx.ast import Kernel, PTXModule
 from repro.quirks import LegacyQuirks
 
 __all__ = [
-    "ERROR", "WARNING", "INFO", "Finding", "LintReport", "QUIRK_RULES",
-    "LINT_PASSES", "analyze_kernel", "analyze_module", "run_lints",
-    "sort_findings", "verify_kernel", "verify_launch",
+    "ANALYSIS_VERSION", "ERROR", "WARNING", "INFO", "Finding",
+    "LintReport", "QUIRK_RULES", "LINT_PASSES", "VectorReport",
+    "analyze_kernel", "analyze_module", "classify_kernel",
+    "grid_variance", "run_lints", "sort_findings", "verify_kernel",
+    "verify_launch",
 ]
 
 

@@ -1,0 +1,100 @@
+"""Vectorizability classification for the megablock execution tier.
+
+The intra-warp :func:`repro.analysis.dataflow.variance` taint answers
+"can this branch diverge *within a warp*?".  The megablock tier
+(:mod:`repro.functional.megablock`) executes every thread of a grid
+chunk in one lockstep vector, so it needs the stronger *grid* question:
+"can this value differ between **any** two threads of the grid?".  A
+branch whose predicate is grid-uniform moves the whole vector frame as
+one — no mask arithmetic, no frame splits — which is the fast path that
+keeps loop-heavy kernels (GEMM tiles, FFT stages) at array speed.
+
+The grid analysis is the same forward taint with a wider seed set:
+``%ctaid`` and ``%warpid`` are uniform within a warp but obviously not
+across the grid, so they join ``%tid``/``%laneid``/``%clock`` as
+variance sources.  ``%ntid``/``%nctaid`` remain uniform everywhere.
+
+:data:`ANALYSIS_VERSION` stamps both this classification and the
+compiled-plan payloads in the disk kernel cache
+(:mod:`repro.functional.kernelcache`); bump it whenever the taint rules
+or the classification shape change so stale cache entries are discarded
+rather than trusted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.dataflow import (
+    Solution, _Variance, _is_special, defs_of, solve, uses_of)
+from repro.ptx.ast import Kernel
+
+#: Version of the vectorizability facts (cache-key component).
+ANALYSIS_VERSION = 1
+
+#: Specials that may differ between two threads *of the grid*.
+_GRID_VARIANT_SPECIALS = ("%tid", "%laneid", "%clock", "%ctaid", "%warpid")
+
+
+class _GridVariance(_Variance):
+    """Forward taint seeded with every non-grid-uniform special."""
+
+    def transfer(self, inst, facts):
+        # The base class consults the narrower intra-warp special list;
+        # widen by tainting any def that reads a grid-variant special.
+        facts = super().transfer(inst, facts)
+        written = defs_of(inst)
+        if not written or written <= facts:
+            return facts
+        for name in uses_of(inst):
+            if _is_special(name) and name.startswith(_GRID_VARIANT_SPECIALS):
+                return facts | written
+        return facts
+
+
+def grid_variance(kernel: Kernel) -> Solution:
+    """Registers that may differ between any two grid threads."""
+    return solve(kernel, _GridVariance())
+
+
+@dataclass
+class VectorReport:
+    """Branch-level vectorizability facts for one kernel.
+
+    ``uniform_branches`` — predicated ``bra`` pcs whose guard is
+    grid-uniform: every thread takes the same side, so the vector tier
+    can move a whole frame without computing masks.
+    ``divergent_branches`` — the rest: mask splits with IPDOM
+    reconvergence frames.
+    ``variant_after`` — per-pc grid-variant register sets (the raw
+    facts, kept for lints and debugging).
+    """
+
+    kernel: str
+    uniform_branches: frozenset[int] = frozenset()
+    divergent_branches: frozenset[int] = frozenset()
+    variant_after: dict[int, frozenset] = field(default_factory=dict)
+
+    @property
+    def has_divergence(self) -> bool:
+        return bool(self.divergent_branches)
+
+
+def classify_kernel(kernel: Kernel) -> VectorReport:
+    """Split the kernel's conditional branches by grid uniformity."""
+    solution = grid_variance(kernel)
+    uniform: set[int] = set()
+    divergent: set[int] = set()
+    for inst in kernel.body:
+        if inst.opcode != "bra" or inst.pred is None:
+            continue
+        before = solution.before.get(inst.index, frozenset())
+        if inst.pred in before:
+            divergent.add(inst.index)
+        else:
+            uniform.add(inst.index)
+    return VectorReport(
+        kernel=kernel.name,
+        uniform_branches=frozenset(uniform),
+        divergent_branches=frozenset(divergent),
+        variant_after=dict(solution.after))

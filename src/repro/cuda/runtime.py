@@ -77,8 +77,13 @@ class KernelProfile:
 class FunctionalBackend:
     """Functional simulation mode: correctness only, no timing stats.
 
-    ``fast_mode`` selects the interpreter tier ("superblock", "fastpath"
-    or "reference") for ablation; the default is the fastest tier.
+    ``fast_mode`` selects the interpreter tier ("megablock",
+    "superblock", "fastpath" or "reference") for ablation.  The
+    megablock tier executes all lanes of a launch as NumPy array
+    operations and transparently falls back to the scalar tiers for
+    kernels its vector codegen cannot handle, so it is safe as a
+    drop-in; the default stays "superblock" for the scalar hooks'
+    benefit (fault injection, per-instruction observers).
     """
 
     name = "functional"

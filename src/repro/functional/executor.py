@@ -18,7 +18,14 @@ barriers) and defers everything else to the dispatch table in
 
 The interpreter tiers are ablatable through ``fast_mode``:
 ``"reference"`` (generic dispatch only), ``"fastpath"`` (per-instruction
-closures), ``"superblock"`` (fastpath + fused blocks, the default).
+closures), ``"superblock"`` (fastpath + fused blocks, the default), and
+``"megablock"`` (whole-grid NumPy vectorization via
+:mod:`repro.functional.megablock`, with compiled plans persisted across
+processes by :mod:`repro.functional.kernelcache`).  A kernel the
+megablock codegen cannot vectorize falls back to the superblock tier
+(``engine.megablock_fallback`` records why); hooks that observe
+per-instruction state (``on_exec``, ``exec_override``, CTA-span
+tracing) always take the scalar path.
 """
 
 from __future__ import annotations
@@ -37,7 +44,7 @@ from repro.ptx.instructions import BAR, CTRL, OP_CLASS, lookup
 AT_BARRIER = "barrier"
 
 #: Interpreter tiers, fastest first.  See FunctionalEngine(fast_mode=).
-FAST_MODES = ("superblock", "fastpath", "reference")
+FAST_MODES = ("megablock", "superblock", "fastpath", "reference")
 
 #: mask -> tuple of active lane indices (masks repeat heavily).
 _LANES_CACHE: dict[int, tuple[int, ...]] = {}
@@ -117,6 +124,24 @@ class FunctionalEngine:
         #: the (deliberately wrong) semantics and dispatch is skipped.
         self.exec_override = exec_override
         self.contract_fp16 = contract_fp16
+        #: Why a requested megablock launch fell back (None if it held).
+        self.megablock_fallback: tuple[str, ...] | None = None
+        self._megaplan = None
+        _quirks = launch.quirks
+        if (fast_mode == "megablock" and not contract_fp16
+                and not (_quirks.rem_ignores_type
+                         or _quirks.bfe_unsigned_only
+                         or _quirks.brev_unsupported
+                         or _quirks.fp16_unsupported)):
+            # Load (disk cache) or compile the vector plan first: a warm
+            # cache entry carries the reconvergence map, letting the
+            # prepare_kernel CFG pass below be skipped entirely.
+            plan = self._load_megaplan()
+            if plan.eligible:
+                self._megaplan = plan
+            else:
+                self.megablock_fallback = tuple(plan.reasons)
+                fast_mode = "superblock"
         if (not self.kernel.reconvergence
                 and any(i.opcode == "bra" and i.pred is not None
                         for i in self.kernel.body)):
@@ -141,12 +166,15 @@ class FunctionalEngine:
             self._fast = fast
         self._contract_sites = (
             self._find_fp16_contractions() if contract_fp16 else {})
-        if fast_mode == "superblock" and contract_fp16:
+        if fast_mode in ("superblock", "megablock") and contract_fp16:
             # Contraction rewrites mul+add pairs at issue time; fused
             # blocks would execute the pair unfused.  Step instead.
             fast_mode = "fastpath"
         self._superblocks = {}
-        if fast_mode == "superblock":
+        if fast_mode in ("superblock", "megablock"):
+            # The megablock tier needs superblocks too: they run the
+            # scalar continuation after a divergent-barrier bailout and
+            # every external-driver path (iter_ctas / run_cta).
             from repro.functional.superblock import compile_superblocks
             # Cache keyed on the fastpath list identity: if tests swap
             # kernel._fastpath, stale blocks must not survive.
@@ -158,6 +186,50 @@ class FunctionalEngine:
                 blocks = cached[1]
             self._superblocks = blocks
         self.fast_mode = fast_mode
+
+    # ------------------------------------------------------------------
+    # Megablock plan loading (disk cache -> in-process cache -> compile)
+    # ------------------------------------------------------------------
+    def _load_megaplan(self):
+        from repro.analysis.vectorize import ANALYSIS_VERSION
+        from repro.functional import kernelcache
+        from repro.functional.megablock import (
+            PLAN_FORMAT, compile_megaplan, plan_from_payload)
+        kernel = self.kernel
+        versions = (PLAN_FORMAT, ANALYSIS_VERSION)
+        cached = getattr(kernel, "_megablock", None)
+        if cached is not None and cached[0] == versions:
+            return cached[1]
+        tracer = self.tracer
+        plan = None
+        payload = kernelcache.load(kernel, "megablock",
+                                   plan_format=PLAN_FORMAT,
+                                   analysis_version=ANALYSIS_VERSION)
+        if payload is not None:
+            try:
+                plan = plan_from_payload(payload)
+            except Exception:  # malformed payload: treat as a miss
+                plan = None
+        if (plan is not None and plan.kernel_name == kernel.name
+                and plan.body_len == len(kernel.body)):
+            if not kernel.reconvergence and plan.reconvergence:
+                # Warm load: reuse the cached IPDOM map; the CFG /
+                # dominator pass never runs in this process.
+                kernel.reconvergence = dict(plan.reconvergence)
+            tracer.instant(f"kernelcache:hit:{kernel.name}",
+                           cat="kernelcache")
+        else:
+            tracer.instant(f"kernelcache:miss:{kernel.name}",
+                           cat="kernelcache")
+            with tracer.span(f"megablock-compile:{kernel.name}",
+                             cat="engine"):
+                plan = compile_megaplan(kernel)
+            kernelcache.store(kernel, "megablock", plan.to_payload(),
+                              plan_format=PLAN_FORMAT,
+                              analysis_version=ANALYSIS_VERSION)
+        tracer.counter("kernelcache", kernelcache.counters())
+        kernel._megablock = (versions, plan)
+        return plan
 
     # ------------------------------------------------------------------
     # Single-instruction stepping (used by both modes)
@@ -433,6 +505,13 @@ class FunctionalEngine:
         stats = RunStats()
         tracer = self.tracer
         trace_ctas = tracer.enabled and tracer.cta_spans
+        if (self._megaplan is not None and self.on_exec is None
+                and self.exec_override is None and not trace_ctas):
+            from repro.functional.megablock import MegaMachine
+            with tracer.span(f"megablock:{self.kernel.name}",
+                             cat="engine"):
+                MegaMachine(self, self._megaplan).run(stats)
+            return stats
         for cta in self.iter_ctas():
             stats.ctas_launched += 1
             stats.warps_launched += len(cta.warps)

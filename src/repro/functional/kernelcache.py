@@ -1,0 +1,184 @@
+"""Disk-backed compiled-kernel plan cache.
+
+Repeat launches of the same PTX across *processes* skip parsing-derived
+work (CFG construction, reconvergence, dataflow analysis, vector
+codegen): the megablock tier stores its serialised
+:class:`repro.functional.megablock.MegaPlan` here, keyed on
+
+* a SHA-256 **fingerprint** of the kernel's structural content (name,
+  param/shared/local declarations, instruction texts, labels),
+* the execution **tier** the payload belongs to, and
+* the **format/analysis versions** (``PLAN_FORMAT`` from the megablock
+  codegen and ``ANALYSIS_VERSION`` from ``repro.analysis.vectorize``).
+
+Entries are JSON files under the repro cache directory
+(``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro``, else
+``~/.cache/repro``), written atomically (temp file + ``os.replace``).
+A payload checksum rides inside each entry; corrupted or stale entries
+(bad JSON, checksum mismatch, wrong versions, wrong fingerprint) are
+**discarded and deleted**, never trusted — a cache can only ever be a
+performance hint.  ``REPRO_CACHE_DISABLE=1`` turns the whole thing off.
+
+Module-level counters (``hits``/``misses``/``stores``/``discards``)
+feed the tracer's cache instants and the benchmark's cold-vs-warm
+reporting.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+
+#: Entry schema version (independent of the plan payload format).
+CACHE_FORMAT = 1
+
+_COUNTERS = {"hits": 0, "misses": 0, "stores": 0, "discards": 0}
+
+
+def counters() -> dict:
+    """Snapshot of the cache counters (copy; safe to mutate)."""
+    return dict(_COUNTERS)
+
+
+def reset_counters() -> None:
+    for key in _COUNTERS:
+        _COUNTERS[key] = 0
+
+
+def enabled() -> bool:
+    return os.environ.get("REPRO_CACHE_DISABLE", "") != "1"
+
+
+def cache_dir() -> str:
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return override
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    if xdg:
+        return os.path.join(xdg, "repro")
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro")
+
+
+def kernel_fingerprint(kernel) -> str:
+    """SHA-256 over the kernel's structural content.
+
+    Deliberately *not* a hash of the source file: whitespace or comment
+    churn must not invalidate entries, while any change to declarations,
+    instruction stream or label layout must.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(kernel.name.encode())
+    for param in kernel.params:
+        hasher.update(
+            f"|p:{param.name}:{param.dtype.name}:{param.offset}"
+            f":{param.array_len}:{param.size}".encode())
+    for var in list(kernel.shared_vars) + list(kernel.local_vars):
+        hasher.update(
+            f"|v:{var.name}:{var.dtype.name}:{var.size}".encode())
+    for inst in kernel.body:
+        hasher.update(b"|i:")
+        hasher.update((inst.text or inst.opcode).encode())
+    for label, target in sorted(kernel.labels.items()):
+        hasher.update(f"|l:{label}:{target}".encode())
+    return hasher.hexdigest()
+
+
+def _entry_path(fingerprint: str, tier: str) -> str:
+    return os.path.join(cache_dir(), f"{fingerprint[:16]}-{tier}.json")
+
+
+def _payload_digest(payload: dict) -> str:
+    canonical = json.dumps(payload, sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def _discard(path: str) -> None:
+    _COUNTERS["discards"] += 1
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
+
+
+def load(kernel, tier: str, *, plan_format: int,
+         analysis_version: int) -> dict | None:
+    """Return the cached payload for *kernel*/*tier*, or ``None``.
+
+    Every validation failure deletes the entry and counts a discard; a
+    clean absence counts a miss.
+    """
+    if not enabled():
+        return None
+    fingerprint = kernel_fingerprint(kernel)
+    path = _entry_path(fingerprint, tier)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            entry = json.load(handle)
+    except FileNotFoundError:
+        _COUNTERS["misses"] += 1
+        return None
+    except (OSError, ValueError):
+        _discard(path)
+        return None
+    if not isinstance(entry, dict):
+        _discard(path)
+        return None
+    stale = (entry.get("format") != CACHE_FORMAT
+             or entry.get("plan_format") != plan_format
+             or entry.get("analysis_version") != analysis_version
+             or entry.get("tier") != tier
+             or entry.get("fingerprint") != fingerprint
+             or entry.get("kernel") != kernel.name)
+    if stale:
+        _discard(path)
+        return None
+    payload = entry.get("payload")
+    if not isinstance(payload, dict) \
+            or entry.get("payload_sha256") != _payload_digest(payload):
+        _discard(path)
+        return None
+    _COUNTERS["hits"] += 1
+    return payload
+
+
+def store(kernel, tier: str, payload: dict, *, plan_format: int,
+          analysis_version: int) -> bool:
+    """Atomically persist *payload*; returns False when disabled/failed."""
+    if not enabled():
+        return False
+    fingerprint = kernel_fingerprint(kernel)
+    entry = {
+        "format": CACHE_FORMAT,
+        "plan_format": plan_format,
+        "analysis_version": analysis_version,
+        "tier": tier,
+        "fingerprint": fingerprint,
+        "kernel": kernel.name,
+        "payload": payload,
+        "payload_sha256": _payload_digest(payload),
+    }
+    directory = cache_dir()
+    path = _entry_path(fingerprint, tier)
+    try:
+        os.makedirs(directory, exist_ok=True)
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=directory, suffix=".tmp", delete=False,
+            encoding="utf-8")
+        try:
+            json.dump(entry, handle)
+            handle.close()
+            os.replace(handle.name, path)
+        except BaseException:
+            handle.close()
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        return False
+    _COUNTERS["stores"] += 1
+    return True

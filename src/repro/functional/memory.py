@@ -111,6 +111,35 @@ class GlobalMemory:
         self.write(addr, (value & ((1 << (8 * nbytes)) - 1))
                    .to_bytes(nbytes, "little"))
 
+    # -- dense mirror (megablock vector tier) ---------------------------
+    def dense_bounds(self) -> tuple[int, int]:
+        """``[GLOBAL_BASE, end)`` span covering every allocation."""
+        return GLOBAL_BASE, self._next
+
+    def dense_mirror(self) -> bytearray:
+        """Contiguous copy of the allocated span for vector gathers.
+
+        The megablock tier gathers/scatters against this flat buffer and
+        writes it back with :meth:`write_dense` when the chunk finishes
+        (or bails out to the scalar tiers).  GLOBAL_BASE is page-aligned,
+        so every page maps at a non-negative offset.
+        """
+        span = self._next - GLOBAL_BASE
+        buf = bytearray(span)
+        for page_id, page in self._pages.items():
+            offset = (page_id << PAGE_BITS) - GLOBAL_BASE
+            if offset < 0 or offset >= span:
+                continue
+            take = min(PAGE_SIZE, span - offset)
+            buf[offset:offset + take] = page[:take]
+        return buf
+
+    def write_dense(self, buf) -> None:
+        """Write a dense mirror back over ``[GLOBAL_BASE, end)``."""
+        span = self._next - GLOBAL_BASE
+        if span:
+            self.write(GLOBAL_BASE, bytes(buf[:span]))
+
     # -- snapshot (checkpoint Data2) ------------------------------------
     def snapshot(self) -> dict:
         return {

@@ -319,3 +319,47 @@ class WarpState:
     def active_lanes(self) -> list[int]:
         mask = self.simt.active_mask
         return [lane for lane in range(WARP_SIZE) if mask & (1 << lane)]
+
+
+def thread_tables(launch: LaunchContext, cta_start: int, num_ctas: int):
+    """Special-register arrays for a chunk of *num_ctas* CTAs.
+
+    The megablock tier executes ``num_ctas * threads_per_block`` grid
+    threads in lockstep; this builds the per-thread ``uint64`` payload
+    arrays mirroring :meth:`WarpState._build_special_table`, plus the
+    bookkeeping arrays the vector machine needs (chunk-local CTA index,
+    chunk-local warp id, linear thread id within the block).
+    """
+    import numpy as np
+
+    tpb = launch.threads_per_block
+    total = num_ctas * tpb
+    linear = np.arange(total, dtype=np.int64)
+    cta_index = linear // tpb
+    lin_in_block = linear - cta_index * tpb
+    bx, by, _bz = launch.block_dim
+    gx, gy, _gz = launch.grid_dim
+    cta_linear = cta_index + cta_start
+    u64 = np.uint64
+    tables = {
+        "%tid.x": (lin_in_block % bx).astype(u64),
+        "%tid.y": ((lin_in_block // bx) % by).astype(u64),
+        "%tid.z": (lin_in_block // (bx * by)).astype(u64),
+        "%ctaid.x": (cta_linear % gx).astype(u64),
+        "%ctaid.y": ((cta_linear // gx) % gy).astype(u64),
+        "%ctaid.z": (cta_linear // (gx * gy)).astype(u64),
+        "%laneid": (lin_in_block & 31).astype(u64),
+        "%warpid": (lin_in_block >> 5).astype(u64),
+    }
+    for axis_index, axis in enumerate("xyz"):
+        tables[f"%ntid.{axis}"] = np.full(
+            total, launch.block_dim[axis_index], u64)
+        tables[f"%nctaid.{axis}"] = np.full(
+            total, launch.grid_dim[axis_index], u64)
+    warp_of = cta_index * launch.warps_per_block + (lin_in_block >> 5)
+    return {
+        "specials": tables,
+        "cta_index": cta_index,
+        "lin_in_block": lin_in_block,
+        "warp_of": warp_of,
+    }

@@ -58,6 +58,15 @@ def _cmd_summary(args: argparse.Namespace) -> int:
               f"(run `repro-trace validate`)")
     for tid, name in sorted(tracks.items()):
         print(f"  track {tid}: {name}")
+    cache = Counter()
+    for event in events:
+        if event.get("cat") == "kernelcache" and event.get("ph") == "i":
+            parts = event.get("name", "").split(":")
+            if len(parts) >= 2:
+                cache[parts[1]] += 1
+    if cache:
+        print("  kernel cache: "
+              + ", ".join(f"{k}={n}" for k, n in sorted(cache.items())))
     records = kernel_records_from_events(events)
     if not records:
         print("no kernel slices in trace")

@@ -1,0 +1,535 @@
+"""Megablock tier tests: vector-plan compilation and eligibility, the
+engine's fallback plumbing, bit-exactness against the scalar tiers
+(memory, instruction counts, per-opcode mix, clock and registers),
+faithful divergence handling (per-warp frame splitting and the
+bar-containment bailout), and the disk-backed compiled-kernel cache.
+
+The scalar reference interpreter is the ground truth everywhere: the
+megablock tier must be indistinguishable from it in architectural
+state, or refuse to run (fall back / bail out) — never "mostly right".
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.functional import kernelcache
+from repro.functional.executor import (
+    FAST_MODES, FunctionalEngine, RunStats)
+from repro.functional.megablock import (
+    MegaMachine, PLAN_FORMAT, compile_megaplan, plan_from_payload)
+from repro.functional.memory import GlobalMemory, LinearMemory
+from repro.functional.state import LaunchContext
+from repro.analysis import ANALYSIS_VERSION
+from repro.ptx.builder import PTXBuilder, f32
+from repro.ptx.parser import parse_module
+from repro.quirks import LegacyQuirks
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    """Keep every test hermetic: no reads/writes of the user cache."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "kcache"))
+    kernelcache.reset_counters()
+
+
+# ---------------------------------------------------------------------------
+# Kernels under test
+# ---------------------------------------------------------------------------
+def _saxpy_ptx() -> str:
+    """Straight-line body behind a tid guard (same shape as superblock's)."""
+    b = PTXBuilder("sax", [("xs", "u64"), ("ys", "u64"), ("n", "u32")])
+    xs = b.ld_param("u64", "xs")
+    ys = b.ld_param("u64", "ys")
+    n = b.ld_param("u32", "n")
+    tid = b.global_tid_x()
+    b.guard_tid_below(tid, n)
+    x = b.reg("f32")
+    y = b.reg("f32")
+    b.ins("ld.global.f32", x, f"[{b.elem_addr(xs, tid)}]")
+    b.ins("ld.global.f32", y, f"[{b.elem_addr(ys, tid)}]")
+    b.ins("fma.rn.f32", y, x, f32(2.0), y)
+    b.ins("st.global.f32", f"[{b.elem_addr(ys, tid)}]", y)
+    return b.build()
+
+
+def _divergent_ptx() -> str:
+    """Within-warp if/else on tid parity: every warp diverges."""
+    b = PTXBuilder("divk", [("xs", "u64"), ("n", "u32")])
+    xs = b.ld_param("u64", "xs")
+    n = b.ld_param("u32", "n")
+    tid = b.global_tid_x()
+    b.guard_tid_below(tid, n)
+    parity = b.reg("u32")
+    b.ins("and.b32", parity, tid, "1")
+    p = b.reg("pred")
+    b.ins("setp.eq.u32", p, parity, "1")
+    x = b.reg("f32")
+    b.ins("ld.global.f32", x, f"[{b.elem_addr(xs, tid)}]")
+    odd = b.fresh_label("odd")
+    done = b.fresh_label("done")
+    b.ins(f"bra {odd}", pred=p)
+    b.ins("add.f32", x, x, f32(1.0))
+    b.ins(f"bra {done}")
+    b.place(odd)
+    b.ins("mul.f32", x, x, f32(3.0))
+    b.place(done)
+    b.ins("st.global.f32", f"[{b.elem_addr(xs, tid)}]", x)
+    return b.build()
+
+
+def _gridloop_ptx() -> str:
+    """Loop whose trip count depends on %ctaid: grid-divergent control
+    flow that must stay vectorised (different CTAs exit on different
+    iterations, no warp ever disagrees with itself)."""
+    b = PTXBuilder("gloop", [("out", "u64")])
+    out = b.ld_param("u64", "out")
+    cta = b.special("%ctaid.x")
+    trips = b.reg("u32")
+    b.ins("add.u32", trips, cta, "2")
+    acc = b.imm_u32(0)
+    i = b.reg("u32")
+    with b.for_range(i, 0, trips):
+        b.ins("add.u32", acc, acc, i)
+    tid = b.global_tid_x()
+    b.ins("st.global.u32", f"[{b.elem_addr(out, tid)}]", acc)
+    return b.build()
+
+
+def _divbar_ptx() -> str:
+    """Genuinely divergent control flow around a barrier.
+
+    With 64 threads per CTA the two warps take different sides of the
+    branch, so each bar.sync is reached by a frame that does not cover
+    the whole CTA: the megablock tier cannot prove containment and must
+    bail out to the scalar engine mid-chunk.
+    """
+    b = PTXBuilder("divbar", [("out", "u64")])
+    b.shared("buf", "u32", 64)
+    out = b.ld_param("u64", "out")
+    tid = b.special("%tid.x")
+    base = b.reg("u64")
+    b.ins("mov.u64", base, "buf")
+    val = b.reg("u32")
+    p = b.reg("pred")
+    b.ins("setp.lt.u32", p, tid, "32")
+    hi = b.fresh_label("hi")
+    join = b.fresh_label("join")
+    b.ins(f"bra {hi}", pred=p, pred_neg=True)
+    b.ins("add.u32", val, tid, "1000")
+    b.ins("st.shared.u32", f"[{b.elem_addr(base, tid)}]", val)
+    b.bar_sync()
+    b.ins(f"bra {join}")
+    b.place(hi)
+    b.ins("add.u32", val, tid, "2000")
+    b.ins("st.shared.u32", f"[{b.elem_addr(base, tid)}]", val)
+    b.bar_sync()
+    b.place(join)
+    mirror = b.reg("u32")
+    b.ins("sub.u32", mirror, "63", tid)
+    got = b.reg("u32")
+    b.ins("ld.shared.u32", got, f"[{b.elem_addr(base, mirror)}]")
+    gtid = b.global_tid_x()
+    b.ins("st.global.u32", f"[{b.elem_addr(out, gtid)}]", got)
+    return b.build()
+
+
+def _predicated_ptx() -> str:
+    """A predicated add: supported by every scalar tier but outside the
+    megablock codegen's subset (only predicated ld/bra vectorise)."""
+    b = PTXBuilder("pk", [("xs", "u64"), ("n", "u32")])
+    xs = b.ld_param("u64", "xs")
+    n = b.ld_param("u32", "n")
+    tid = b.global_tid_x()
+    b.guard_tid_below(tid, n)
+    p = b.reg("pred")
+    b.ins("setp.lt.u32", p, tid, "7")
+    x = b.reg("f32")
+    b.ins("ld.global.f32", x, f"[{b.elem_addr(xs, tid)}]")
+    b.ins("add.f32", x, x, f32(1.0), pred=p)
+    b.ins("st.global.f32", f"[{b.elem_addr(xs, tid)}]", x)
+    return b.build()
+
+
+def _build_launch(ptx: str, name: str, *, params=None, grid=(2, 1, 1),
+                  block=(32, 1, 1), quirks=None) -> LaunchContext:
+    module = parse_module(ptx, "mb")
+    kernel = module.kernel(name)
+    gm = GlobalMemory()
+    if params is None:
+        n = 64
+        xs = gm.allocate(4 * n)
+        ys = gm.allocate(4 * n)
+        rng = np.random.default_rng(3)
+        gm.write(xs, rng.random(n, dtype=np.float32).tobytes())
+        gm.write(ys, rng.random(n, dtype=np.float32).tobytes())
+        params = {"xs": xs, "ys": ys, "n": n, "out": xs}
+    pm = LinearMemory(max(kernel.param_bytes, 16))
+    for decl in kernel.params:
+        pm.write_uint(decl.offset, params[decl.name], decl.dtype.bytes)
+    kwargs = {} if quirks is None else {"quirks": quirks}
+    return LaunchContext(kernel=kernel, grid_dim=grid, block_dim=block,
+                         global_mem=gm, param_mem=pm, **kwargs)
+
+
+def _memory_image(launch: LaunchContext) -> bytes:
+    gm = launch.global_mem
+    return b"".join(gm.read(base, size)
+                    for base in sorted(gm.allocations)
+                    for size in (gm.allocations[base],))
+
+
+def _run_all_modes(ptx: str, name: str, **kwargs):
+    results = {}
+    for mode in FAST_MODES:
+        launch = _build_launch(ptx, name, **kwargs)
+        stats = FunctionalEngine(launch, fast_mode=mode).run()
+        results[mode] = (_memory_image(launch), stats.instructions,
+                         dict(stats.dynamic_per_opcode), launch.clock)
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Plan compilation and the disk payload
+# ---------------------------------------------------------------------------
+class TestPlan:
+    def test_saxpy_plan_is_eligible_with_pruned_temps(self):
+        kernel = parse_module(_saxpy_ptx(), "p").kernel("sax")
+        plan = compile_megaplan(kernel)
+        assert plan.eligible and not plan.reasons
+        assert plan.blocks, "expected at least one vector block"
+        assert any(plan.pruned.values()), \
+            "dead address temporaries should be pruned from the flush"
+
+    def test_predicated_non_ld_is_ineligible_with_reason(self):
+        kernel = parse_module(_predicated_ptx(), "p").kernel("pk")
+        plan = compile_megaplan(kernel)
+        assert not plan.eligible
+        assert any("predicated add" in reason for reason in plan.reasons)
+
+    def test_payload_round_trip_reproduces_the_plan(self):
+        kernel = parse_module(_saxpy_ptx(), "p").kernel("sax")
+        plan = compile_megaplan(kernel)
+        clone = plan_from_payload(plan.to_payload())
+        assert clone.kernel_name == plan.kernel_name
+        assert clone.body_len == plan.body_len
+        assert clone.reconvergence == plan.reconvergence
+        assert set(clone.blocks) == set(plan.blocks)
+        for start, block in plan.blocks.items():
+            other = clone.blocks[start]
+            assert other.source == block.source
+            assert other.pruned == block.pruned
+            assert other.fn is not None
+
+    def test_malformed_payload_raises(self):
+        with pytest.raises(Exception):
+            plan_from_payload({"nonsense": True})
+
+
+# ---------------------------------------------------------------------------
+# Engine wiring: tier selection and fallback
+# ---------------------------------------------------------------------------
+class TestEngineWiring:
+    def test_eligible_kernel_gets_a_plan(self):
+        launch = _build_launch(_saxpy_ptx(), "sax")
+        engine = FunctionalEngine(launch, fast_mode="megablock")
+        assert engine.fast_mode == "megablock"
+        assert engine._megaplan is not None
+        assert engine.megablock_fallback is None
+
+    def test_ineligible_kernel_falls_back_to_superblock(self):
+        launch = _build_launch(_predicated_ptx(), "pk")
+        engine = FunctionalEngine(launch, fast_mode="megablock")
+        assert engine.fast_mode == "superblock"
+        assert engine._megaplan is None
+        assert engine.megablock_fallback
+        assert any("predicated" in r for r in engine.megablock_fallback)
+
+    def test_fallback_still_produces_reference_results(self):
+        results = _run_all_modes(_predicated_ptx(), "pk")
+        ref = results.pop("reference")
+        for mode, got in results.items():
+            assert got == ref, f"{mode} differs from reference"
+
+    def test_contract_fp16_bypasses_megablock(self):
+        launch = _build_launch(_saxpy_ptx(), "sax")
+        engine = FunctionalEngine(launch, fast_mode="megablock",
+                                  contract_fp16=True)
+        assert engine.fast_mode == "fastpath"
+
+    def test_quirky_launch_forces_reference(self):
+        quirks = LegacyQuirks(rem_ignores_type=True)
+        launch = _build_launch(_saxpy_ptx(), "sax", quirks=quirks)
+        engine = FunctionalEngine(launch, fast_mode="megablock")
+        assert engine.fast_mode == "reference"
+
+    def test_observer_hook_takes_the_scalar_path(self):
+        # A per-instruction observer must see one record per issued
+        # instruction even when a megablock plan exists.
+        records = []
+        launch = _build_launch(_saxpy_ptx(), "sax")
+        engine = FunctionalEngine(launch, fast_mode="megablock")
+        engine.on_exec = records.append
+        stats = engine.run()
+        assert stats.instructions > 0
+        assert len(records) == stats.instructions
+
+
+# ---------------------------------------------------------------------------
+# Differential: megablock vs the scalar tiers
+# ---------------------------------------------------------------------------
+class TestDifferential:
+    @pytest.mark.parametrize("ptx,name,kwargs", [
+        (_saxpy_ptx(), "sax", {}),
+        (_divergent_ptx(), "divk", {}),
+        (_gridloop_ptx(), "gloop", {"grid": (5, 1, 1)}),
+        (_divbar_ptx(), "divbar", {"block": (64, 1, 1)}),
+    ])
+    def test_all_modes_agree(self, ptx, name, kwargs):
+        results = _run_all_modes(ptx, name, **kwargs)
+        mega = results.pop("megablock")
+        for mode, got in results.items():
+            assert got == mega, f"megablock differs from {mode}"
+
+    def test_partial_guard_agrees(self):
+        # n=50 < 64 threads: the tid guard retires part of a warp.
+        ptx = _saxpy_ptx()
+        results = {}
+        for mode in FAST_MODES:
+            launch = _build_launch(ptx, "sax")
+            launch.param_mem.write_uint(
+                launch.kernel.params[2].offset, 50, 4)
+            stats = FunctionalEngine(launch, fast_mode=mode).run()
+            results[mode] = (_memory_image(launch), stats.instructions,
+                             dict(stats.dynamic_per_opcode))
+        ref = results.pop("reference")
+        for mode, got in results.items():
+            assert got == ref, f"{mode} differs from reference"
+
+    @pytest.mark.parametrize("ptx,name,kwargs", [
+        (_saxpy_ptx(), "sax", {}),
+        (_divergent_ptx(), "divk", {}),
+        (_gridloop_ptx(), "gloop", {"grid": (3, 1, 1)}),
+    ])
+    def test_registers_equal_reference(self, ptx, name, kwargs):
+        # Reference per-lane register files, kept after the run.
+        ref_launch = _build_launch(ptx, name, **kwargs)
+        ref_engine = FunctionalEngine(ref_launch, fast_mode="reference")
+        stats = RunStats()
+        ref_regs: dict[int, dict] = {}
+        for cta in ref_engine.iter_ctas():
+            ref_engine.run_cta(cta, stats)
+            for warp in cta.warps:
+                for lane, linear in enumerate(warp.thread_linear):
+                    if warp.tids[lane] is None:
+                        continue
+                    tid = cta.cta_linear * ref_launch.threads_per_block \
+                        + linear
+                    ref_regs[tid] = warp.regs[lane]
+
+        # Megablock register arrays (single chunk: all CTAs at once).
+        mega_launch = _build_launch(ptx, name, **kwargs)
+        engine = FunctionalEngine(mega_launch, fast_mode="megablock")
+        assert engine._megaplan is not None
+        machine = MegaMachine(engine, engine._megaplan)
+        machine.run(RunStats())
+
+        pruned = set()
+        for names in engine._megaplan.pruned.values():
+            pruned.update(names)
+        names = set().union(*(regs.keys() for regs in ref_regs.values()))
+        names -= pruned
+        assert names, "expected live registers to compare"
+        for tid, regs in ref_regs.items():
+            for name_ in sorted(names):
+                want = regs.get(name_, 0)
+                arr = machine.R.get(name_)
+                got = int(arr[tid]) if arr is not None else 0
+                assert got == want, \
+                    f"reg {name_} thread {tid}: {got:#x} != {want:#x}"
+
+    def test_divergent_bar_bails_out_and_matches(self):
+        launch = _build_launch(_divbar_ptx(), "divbar",
+                               block=(64, 1, 1))
+        engine = FunctionalEngine(launch, fast_mode="megablock")
+        assert engine._megaplan is not None, \
+            "divbar must be plan-eligible (bailout is a runtime event)"
+        machine = MegaMachine(engine, engine._megaplan)
+        machine.run(RunStats())
+        assert machine.bailouts == 1
+
+        ref = _build_launch(_divbar_ptx(), "divbar", block=(64, 1, 1))
+        FunctionalEngine(ref, fast_mode="reference").run()
+        assert _memory_image(launch) == _memory_image(ref)
+        out = sorted(launch.global_mem.allocations)[0]
+        got = np.frombuffer(launch.global_mem.read(out, 4 * 64),
+                            dtype=np.uint32)
+        # Thread t reads shared[63-t]: the mirror lane's branch value.
+        want = np.array([(63 - t) + (2000 if 63 - t >= 32 else 1000)
+                         for t in range(64)], dtype=np.uint32)
+        assert (got == want).all()
+
+
+# ---------------------------------------------------------------------------
+# The committed workloads (fault-campaign scale)
+# ---------------------------------------------------------------------------
+class TestCampaignWorkloads:
+    @pytest.mark.parametrize("workload", ["lenet", "conv_sample"])
+    def test_digest_and_counts_match_reference(self, workload):
+        from repro.cuda import CudaRuntime, FunctionalBackend
+        from repro.cudnn import Cudnn, build_application_binary
+        from repro.harness.faultcampaign import (
+            WORKLOADS, _digest_allocations)
+        binary = build_application_binary()
+        seen = {}
+        for mode in ("reference", "megablock"):
+            rt = CudaRuntime(backend=FunctionalBackend(fast_mode=mode))
+            rt.load_binary(binary)
+            WORKLOADS[workload]()(Cudnn(rt))
+            rt.synchronize()
+            insts = sum(p.result.instructions for p in rt.profiles)
+            seen[mode] = (insts, _digest_allocations(rt))
+        assert seen["megablock"] == seen["reference"]
+
+
+# ---------------------------------------------------------------------------
+# Disk cache: correctness before speed
+# ---------------------------------------------------------------------------
+_CACHE_SCRIPT = r"""
+import json, sys
+import numpy as np
+from repro.functional import kernelcache
+from repro.functional.executor import FunctionalEngine
+from repro.functional.memory import GlobalMemory, LinearMemory
+from repro.functional.state import LaunchContext
+from repro.ptx.builder import PTXBuilder, f32
+from repro.ptx.parser import parse_module
+
+b = PTXBuilder("sax", [("xs", "u64"), ("ys", "u64"), ("n", "u32")])
+xs = b.ld_param("u64", "xs"); ys = b.ld_param("u64", "ys")
+n = b.ld_param("u32", "n")
+tid = b.global_tid_x(); b.guard_tid_below(tid, n)
+x = b.reg("f32"); y = b.reg("f32")
+b.ins("ld.global.f32", x, f"[{b.elem_addr(xs, tid)}]")
+b.ins("ld.global.f32", y, f"[{b.elem_addr(ys, tid)}]")
+b.ins("fma.rn.f32", y, x, f32(2.0), y)
+b.ins("st.global.f32", f"[{b.elem_addr(ys, tid)}]", y)
+module = parse_module(b.build(), "mb")
+kernel = module.kernel("sax")
+count = 64
+gm = GlobalMemory()
+xs_a = gm.allocate(4 * count); ys_a = gm.allocate(4 * count)
+rng = np.random.default_rng(3)
+gm.write(xs_a, rng.random(count, dtype=np.float32).tobytes())
+gm.write(ys_a, rng.random(count, dtype=np.float32).tobytes())
+pm = LinearMemory(max(kernel.param_bytes, 16))
+for decl, value in zip(kernel.params, [xs_a, ys_a, count]):
+    pm.write_uint(decl.offset, value, decl.dtype.bytes)
+launch = LaunchContext(kernel=kernel, grid_dim=(2, 1, 1),
+                       block_dim=(32, 1, 1), global_mem=gm, param_mem=pm)
+engine = FunctionalEngine(launch, fast_mode="megablock")
+stats = engine.run()
+print(json.dumps({
+    "counters": kernelcache.counters(),
+    "fast_mode": engine.fast_mode,
+    "instructions": stats.instructions,
+    "ys": gm.read(ys_a, 4 * count).hex(),
+}))
+"""
+
+
+def _run_cache_process(cache_dir) -> dict:
+    env = dict(os.environ)
+    env["REPRO_CACHE_DIR"] = str(cache_dir)
+    env["PYTHONPATH"] = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "src")
+    env.pop("REPRO_CACHE_DISABLE", None)
+    proc = subprocess.run([sys.executable, "-c", _CACHE_SCRIPT],
+                          capture_output=True, text=True, env=env,
+                          check=True)
+    return json.loads(proc.stdout)
+
+
+class TestKernelCache:
+    def test_second_process_hits_the_disk_cache(self, tmp_path):
+        cache_dir = tmp_path / "xproc"
+        cold = _run_cache_process(cache_dir)
+        assert cold["counters"]["misses"] == 1
+        assert cold["counters"]["stores"] == 1
+        assert cold["counters"]["hits"] == 0
+        warm = _run_cache_process(cache_dir)
+        assert warm["counters"]["hits"] == 1
+        assert warm["counters"]["misses"] == 0
+        assert warm["fast_mode"] == "megablock"
+        assert warm["instructions"] == cold["instructions"]
+        assert warm["ys"] == cold["ys"]
+
+    def test_corrupted_entry_is_discarded_not_trusted(self, tmp_path):
+        cache_dir = tmp_path / "xproc"
+        cold = _run_cache_process(cache_dir)
+        entries = list(cache_dir.glob("*-megablock.json"))
+        assert len(entries) == 1
+        entry = json.loads(entries[0].read_text())
+        entry["payload"]["body_len"] = 1  # checksum no longer matches
+        entries[0].write_text(json.dumps(entry))
+        again = _run_cache_process(cache_dir)
+        assert again["counters"]["hits"] == 0
+        assert again["counters"]["discards"] == 1
+        assert again["counters"]["stores"] == 1  # recompiled + rewrote
+        assert again["ys"] == cold["ys"]
+
+    def test_stale_analysis_version_is_discarded(self, tmp_path):
+        cache_dir = tmp_path / "xproc"
+        _run_cache_process(cache_dir)
+        entries = list(cache_dir.glob("*-megablock.json"))
+        entry = json.loads(entries[0].read_text())
+        entry["analysis_version"] = ANALYSIS_VERSION + 1
+        entries[0].write_text(json.dumps(entry))
+        again = _run_cache_process(cache_dir)
+        assert again["counters"]["hits"] == 0
+        assert again["counters"]["discards"] == 1
+        assert not list(cache_dir.glob("*.tmp"))
+
+    def test_truncated_file_is_discarded(self, tmp_path):
+        cache_dir = tmp_path / "xproc"
+        _run_cache_process(cache_dir)
+        entries = list(cache_dir.glob("*-megablock.json"))
+        entries[0].write_text(entries[0].read_text()[:40])
+        again = _run_cache_process(cache_dir)
+        assert again["counters"]["discards"] == 1
+        assert again["counters"]["stores"] == 1
+
+    def test_disable_env_keeps_the_disk_untouched(self, tmp_path,
+                                                  monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "off"))
+        monkeypatch.setenv("REPRO_CACHE_DISABLE", "1")
+        launch = _build_launch(_saxpy_ptx(), "sax")
+        engine = FunctionalEngine(launch, fast_mode="megablock")
+        assert engine.fast_mode == "megablock"
+        engine.run()
+        assert not (tmp_path / "off").exists()
+
+    def test_warm_load_restores_reconvergence(self, tmp_path,
+                                              monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "warm"))
+        first = _build_launch(_divergent_ptx(), "divk")
+        FunctionalEngine(first, fast_mode="megablock")
+        want = dict(first.kernel.reconvergence)
+        assert want, "divergent kernel must have reconvergence points"
+        kernelcache.reset_counters()
+        second = _build_launch(_divergent_ptx(), "divk")
+        engine = FunctionalEngine(second, fast_mode="megablock")
+        assert kernelcache.counters()["hits"] == 1
+        assert dict(second.kernel.reconvergence) == want
+        assert engine._megaplan is not None
+
+    def test_in_process_plan_cached_on_kernel(self):
+        launch = _build_launch(_saxpy_ptx(), "sax")
+        first = FunctionalEngine(launch, fast_mode="megablock")
+        second = FunctionalEngine(launch, fast_mode="megablock")
+        assert second._megaplan is first._megaplan

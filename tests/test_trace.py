@@ -293,6 +293,76 @@ class TestExport:
 
 
 # ---------------------------------------------------------------------------
+# Megablock tier + kernel-cache events
+# ---------------------------------------------------------------------------
+class TestMegablockTracing:
+    @pytest.fixture(autouse=True)
+    def _cache_dir(self, tmp_path, monkeypatch):
+        from repro.functional import kernelcache
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "kc"))
+        monkeypatch.delenv("REPRO_CACHE_DISABLE", raising=False)
+        kernelcache.reset_counters()
+
+    def _megablock_axpy(self, tracer, launches=1, stream=None, salt=""):
+        # A comment-only salt defeats the in-process parse/plan caches
+        # (keyed on source text) without changing the kernel's structural
+        # fingerprint, so a salted re-run exercises the *disk* cache.
+        from repro.cuda.runtime import FunctionalBackend
+        rt = CudaRuntime(tracer=tracer,
+                         backend=FunctionalBackend(fast_mode="megablock"))
+        rt.load_ptx(AXPY + f"// {salt}\n" if salt else AXPY)
+        x = rt.upload_f32(np.arange(32, dtype=np.float32))
+        y = rt.upload_f32(np.ones(32, dtype=np.float32))
+        target = rt.stream_create() if stream else None
+        for _ in range(launches):
+            rt.launch("axpy", 1, 32, [x, y, 2.0], stream=target)
+        rt.synchronize()
+        return rt, target, rt.download_f32(y, 32)
+
+    def test_megablock_slices_on_stream_track(self):
+        tracer = Tracer()
+        _, stream, out = self._megablock_axpy(tracer, launches=2,
+                                              stream=True)
+        assert np.allclose(out, 2 * np.arange(32) * 2 + 1)
+        kernel_spans = tracer.closed_spans(cat="kernel")
+        assert len(kernel_spans) == 2
+        for span in kernel_spans:
+            assert span.tid == stream_tid(stream.stream_id)
+        tiers = [e for e in tracer.events
+                 if e.cat == "engine" and "tier" in (e.args or {})]
+        assert tiers and all(e.args["tier"] == "megablock" for e in tiers)
+        engine_spans = tracer.closed_spans(cat="engine")
+        assert any(s.name == "megablock:axpy" for s in engine_spans)
+
+    def test_cache_instants_cold_then_warm(self):
+        tracer = Tracer()
+        self._megablock_axpy(tracer, salt="cold")  # miss + store
+        self._megablock_axpy(tracer, salt="warm")  # fresh parse: disk hit
+        instants = [e for e in tracer.events
+                    if e.cat == "kernelcache" and e.ph == "i"]
+        assert [e.name for e in instants] \
+            == ["kernelcache:miss:axpy", "kernelcache:hit:axpy"]
+        counters = [e for e in tracer.events
+                    if e.ph == "C" and e.name == "kernelcache"]
+        assert counters
+        assert counters[-1].args["hits"] == 1
+
+    def test_cache_events_round_trip_through_summary(self, tmp_path,
+                                                     capsys):
+        from repro.trace.cli import main as trace_main
+        tracer = Tracer()
+        # Salts differ from the other tests': the parse cache is global,
+        # and a recycled kernel object would skip the disk entirely.
+        self._megablock_axpy(tracer, salt="rt-cold")
+        self._megablock_axpy(tracer, salt="rt-warm")
+        path = write_chrome_trace(tmp_path / "mb.json", tracer)
+        assert trace_main(["summary", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "kernel cache: hit=1, miss=1" in out
+        assert "axpy" in out
+
+
+# ---------------------------------------------------------------------------
 # Committed golden trace (results/lenet_trace.json)
 # ---------------------------------------------------------------------------
 class TestGoldenLenetTrace:
