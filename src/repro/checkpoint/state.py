@@ -11,7 +11,9 @@ Data1 and Data2 follow the paper's Figure 5 exactly:
 
 from __future__ import annotations
 
+import os
 import pickle
+import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -54,10 +56,28 @@ class Checkpoint:
 
     # -- persistence ------------------------------------------------------
     def save(self, path: str | Path) -> Path:
+        """Persist atomically (temp file + ``os.replace``).
+
+        A crash mid-save must never leave a truncated file at *path* —
+        a later :meth:`load` would have nothing to detect it by except
+        a decode error, and the sharded service treats checkpoint files
+        as durable job state.
+        """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        with path.open("wb") as handle:
-            pickle.dump(self, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        fd, temp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{os.getpid()}-", suffix=".ckpt.tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(self, handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
         return path
 
     @classmethod
@@ -65,8 +85,19 @@ class Checkpoint:
         path = Path(path)
         if not path.exists():
             raise CheckpointError(f"no checkpoint at {path}")
-        with path.open("rb") as handle:
-            checkpoint = pickle.load(handle)
+        try:
+            with path.open("rb") as handle:
+                checkpoint = pickle.load(handle)
+        except CheckpointError:
+            raise
+        except (pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, ValueError, OSError) as exc:
+            # A truncated or partially written file surfaces as one of
+            # pickle's many raw decode errors; wrap them all in a typed
+            # error naming the offending path.
+            raise CheckpointError(
+                f"corrupt or truncated checkpoint at {path}: "
+                f"{type(exc).__name__}: {exc}") from exc
         if not isinstance(checkpoint, cls):
             raise CheckpointError(f"{path} is not a Checkpoint file")
         if checkpoint.format_version != _FORMAT_VERSION:
@@ -97,16 +128,27 @@ def capture_cta(cta: CTAState) -> CTASnapshot:
 
 
 def restore_cta(launch: LaunchContext, snapshot: CTASnapshot) -> CTAState:
-    """Recreate a CTA and load its Data1."""
+    """Recreate a CTA and load its Data1.
+
+    All compatibility checks run *before* any state is written, so an
+    incompatible snapshot raises without leaving a half-restored CTA (or
+    a LaunchContext whose shared/local arenas were partially filled)
+    behind.
+    """
     cta = CTAState(launch, snapshot.cta_linear)
-    cta.shared.data[:] = snapshot.shared
-    for tid, blob in snapshot.locals_.items():
-        arena = cta.local_for(int(tid))
-        arena.data[:len(blob)] = blob
     if len(snapshot.warps) != len(cta.warps):
         raise CheckpointError(
             f"CTA {snapshot.cta_linear}: warp count mismatch "
             f"({len(snapshot.warps)} saved, {len(cta.warps)} expected)")
+    if len(snapshot.shared) != len(cta.shared.data):
+        raise CheckpointError(
+            f"CTA {snapshot.cta_linear}: shared memory size mismatch "
+            f"({len(snapshot.shared)} saved, {len(cta.shared.data)} "
+            "expected)")
+    cta.shared.data[:] = snapshot.shared
+    for tid, blob in snapshot.locals_.items():
+        arena = cta.local_for(int(tid))
+        arena.data[:len(blob)] = blob
     for warp, saved in zip(cta.warps, snapshot.warps):
         warp.regs = [dict(regs) for regs in saved.regs]
         warp.simt = SimtStack.restore(saved.simt)

@@ -78,6 +78,12 @@ class CheckpointError(ReproError):
     """Raised on malformed or incompatible checkpoint data."""
 
 
+class ServiceError(ReproError):
+    """Raised by the simulation service layer (:mod:`repro.service`):
+    unknown workloads, unknown job ids, shard-merge failures, or a
+    client asking for the result of a job that failed."""
+
+
 class VerificationError(ReproError):
     """Raised by the ``FunctionalEngine(verify=True)`` launch gate when
     the static verifier reports error-severity findings.

@@ -84,6 +84,43 @@ class RunStats:
     ctas_launched: int = 0
     dynamic_per_opcode: dict[str, int] = field(default_factory=dict)
 
+    def merge(self, other: "RunStats") -> None:
+        """Fold *other* (e.g. one CTA shard's counts) into this record.
+
+        Addition is exact and order-independent, so merging per-shard
+        stats in any order reproduces the single-process totals
+        bit-identically.
+        """
+        self.instructions += other.instructions
+        self.warps_launched += other.warps_launched
+        self.ctas_launched += other.ctas_launched
+        for opcode, count in other.dynamic_per_opcode.items():
+            self.dynamic_per_opcode[opcode] = (
+                self.dynamic_per_opcode.get(opcode, 0) + count)
+
+
+def partition_ctas(num_ctas: int, shards: int) -> list[tuple[int, int]]:
+    """Split ``range(num_ctas)`` into at most *shards* contiguous
+    ``(first, limit)`` ranges, balanced to within one CTA.
+
+    Contiguity matters: global-memory write merging resolves overlapping
+    writes in ascending shard order, which then coincides with ascending
+    CTA order — the order the single-process engine runs them in.
+    """
+    if shards < 1:
+        raise ValueError(f"need at least one shard, got {shards}")
+    shards = min(shards, max(num_ctas, 1))
+    base, extra = divmod(num_ctas, shards)
+    ranges: list[tuple[int, int]] = []
+    start = 0
+    for index in range(shards):
+        count = base + (1 if index < extra else 0)
+        if count == 0:
+            continue
+        ranges.append((start, start + count))
+        start += count
+    return ranges
+
 
 class FunctionalEngine:
     """Executes one kernel launch, warp-lockstep."""
@@ -502,7 +539,24 @@ class FunctionalEngine:
 
     def run(self) -> RunStats:
         """Execute the whole grid in functional simulation mode."""
-        stats = RunStats()
+        return self.run_range(0, self.launch.num_ctas)
+
+    def run_range(self, first_cta: int, limit_cta: int,
+                  stats: RunStats | None = None) -> RunStats:
+        """Execute CTAs ``first_cta .. limit_cta-1`` (a shard of the
+        grid) in functional simulation mode.
+
+        CTAs are independent in functional mode, so a launch partitioned
+        with :func:`partition_ctas` and executed range-by-range — in any
+        process — produces the same architectural state as :meth:`run`,
+        provided CTA write sets do not overlap (and in ascending-range
+        order even when they do).
+        """
+        stats = RunStats() if stats is None else stats
+        if not 0 <= first_cta <= limit_cta <= self.launch.num_ctas:
+            raise ValueError(
+                f"CTA range [{first_cta}, {limit_cta}) outside grid of "
+                f"{self.launch.num_ctas} CTAs")
         tracer = self.tracer
         trace_ctas = tracer.enabled and tracer.cta_spans
         if (self._megaplan is not None and self.on_exec is None
@@ -510,9 +564,12 @@ class FunctionalEngine:
             from repro.functional.megablock import MegaMachine
             with tracer.span(f"megablock:{self.kernel.name}",
                              cat="engine"):
-                MegaMachine(self, self._megaplan).run(stats)
+                MegaMachine(self, self._megaplan).run(
+                    stats, first_cta=first_cta,
+                    num_ctas=limit_cta - first_cta)
             return stats
-        for cta in self.iter_ctas():
+        for cta_linear in range(first_cta, limit_cta):
+            cta = CTAState(self.launch, cta_linear)
             stats.ctas_launched += 1
             stats.warps_launched += len(cta.warps)
             if trace_ctas:

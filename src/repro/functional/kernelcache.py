@@ -22,6 +22,19 @@ performance hint.  ``REPRO_CACHE_DISABLE=1`` turns the whole thing off.
 Module-level counters (``hits``/``misses``/``stores``/``discards``)
 feed the tracer's cache instants and the benchmark's cold-vs-warm
 reporting.
+
+**Concurrency.**  The cache is shared by every worker of the sharded
+simulation service (:mod:`repro.service`), so writes must survive N
+processes storing the same entry at once: temp files carry the writer's
+pid plus a random suffix (no two writers can collide on a name), the
+final ``os.replace`` is atomic, and a *lost* rename race — another
+process published an equivalent entry first and the loser's rename
+fails — is treated as a benign success, never an error.  Long-lived
+pool workers must not trust the environment they inherited at fork
+either: :func:`env_config`/:func:`apply_env_config` let the parent
+snapshot ``REPRO_CACHE_DIR``/``REPRO_CACHE_DISABLE`` at task-submit
+time and re-apply it inside the worker at task start, so an operator
+toggling the env affects new jobs immediately.
 """
 
 from __future__ import annotations
@@ -30,6 +43,10 @@ import hashlib
 import json
 import os
 import tempfile
+
+#: Environment variables that configure the cache; resolved at call
+#: time, never captured at import.
+_ENV_VARS = ("REPRO_CACHE_DIR", "REPRO_CACHE_DISABLE", "XDG_CACHE_HOME")
 
 #: Entry schema version (independent of the plan payload format).
 CACHE_FORMAT = 1
@@ -49,6 +66,29 @@ def reset_counters() -> None:
 
 def enabled() -> bool:
     return os.environ.get("REPRO_CACHE_DISABLE", "") != "1"
+
+
+def env_config() -> dict[str, str | None]:
+    """Snapshot the cache-relevant environment (for worker transport).
+
+    Pool workers are forked once and live for many tasks; their inherited
+    environment goes stale the moment the service operator exports a new
+    ``REPRO_CACHE_DIR`` or toggles ``REPRO_CACHE_DISABLE`` in the parent.
+    The parent snapshots this at task-submit time and ships it with the
+    task; the worker applies it before touching the cache.
+    """
+    return {name: os.environ.get(name) for name in _ENV_VARS}
+
+
+def apply_env_config(config: dict[str, str | None]) -> None:
+    """Re-apply a parent-process :func:`env_config` snapshot (workers
+    call this at task start, not at import/fork time)."""
+    for name in _ENV_VARS:
+        value = config.get(name)
+        if value is None:
+            os.environ.pop(name, None)
+        else:
+            os.environ[name] = value
 
 
 def cache_dir() -> str:
@@ -144,9 +184,44 @@ def load(kernel, tier: str, *, plan_format: int,
     return payload
 
 
+def _entry_is_valid(path: str, fingerprint: str, tier: str,
+                    plan_format: int, analysis_version: int) -> bool:
+    """Non-destructive validity probe (used to classify rename races).
+
+    Unlike :func:`load`, a failed probe must NOT delete the entry: the
+    prober may be racing a concurrent writer whose ``os.replace`` lands
+    between our check and the unlink, and deleting would throw away the
+    winner's good entry.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            entry = json.load(handle)
+    except (OSError, ValueError):
+        return False
+    if not isinstance(entry, dict):
+        return False
+    payload = entry.get("payload")
+    return (entry.get("format") == CACHE_FORMAT
+            and entry.get("plan_format") == plan_format
+            and entry.get("analysis_version") == analysis_version
+            and entry.get("tier") == tier
+            and entry.get("fingerprint") == fingerprint
+            and isinstance(payload, dict)
+            and entry.get("payload_sha256") == _payload_digest(payload))
+
+
 def store(kernel, tier: str, payload: dict, *, plan_format: int,
           analysis_version: int) -> bool:
-    """Atomically persist *payload*; returns False when disabled/failed."""
+    """Atomically persist *payload*; returns False when disabled/failed.
+
+    Safe under concurrent writers: the temp name embeds this process's
+    pid on top of ``mkstemp`` randomness, so two processes compiling the
+    same kernel can never collide on the staging file, and the final
+    ``os.replace`` is atomic (readers see the old entry or the new one,
+    never a half-renamed hybrid).  If the rename itself fails but an
+    equivalent valid entry already exists — another process won the
+    race — the loss is benign and counts as a store all the same.
+    """
     if not enabled():
         return False
     fingerprint = kernel_fingerprint(kernel)
@@ -162,23 +237,28 @@ def store(kernel, tier: str, payload: dict, *, plan_format: int,
     }
     directory = cache_dir()
     path = _entry_path(fingerprint, tier)
+    temp_name = None
     try:
         os.makedirs(directory, exist_ok=True)
-        handle = tempfile.NamedTemporaryFile(
-            "w", dir=directory, suffix=".tmp", delete=False,
-            encoding="utf-8")
-        try:
+        fd, temp_name = tempfile.mkstemp(
+            dir=directory, prefix=f".{os.getpid()}-", suffix=".tmp")
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
             json.dump(entry, handle)
-            handle.close()
-            os.replace(handle.name, path)
-        except BaseException:
-            handle.close()
+        os.replace(temp_name, path)
+        temp_name = None
+    except OSError:
+        if temp_name is not None:
             try:
-                os.unlink(handle.name)
+                os.unlink(temp_name)
             except OSError:
                 pass
-            raise
-    except OSError:
+        if _entry_is_valid(path, fingerprint, tier, plan_format,
+                           analysis_version):
+            # Lost the rename race to a process that published the same
+            # (fingerprint, tier, versions) entry: the cache holds what
+            # we wanted to write, so the store succeeded in effect.
+            _COUNTERS["stores"] += 1
+            return True
         return False
     _COUNTERS["stores"] += 1
     return True

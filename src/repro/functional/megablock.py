@@ -855,17 +855,24 @@ class MegaMachine:
         self.bailouts = 0
 
     # -- public entry ---------------------------------------------------
-    def run(self, stats) -> None:
+    def run(self, stats, first_cta: int = 0,
+            num_ctas: int | None = None) -> None:
+        """Run CTAs ``first_cta .. first_cta+num_ctas-1`` (the whole
+        grid by default).  Shard executors pass a subrange; chunking is
+        relative to the range, so a shard behaves exactly like a small
+        grid that happens to start at ``first_cta``."""
         launch = self.launch
         tpb = launch.threads_per_block
         nct_chunk = max(1, CHUNK_THREADS // tpb)
-        total = launch.num_ctas
-        start = 0
+        if num_ctas is None:
+            num_ctas = launch.num_ctas - first_cta
+        limit = first_cta + num_ctas
+        start = first_cta
         # Casting f64->f32 with overflow emits RuntimeWarnings the
         # scalar tier never sees; suppress for the whole vector run.
         with np.errstate(all="ignore"):
-            while start < total:
-                nct = min(nct_chunk, total - start)
+            while start < limit:
+                nct = min(nct_chunk, limit - start)
                 stats.ctas_launched += nct
                 stats.warps_launched += nct * launch.warps_per_block
                 self._run_chunk(start, nct, stats)

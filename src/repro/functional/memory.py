@@ -67,6 +67,14 @@ class GlobalMemory:
     def allocations(self) -> dict[int, int]:
         return dict(self._allocations)
 
+    def iter_pages(self):
+        """``(page_id, page bytearray)`` pairs of every touched page.
+
+        The shard executor diffs a worker's final pages against the
+        image it started from to extract byte-exact write runs.
+        """
+        return self._pages.items()
+
     # -- byte access ---------------------------------------------------
     def _page(self, page_id: int) -> bytearray:
         page = self._pages.get(page_id)

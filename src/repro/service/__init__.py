@@ -1,0 +1,39 @@
+"""The sharded simulation service.
+
+Functional-mode CTAs are independent, which makes the simulator
+embarrassingly parallel at two levels — and this package exploits both:
+
+* :mod:`repro.service.pool` — a ``multiprocessing`` **CTA shard
+  executor**: one kernel launch is partitioned into contiguous CTA
+  ranges, each range runs in a worker process, and global-memory writes
+  plus instruction/opcode counters merge back bit-identically to a
+  single-process run.  :class:`ShardedFunctionalBackend` plugs the
+  executor into :class:`repro.cuda.runtime.CudaRuntime` as a drop-in
+  backend.
+* :mod:`repro.service.jobs` — an **async job queue**: ``submit``
+  returns a job id immediately, workloads execute on a worker pool, and
+  results are memoized on a structural key so repeat submissions are
+  cache hits.
+* :mod:`repro.service.rest` — a stdlib-only **REST front door**
+  (``repro-serve``) over the job queue, with
+  :mod:`repro.service.client` as its Python client.
+
+Many concurrent sweeps share one warm kernel/compile cache
+(:mod:`repro.functional.kernelcache`), which is what makes thousands of
+memoized jobs cheap — the SimNet-style sweep economics the ROADMAP
+calls the "millions of users" path.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.jobs import JobQueue, job_key
+from repro.service.pool import (
+    ShardExecutor, ShardedFunctionalBackend, ShardedRunResult)
+
+__all__ = [
+    "JobQueue",
+    "ServiceClient",
+    "ShardExecutor",
+    "ShardedFunctionalBackend",
+    "ShardedRunResult",
+    "job_key",
+]

@@ -1,0 +1,106 @@
+"""Python client for the ``repro-serve`` REST service.
+
+Pure stdlib (``urllib``); mirrors the route table in
+:mod:`repro.service.rest`::
+
+    client = ServiceClient("http://127.0.0.1:8000")
+    job = client.submit("conv", {"algos": ["IMPLICIT_GEMM"]}, seed=7)
+    result = client.result(job["job_id"], timeout=120)
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.errors import ServiceError
+
+
+class ServiceClient:
+    """Thin HTTP wrapper; every method returns the decoded JSON body."""
+
+    def __init__(self, base_url: str, *, request_timeout: float = 60.0
+                 ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.request_timeout = request_timeout
+
+    # -- transport ------------------------------------------------------
+    def _request(self, method: str, path: str, body: dict | None = None,
+                 *, timeout: float | None = None) -> dict:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(
+                    request, timeout=timeout or self.request_timeout) as resp:
+                return json.loads(resp.read() or b"{}")
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read() or b"{}").get("error", "")
+            except ValueError:
+                detail = ""
+            raise ServiceError(
+                f"{method} {path} failed with HTTP {exc.code}"
+                + (f": {detail}" if detail else "")) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: "
+                f"{exc.reason}") from exc
+
+    # -- API ------------------------------------------------------------
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/api/stats")
+
+    def workloads(self) -> list[str]:
+        return self._request("GET", "/api/workloads")["workloads"]
+
+    def submit(self, workload: str, config: dict | None = None,
+               seed: int = 0) -> dict:
+        """Submit a job; returns the job record (``job_id``, ``state``,
+        ``memo_hit`` and — for instant memo hits — ``result``)."""
+        return self._request("POST", "/api/jobs", {
+            "workload": workload,
+            "config": config or {},
+            "seed": seed,
+        })
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/api/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/api/jobs/{job_id}")
+
+    def result(self, job_id: str, *, timeout: float = 120.0,
+               poll_interval: float = 0.25) -> dict:
+        """Block until *job_id* finishes and return its result payload.
+
+        Uses the server's blocking result endpoint in slices so one hung
+        request cannot eat the whole timeout budget.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ServiceError(
+                    f"timed out after {timeout:.0f}s waiting for job "
+                    f"{job_id}")
+            slice_s = min(remaining, 10.0)
+            try:
+                payload = self._request(
+                    "GET", f"/api/jobs/{job_id}/result?timeout_s={slice_s}",
+                    timeout=slice_s + self.request_timeout)
+            except ServiceError as exc:
+                if "HTTP 408" in str(exc):
+                    time.sleep(poll_interval)
+                    continue
+                raise
+            return payload["result"]

@@ -1,0 +1,353 @@
+"""Async job queue with structural memoization.
+
+``submit(workload, config, seed) -> job_id`` returns immediately; jobs
+run on a worker pool and are observed through ``status``/``poll`` and a
+blocking ``result``.  Results are memoized on a **structural key** —
+the SHA-256 of the canonicalized ``(workload, config, seed)`` triple —
+so a repeat submission is a cache hit that completes instantly, and
+concurrent submissions of the same key coalesce onto one execution.
+This is the sweep-economics shape SimNet motivates: a parameter sweep
+resubmitting thousands of near-duplicate simulations pays for each
+distinct configuration once.
+
+Workloads are looked up in a registry of named runners.  Each runner
+builds a fresh :class:`~repro.cuda.runtime.CudaRuntime` per execution
+(jobs never share mutable simulator state; what they *do* share is the
+process-wide warm kernel/compile cache) and returns a JSON-able result:
+an allocation digest, instruction totals and a per-kernel launch table.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ServiceError
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+ERROR = "error"
+
+
+def job_key(workload: str, config: dict | None, seed: int) -> str:
+    """Structural memo key: equal inputs -> equal key, always."""
+    canonical = json.dumps(
+        {"workload": workload, "config": config or {}, "seed": seed},
+        sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Workload runners
+# ---------------------------------------------------------------------------
+def _digest_allocations(runtime) -> str:
+    hasher = hashlib.sha256()
+    gm = runtime.global_mem
+    for base in sorted(gm.allocations):
+        hasher.update(base.to_bytes(8, "little"))
+        hasher.update(gm.read(base, gm.allocations[base]))
+    return hasher.hexdigest()
+
+
+def _make_backend(config: dict):
+    """Build the execution backend a job asked for.
+
+    ``config["shards"]`` switches the launch path to the multiprocessing
+    CTA fan-out; otherwise the in-process tier named by
+    ``config["fast_mode"]`` (default megablock — the fast sweep tier).
+    """
+    from repro.cuda.runtime import FunctionalBackend
+    from repro.service.pool import ShardedFunctionalBackend
+    fast_mode = config.get("fast_mode", "megablock")
+    shards = config.get("shards")
+    if shards:
+        return ShardedFunctionalBackend(int(shards), fast_mode=fast_mode)
+    return FunctionalBackend(fast_mode=fast_mode)
+
+
+def _finish(runtime, backend, workload: str, extra: dict) -> dict:
+    runtime.synchronize()
+    kernels: dict[str, int] = {}
+    for profile in runtime.profiles:
+        kernels[profile.name] = kernels.get(profile.name, 0) + 1
+    result = {
+        "workload": workload,
+        "digest": _digest_allocations(runtime),
+        "instructions": sum(p.result.instructions
+                            for p in runtime.profiles),
+        "launches": len(runtime.profiles),
+        "kernels": kernels,
+    }
+    result.update(extra)
+    if hasattr(backend, "close"):
+        backend.close()
+    return result
+
+
+def run_saxpy(config: dict, seed: int) -> dict:
+    """A tiny single-kernel job (the smoke-test workload)."""
+    from repro.cuda.runtime import CudaRuntime
+    from repro.ptx.builder import PTXBuilder, f32
+    n = int(config.get("n", 256))
+    scale = float(config.get("scale", 2.0))
+    backend = _make_backend(config)
+    rt = CudaRuntime(backend=backend)
+    b = PTXBuilder("saxpy", [("xs", "u64"), ("ys", "u64"), ("n", "u32")])
+    xs = b.ld_param("u64", "xs")
+    ys = b.ld_param("u64", "ys")
+    count = b.ld_param("u32", "n")
+    tid = b.global_tid_x()
+    b.guard_tid_below(tid, count)
+    x = b.reg("f32")
+    y = b.reg("f32")
+    b.ins("ld.global.f32", x, f"[{b.elem_addr(xs, tid)}]")
+    b.ins("ld.global.f32", y, f"[{b.elem_addr(ys, tid)}]")
+    b.ins("fma.rn.f32", y, x, f32(scale), y)
+    b.ins("st.global.f32", f"[{b.elem_addr(ys, tid)}]", y)
+    rt.load_ptx(b.build(), "service_saxpy")
+    rng = np.random.default_rng(seed)
+    xs_ptr = rt.upload_f32(rng.random(n, dtype=np.float32))
+    ys_ptr = rt.upload_f32(rng.random(n, dtype=np.float32))
+    rt.launch("saxpy", ((n + 63) // 64, 1, 1), (64, 1, 1),
+              [xs_ptr, ys_ptr, n])
+    return _finish(rt, backend, "saxpy", {"n": n})
+
+
+def run_conv(config: dict, seed: int) -> dict:
+    """conv_sample forward convolutions over the requested algorithms."""
+    from repro.cuda.runtime import CudaRuntime
+    from repro.cudnn import ConvFwdAlgo
+    from repro.workloads.conv_sample import ConvSample, ConvSampleConfig
+    backend = _make_backend(config)
+    rt = CudaRuntime(backend=backend)
+    geometry = {name: int(config[name]) for name in
+                ("batch", "channels", "height", "width", "filters")
+                if name in config}
+    sample = ConvSample(rt, ConvSampleConfig(seed=seed, **geometry))
+    algo_names = config.get("algos", ["IMPLICIT_GEMM"])
+    try:
+        algos = [ConvFwdAlgo[name] for name in algo_names]
+    except KeyError as exc:
+        raise ServiceError(f"unknown conv algorithm {exc}") from exc
+    for algo in algos:
+        sample.run_forward(algo)
+    return _finish(rt, backend, "conv", {"algos": list(algo_names)})
+
+
+def run_lenet(config: dict, seed: int) -> dict:
+    """Reduced LeNet forward pass (the paper's MNIST net at CI scale)."""
+    from repro.cuda.runtime import CudaRuntime
+    from repro.cudnn import Cudnn, build_application_binary
+    from repro.nn.lenet import LeNet, LeNetConfig
+    backend = _make_backend(config)
+    rt = CudaRuntime(backend=backend)
+    rt.load_binary(build_application_binary())
+    lenet_config = LeNetConfig.reduced()
+    model = LeNet(Cudnn(rt), lenet_config)
+    rng = np.random.default_rng(seed)
+    images = rng.standard_normal(
+        (int(config.get("images", 1)), lenet_config.in_channels,
+         lenet_config.input_hw, lenet_config.input_hw)
+        ).astype(np.float32)
+    logits = model.forward(images)
+    return _finish(rt, backend, "lenet",
+                   {"logits_sha256": hashlib.sha256(
+                       logits.tobytes()).hexdigest()})
+
+
+#: Named workloads a job may submit.
+REGISTRY = {
+    "saxpy": run_saxpy,
+    "conv": run_conv,
+    "lenet": run_lenet,
+}
+
+
+# ---------------------------------------------------------------------------
+# The queue
+# ---------------------------------------------------------------------------
+@dataclass
+class Job:
+    """One submission's full lifecycle record."""
+
+    job_id: str
+    key: str
+    workload: str
+    config: dict
+    seed: int
+    state: str = QUEUED
+    memo_hit: bool = False
+    result: dict | None = None
+    error: str | None = None
+    submitted_at: float = 0.0
+    finished_at: float | None = None
+    done: threading.Event = field(default_factory=threading.Event,
+                                  repr=False)
+
+    def to_dict(self, *, with_result: bool = True) -> dict:
+        record = {
+            "job_id": self.job_id,
+            "key": self.key,
+            "workload": self.workload,
+            "config": self.config,
+            "seed": self.seed,
+            "state": self.state,
+            "memo_hit": self.memo_hit,
+            "submitted_at": self.submitted_at,
+            "finished_at": self.finished_at,
+        }
+        if self.error is not None:
+            record["error"] = self.error
+        if with_result and self.result is not None:
+            record["result"] = self.result
+        return record
+
+
+class JobQueue:
+    """Thread-pooled async execution with memoized results.
+
+    Three submission outcomes, all returning instantly:
+
+    * **memo hit** — the key has a completed result; the new job is
+      born ``done`` with that result and ``memo_hit=True``.
+    * **coalesced** — the key is queued/running right now; the new job
+      completes when the leader does (also ``memo_hit=True``; the
+      simulation runs once).
+    * **fresh** — the job is queued for a worker thread.
+    """
+
+    def __init__(self, workers: int = 2,
+                 registry: dict | None = None) -> None:
+        self.registry = dict(registry or REGISTRY)
+        self._lock = threading.Lock()
+        self._jobs: dict[str, Job] = {}
+        self._order: list[str] = []
+        self._memo: dict[str, dict] = {}
+        self._leaders: dict[str, str] = {}     # key -> leader job_id
+        self._followers: dict[str, list[str]] = {}
+        self._seq = itertools.count(1)
+        self._counters = {"submitted": 0, "executed": 0,
+                          "memo_hits": 0, "coalesced": 0, "errors": 0}
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-job")
+
+    # -- submission -----------------------------------------------------
+    def submit(self, workload: str, config: dict | None = None,
+               seed: int = 0) -> Job:
+        if workload not in self.registry:
+            raise ServiceError(
+                f"unknown workload {workload!r}; "
+                f"known: {sorted(self.registry)}")
+        config = dict(config or {})
+        key = job_key(workload, config, seed)
+        with self._lock:
+            job = Job(job_id=f"job-{next(self._seq):06d}", key=key,
+                      workload=workload, config=config, seed=int(seed),
+                      submitted_at=time.time())
+            self._jobs[job.job_id] = job
+            self._order.append(job.job_id)
+            self._counters["submitted"] += 1
+            cached = self._memo.get(key)
+            if cached is not None:
+                job.state = DONE
+                job.memo_hit = True
+                job.result = cached
+                job.finished_at = time.time()
+                job.done.set()
+                self._counters["memo_hits"] += 1
+                return job
+            leader = self._leaders.get(key)
+            if leader is not None:
+                job.memo_hit = True
+                self._followers.setdefault(key, []).append(job.job_id)
+                self._counters["coalesced"] += 1
+                return job
+            self._leaders[key] = job.job_id
+        self._executor.submit(self._run, job.job_id)
+        return job
+
+    # -- execution ------------------------------------------------------
+    def _run(self, job_id: str) -> None:
+        job = self._jobs[job_id]
+        with self._lock:
+            job.state = RUNNING
+        try:
+            runner = self.registry[job.workload]
+            result = runner(job.config, job.seed)
+        except Exception as exc:  # a failed job must never kill a worker
+            self._complete(job, error=f"{type(exc).__name__}: {exc}")
+        else:
+            self._complete(job, result=result)
+
+    def _complete(self, job: Job, *, result: dict | None = None,
+                  error: str | None = None) -> None:
+        now = time.time()
+        with self._lock:
+            followers = self._followers.pop(job.key, [])
+            self._leaders.pop(job.key, None)
+            closing = [job] + [self._jobs[jid] for jid in followers]
+            for record in closing:
+                record.finished_at = now
+                if error is None:
+                    record.state = DONE
+                    record.result = result
+                else:
+                    record.state = ERROR
+                    record.error = error
+            if error is None:
+                self._memo[job.key] = result
+                self._counters["executed"] += 1
+            else:
+                self._counters["errors"] += 1 + len(followers)
+        for record in closing:
+            record.done.set()
+
+    # -- observation ----------------------------------------------------
+    def _get(self, job_id: str) -> Job:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise ServiceError(f"unknown job id {job_id!r}")
+        return job
+
+    def status(self, job_id: str) -> dict:
+        """Full job record (result included once done)."""
+        return self._get(job_id).to_dict()
+
+    def poll(self, job_id: str) -> str:
+        """Just the lifecycle state, non-blocking."""
+        return self._get(job_id).state
+
+    def result(self, job_id: str, timeout: float | None = None) -> dict:
+        """Block until the job finishes; raise on error or timeout."""
+        job = self._get(job_id)
+        if not job.done.wait(timeout):
+            raise TimeoutError(
+                f"job {job_id} still {job.state} after {timeout}s")
+        if job.state == ERROR:
+            raise ServiceError(f"job {job_id} failed: {job.error}")
+        assert job.result is not None
+        return job.result
+
+    def jobs(self) -> list[dict]:
+        """All submissions, oldest first, without result payloads."""
+        return [self._jobs[jid].to_dict(with_result=False)
+                for jid in self._order]
+
+    def stats(self) -> dict:
+        with self._lock:
+            counters = dict(self._counters)
+        counters["memo_entries"] = len(self._memo)
+        counters["jobs"] = len(self._jobs)
+        return counters
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._executor.shutdown(wait=wait)

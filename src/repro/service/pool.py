@@ -1,0 +1,427 @@
+"""Parallel CTA fan-out: one launch, many worker processes.
+
+Functional mode executes CTAs independently (the property the paper's
+checkpointing already relies on), so a launch's CTA range can be
+partitioned into contiguous shards and farmed out to a process pool:
+
+1. the parent snapshots everything a shard needs — the kernel AST
+   (stripped of unpicklable compiled-tier caches), param/const blocks,
+   the global-memory image, quirks — into a :class:`ShardTask`;
+2. each worker rebuilds a :class:`LaunchContext`, runs its CTA range
+   through the ordinary :class:`FunctionalEngine` tiers, and reports a
+   :class:`ShardResult`: byte-exact global-memory *write* runs (diffed
+   against the incoming image), merged-ready :class:`RunStats` counts,
+   optional per-CTA register state in the checkpoint layer's
+   :class:`~repro.checkpoint.state.CTASnapshot` format, and optional
+   trace events;
+3. the parent applies write runs in ascending shard order (ascending
+   CTA order — the order the single-process engine runs them in), sums
+   the counters, and merges worker trace events onto per-shard tracks.
+
+The merge is bit-identical to a single-process run for kernels whose
+CTAs do not write the same byte with *different* values (racy kernels
+have no deterministic single-process answer either); instruction and
+per-opcode counts are exact sums and always match.
+
+Workers re-apply the parent's kernel-cache environment at task start
+(:func:`repro.functional.kernelcache.apply_env_config`), so long-lived
+pool workers honour ``REPRO_CACHE_DIR``/``REPRO_CACHE_DISABLE`` changes
+made in the parent after the pool was forked.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.checkpoint.state import CTASnapshot, capture_cta
+from repro.errors import ServiceError
+from repro.functional import kernelcache
+from repro.functional.executor import (
+    FunctionalEngine, RunStats, partition_ctas)
+from repro.functional.memory import (
+    PAGE_SIZE, CudaArray, GlobalMemory, LinearMemory)
+from repro.functional.state import CTAState, LaunchContext
+from repro.ptx.ast import Kernel
+from repro.quirks import FIXED, LegacyQuirks
+from repro.trace.tracer import NULL_TRACER, TraceEvent, shard_tid
+
+#: Fallback worker count when none is requested.
+DEFAULT_SHARDS = max(1, min(8, os.cpu_count() or 1))
+
+
+def _transport_kernel(kernel: Kernel) -> Kernel:
+    """A picklable copy of *kernel*.
+
+    The live object accumulates compiled-tier caches (``_fastpath``
+    closures, superblocks, megablock plans) and a backref to its whole
+    module; none of those survive a pickle, and workers recompile their
+    own tiers anyway (warm, via the disk kernel cache).  The
+    reconvergence map *is* carried over so workers skip the CFG pass.
+    """
+    clean = Kernel(
+        name=kernel.name,
+        params=list(kernel.params),
+        body=list(kernel.body),
+        labels=dict(kernel.labels),
+        shared_vars=list(kernel.shared_vars),
+        local_vars=list(kernel.local_vars),
+        reg_decls=dict(kernel.reg_decls),
+        module=None,
+        reconvergence=dict(kernel.reconvergence),
+    )
+    return clean
+
+
+@dataclass
+class ShardTask:
+    """Everything one worker needs to run a contiguous CTA range."""
+
+    kernel: Kernel
+    grid_dim: tuple[int, int, int]
+    block_dim: tuple[int, int, int]
+    param_bytes: bytes
+    const_bytes: bytes
+    module_symbols: dict[str, tuple[str, int]]
+    textures: dict[str, tuple[int, int, bytes]]
+    quirks: LegacyQuirks
+    memory: dict
+    first_cta: int
+    limit_cta: int
+    fast_mode: str = "superblock"
+    capture_registers: bool = False
+    trace: bool = False
+    clock: int = 0
+    #: Parent-process cache env, re-applied at task start (workers must
+    #: not trust the environment they inherited at fork).
+    cache_env: dict = field(default_factory=dict)
+
+
+@dataclass
+class ShardResult:
+    """What one worker sends back for its CTA range."""
+
+    first_cta: int
+    limit_cta: int
+    instructions: int
+    warps_launched: int
+    ctas_launched: int
+    per_opcode: dict[str, int]
+    clock_delta: int
+    #: Byte-exact runs the shard wrote: ``(absolute addr, payload)``.
+    writes: list[tuple[int, bytes]]
+    snapshots: list[CTASnapshot] = field(default_factory=list)
+    events: list[TraceEvent] = field(default_factory=list)
+    cache_counters: dict = field(default_factory=dict)
+    pid: int = 0
+
+
+@dataclass
+class ShardedRunResult:
+    """The merged outcome of one fanned-out launch."""
+
+    stats: RunStats
+    shard_ranges: list[tuple[int, int]]
+    #: cta_linear -> final-state snapshot (``capture_registers`` only).
+    snapshots: dict[int, CTASnapshot] = field(default_factory=dict)
+    worker_pids: list[int] = field(default_factory=list)
+
+
+def _diff_writes(old: bytes, new: bytes, base_addr: int,
+                 out: list[tuple[int, bytes]]) -> None:
+    """Append the exact byte runs where *new* differs from *old*.
+
+    Runs are exact — no gap coalescing.  An unchanged byte inside a gap
+    still holds the *initial* value, and blindly rewriting it in the
+    parent would clobber another shard's write to the same location.
+    """
+    a = np.frombuffer(old, dtype=np.uint8)
+    b = np.frombuffer(new, dtype=np.uint8)
+    changed = np.flatnonzero(a != b)
+    if changed.size == 0:
+        return
+    breaks = np.flatnonzero(np.diff(changed) > 1)
+    starts = np.concatenate(([0], breaks + 1))
+    ends = np.concatenate((breaks, [changed.size - 1]))
+    for s, e in zip(starts, ends):
+        lo = int(changed[s])
+        hi = int(changed[e]) + 1
+        out.append((base_addr + lo, new[lo:hi]))
+
+
+def _execute_shard(task: ShardTask) -> ShardResult:
+    """Worker entry point: run CTAs ``[first_cta, limit_cta)``."""
+    kernelcache.apply_env_config(task.cache_env)
+    kernelcache.reset_counters()
+    global_mem = GlobalMemory()
+    global_mem.restore(task.memory)
+    param_mem = LinearMemory(len(task.param_bytes))
+    param_mem.data[:] = task.param_bytes
+    const_mem = LinearMemory(len(task.const_bytes))
+    const_mem.data[:] = task.const_bytes
+    textures = {}
+    for name, (width, height, raw) in task.textures.items():
+        array = CudaArray(width, height)
+        array.upload(raw)
+        textures[name] = array
+    launch = LaunchContext(
+        kernel=task.kernel, grid_dim=task.grid_dim,
+        block_dim=task.block_dim, global_mem=global_mem,
+        param_mem=param_mem, const_mem=const_mem,
+        module_symbols=task.module_symbols, textures=textures,
+        quirks=task.quirks, clock=task.clock)
+
+    tracer = NULL_TRACER
+    if task.trace:
+        from repro.trace.tracer import Tracer
+        tracer = Tracer(process_name=f"shard-{task.first_cta}",
+                        cta_spans=True)
+        tracer.begin(f"shard ctas {task.first_cta}..{task.limit_cta - 1}",
+                     cat="shard")
+    engine = FunctionalEngine(launch, fast_mode=task.fast_mode,
+                              tracer=tracer)
+    stats = RunStats()
+    snapshots: list[CTASnapshot] = []
+    if task.capture_registers:
+        # Per-lane register files only exist on the scalar path; drive
+        # CTAs one by one and snapshot each in the checkpoint format.
+        for cta_linear in range(task.first_cta, task.limit_cta):
+            cta = CTAState(launch, cta_linear)
+            stats.ctas_launched += 1
+            stats.warps_launched += len(cta.warps)
+            engine.run_cta(cta, stats)
+            snapshots.append(capture_cta(cta))
+    else:
+        engine.run_range(task.first_cta, task.limit_cta, stats)
+
+    writes: list[tuple[int, bytes]] = []
+    initial_pages = task.memory["pages"]
+    zero_page = bytes(PAGE_SIZE)
+    for page_id, page in sorted(global_mem.iter_pages()):
+        old = initial_pages.get(page_id, zero_page)
+        new = bytes(page)
+        if old != new:
+            _diff_writes(old, new, page_id * PAGE_SIZE, writes)
+
+    events: list[TraceEvent] = []
+    if task.trace:
+        tracer.finish()
+        events = list(tracer.events)
+    return ShardResult(
+        first_cta=task.first_cta, limit_cta=task.limit_cta,
+        instructions=stats.instructions,
+        warps_launched=stats.warps_launched,
+        ctas_launched=stats.ctas_launched,
+        per_opcode=dict(stats.dynamic_per_opcode),
+        clock_delta=launch.clock - task.clock,
+        writes=writes, snapshots=snapshots, events=events,
+        cache_counters=kernelcache.counters(), pid=os.getpid())
+
+
+class ShardExecutor:
+    """Owns a worker pool and fans launches across it.
+
+    The pool is created lazily and reused across launches, so a
+    multi-kernel workload (LeNet forward is ~a dozen launches) pays the
+    fork cost once.  Use as a context manager, or call :meth:`close`.
+    """
+
+    def __init__(self, shards: int | None = None, *,
+                 fast_mode: str = "superblock",
+                 capture_registers: bool = False,
+                 trace: bool = False,
+                 mp_context: str | None = None) -> None:
+        self.shards = shards or DEFAULT_SHARDS
+        self.fast_mode = fast_mode
+        self.capture_registers = capture_registers
+        self.trace = trace
+        self._ctx_name = mp_context
+        self._pool = None
+
+    # -- pool lifecycle -------------------------------------------------
+    def _context(self):
+        if self._ctx_name is not None:
+            return multiprocessing.get_context(self._ctx_name)
+        methods = multiprocessing.get_all_start_methods()
+        return multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn")
+
+    def _get_pool(self):
+        if self._pool is None:
+            self._pool = self._context().Pool(processes=self.shards)
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- execution ------------------------------------------------------
+    def execute(self, launch: LaunchContext, *,
+                shards: int | None = None,
+                tracer=None) -> ShardedRunResult:
+        """Fan *launch* out, merge, and mutate *launch* in place (global
+        memory, clock) exactly as a single-process run would."""
+        shards = shards or self.shards
+        ranges = partition_ctas(launch.num_ctas, shards)
+        if not ranges:
+            return ShardedRunResult(stats=RunStats(), shard_ranges=[])
+        kernel = _transport_kernel(launch.kernel)
+        if not kernel.reconvergence:
+            # Resolve reconvergence once in the parent so every worker
+            # skips the CFG pass (mirrors the warm kernel-cache path).
+            from repro.functional.cfg import prepare_kernel
+            if any(i.opcode == "bra" and i.pred is not None
+                   for i in kernel.body):
+                prepare_kernel(kernel)
+                launch.kernel.reconvergence = dict(kernel.reconvergence)
+        memory = launch.global_mem.snapshot()
+        textures = self._snapshot_textures(launch)
+        cache_env = kernelcache.env_config()
+        tasks = [ShardTask(
+            kernel=kernel, grid_dim=launch.grid_dim,
+            block_dim=launch.block_dim,
+            param_bytes=bytes(launch.param_mem.data),
+            const_bytes=bytes(launch.const_mem.data),
+            module_symbols=dict(launch.module_symbols),
+            textures=textures, quirks=launch.quirks, memory=memory,
+            first_cta=first, limit_cta=limit,
+            fast_mode=self.fast_mode,
+            capture_registers=self.capture_registers,
+            trace=self.trace, clock=launch.clock,
+            cache_env=cache_env,
+        ) for first, limit in ranges]
+        results = self._get_pool().map(_execute_shard, tasks)
+        return self._merge(launch, ranges, results, tracer)
+
+    @staticmethod
+    def _snapshot_textures(launch: LaunchContext
+                           ) -> dict[str, tuple[int, int, bytes]]:
+        """Serialize the cudaArrays this kernel's tex instructions name.
+
+        ``launch.textures`` may be a plain dict or the runtime's
+        late-binding :class:`~repro.cuda.textures.TextureView`; both
+        resolve by name through ``.get``, so the picklable snapshot is
+        driven off the texture symbols the kernel body references.
+        """
+        bindings = launch.textures
+        if bindings is None:
+            return {}
+        snapshot: dict[str, tuple[int, int, bytes]] = {}
+        for inst in launch.kernel.body:
+            if inst.opcode != "tex":
+                continue
+            mem = inst.operands[1]
+            if mem.name in snapshot:
+                continue
+            array = bindings.get(mem.name)
+            if array is not None:
+                snapshot[mem.name] = (array.width, array.height,
+                                      array.download())
+        return snapshot
+
+    def _merge(self, launch: LaunchContext,
+               ranges: list[tuple[int, int]],
+               results: list[ShardResult],
+               tracer) -> ShardedRunResult:
+        results.sort(key=lambda r: r.first_cta)
+        covered = [(r.first_cta, r.limit_cta) for r in results]
+        if covered != sorted(ranges):
+            raise ServiceError(
+                f"shard merge: workers covered {covered}, "
+                f"expected {sorted(ranges)}")
+        stats = RunStats()
+        merged = ShardedRunResult(stats=stats, shard_ranges=covered)
+        global_mem = launch.global_mem
+        if tracer is None:
+            tracer = NULL_TRACER
+        base_ts = tracer.clock.now if tracer.enabled else 0.0
+        for index, result in enumerate(results):
+            shard = RunStats(
+                instructions=result.instructions,
+                warps_launched=result.warps_launched,
+                ctas_launched=result.ctas_launched,
+                dynamic_per_opcode=result.per_opcode)
+            stats.merge(shard)
+            launch.clock += result.clock_delta
+            # Ascending shard order == ascending CTA order: on the rare
+            # overlapping write, the later CTA wins, as it would have
+            # in the single-process loop.
+            for addr, payload in result.writes:
+                global_mem.write(addr, payload)
+            for snapshot in result.snapshots:
+                merged.snapshots[snapshot.cta_linear] = snapshot
+            merged.worker_pids.append(result.pid)
+            if tracer.enabled and result.events:
+                first, limit = covered[index]
+                tracer.ingest(
+                    result.events, tid=shard_tid(index),
+                    track_name=f"shard {index} (ctas {first}..{limit - 1})",
+                    ts_offset=base_ts)
+        return merged
+
+
+class ShardedFunctionalBackend:
+    """A :class:`~repro.cuda.runtime.CudaRuntime` backend that fans
+    every launch across a :class:`ShardExecutor` worker pool.
+
+    Drop-in for :class:`~repro.cuda.runtime.FunctionalBackend`: the
+    whole workload (LeNet forward, conv_sample, ...) runs unchanged,
+    each kernel launch transparently sharded.  Tiny grids are not worth
+    a round-trip through the pool, so launches with fewer CTAs than
+    ``inline_below`` run in-process instead.
+    """
+
+    name = "sharded-functional"
+
+    def __init__(self, shards: int | None = None, *,
+                 fast_mode: str = "superblock",
+                 inline_below: int = 0,
+                 trace_shards: bool = False) -> None:
+        self.executor = ShardExecutor(shards, fast_mode=fast_mode,
+                                      trace=trace_shards)
+        self.fast_mode = fast_mode
+        self.inline_below = inline_below
+        #: Set by the owning CudaRuntime when tracing is on.
+        self.tracer = NULL_TRACER
+        #: (kernel name, shard count) per fanned-out launch, for tests
+        #: and the service stats endpoint.
+        self.fanouts: list[tuple[str, int]] = []
+
+    def execute(self, launch: LaunchContext):
+        from repro.cuda.runtime import KernelRunResult
+        tracer = self.tracer
+        if launch.num_ctas < max(self.inline_below, 1):
+            engine = FunctionalEngine(launch, fast_mode=self.fast_mode,
+                                      tracer=tracer)
+            stats = engine.run()
+        else:
+            result = self.executor.execute(launch, tracer=tracer)
+            stats = result.stats
+            self.fanouts.append(
+                (launch.kernel.name, len(result.shard_ranges)))
+        if tracer.enabled:
+            tracer.complete(
+                f"sharded:{launch.kernel.name}",
+                ts=tracer.clock.now, dur=float(stats.instructions),
+                cat="engine",
+                args={"tier": self.fast_mode,
+                      "shards": (self.fanouts[-1][1]
+                                 if self.fanouts else 1),
+                      "instructions": stats.instructions})
+        return KernelRunResult(
+            instructions=stats.instructions, cycles=0,
+            stats={"per_opcode": stats.dynamic_per_opcode})
+
+    def close(self) -> None:
+        self.executor.close()

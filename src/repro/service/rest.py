@@ -1,0 +1,200 @@
+"""Stdlib-only REST front door for the job queue (``repro-serve``).
+
+No framework, no dependencies: :class:`http.server.ThreadingHTTPServer`
+plus JSON bodies.  The API surface:
+
+=======  ==========================  =====================================
+Method   Path                        Meaning
+=======  ==========================  =====================================
+GET      ``/healthz``                liveness probe
+GET      ``/api/stats``              queue + kernel-cache counters
+GET      ``/api/workloads``          registered workload names
+POST     ``/api/jobs``               submit ``{workload, config?, seed?}``
+GET      ``/api/jobs``               all jobs (no result payloads)
+GET      ``/api/jobs/<id>``          one job record (result when done)
+GET      ``/api/jobs/<id>/result``   block up to ``?timeout_s=`` for it
+=======  ==========================  =====================================
+
+``POST /api/jobs`` answers ``202 Accepted`` with the job record; a
+memoized or coalesced submission comes back with ``memo_hit: true``
+(and, for a memo hit, ``state: "done"`` plus the cached result —
+the second identical submission never simulates anything).
+
+Run it::
+
+    repro-serve --port 8000 --workers 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.errors import ServiceError
+from repro.functional import kernelcache
+from repro.service.jobs import JobQueue
+
+_JOB_PATH = re.compile(r"^/api/jobs/([A-Za-z0-9_.-]+)(/result)?$")
+
+#: Cap on blocking-result waits so a stuck client cannot pin a handler
+#: thread forever.
+MAX_RESULT_WAIT_S = 300.0
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """One request; the queue lives on the server object."""
+
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -------------------------------------------------------
+    @property
+    def queue(self) -> JobQueue:
+        return self.server.queue  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:
+        if getattr(self.server, "quiet", False):
+            return
+        sys.stderr.write("[repro-serve] %s\n" % (format % args))
+
+    def _send(self, code: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, code: int, message: str) -> None:
+        self._send(code, {"error": message})
+
+    def _read_json(self) -> dict | None:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            raw = self.rfile.read(length) if length else b"{}"
+            body = json.loads(raw or b"{}")
+        except (ValueError, OSError):
+            self._error(400, "request body is not valid JSON")
+            return None
+        if not isinstance(body, dict):
+            self._error(400, "request body must be a JSON object")
+            return None
+        return body
+
+    # -- routes ---------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        path, _, query = self.path.partition("?")
+        if path == "/healthz":
+            self._send(200, {"ok": True})
+            return
+        if path == "/api/stats":
+            stats = self.queue.stats()
+            stats["kernelcache"] = kernelcache.counters()
+            self._send(200, stats)
+            return
+        if path == "/api/workloads":
+            self._send(200, {"workloads": sorted(self.queue.registry)})
+            return
+        if path == "/api/jobs":
+            self._send(200, {"jobs": self.queue.jobs()})
+            return
+        match = _JOB_PATH.match(path)
+        if match is None:
+            self._error(404, f"no route for {path}")
+            return
+        job_id, want_result = match.group(1), bool(match.group(2))
+        try:
+            if not want_result:
+                self._send(200, self.queue.status(job_id))
+                return
+            timeout = _query_float(query, "timeout_s", default=30.0)
+            timeout = min(timeout, MAX_RESULT_WAIT_S)
+            result = self.queue.result(job_id, timeout=timeout)
+        except ServiceError as exc:
+            code = 404 if "unknown job id" in str(exc) else 500
+            self._error(code, str(exc))
+        except TimeoutError as exc:
+            self._error(408, str(exc))
+        else:
+            self._send(200, {"job_id": job_id, "result": result})
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        if self.path.partition("?")[0] != "/api/jobs":
+            self._error(404, f"no route for {self.path}")
+            return
+        body = self._read_json()
+        if body is None:
+            return
+        workload = body.get("workload")
+        if not isinstance(workload, str):
+            self._error(400, "missing required field 'workload'")
+            return
+        config = body.get("config") or {}
+        if not isinstance(config, dict):
+            self._error(400, "'config' must be a JSON object")
+            return
+        try:
+            seed = int(body.get("seed", 0))
+        except (TypeError, ValueError):
+            self._error(400, "'seed' must be an integer")
+            return
+        try:
+            job = self.queue.submit(workload, config, seed)
+        except ServiceError as exc:
+            self._error(400, str(exc))
+            return
+        self._send(202, job.to_dict())
+
+
+def _query_float(query: str, name: str, default: float) -> float:
+    for pair in query.split("&"):
+        key, _, value = pair.partition("=")
+        if key == name:
+            try:
+                return float(value)
+            except ValueError:
+                return default
+    return default
+
+
+def make_server(queue: JobQueue, host: str = "127.0.0.1",
+                port: int = 0, *, quiet: bool = False
+                ) -> ThreadingHTTPServer:
+    """Build (but do not start) the HTTP server; ``port=0`` picks a
+    free port — read it back from ``server.server_address``."""
+    server = ThreadingHTTPServer((host, port), ServiceHandler)
+    server.queue = queue  # type: ignore[attr-defined]
+    server.quiet = quiet  # type: ignore[attr-defined]
+    return server
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve the GPU simulator as an async job service.")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8000)
+    parser.add_argument("--workers", type=int, default=2,
+                        help="job worker threads (default 2)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-request logging")
+    args = parser.parse_args(argv)
+    queue = JobQueue(workers=args.workers)
+    server = make_server(queue, args.host, args.port, quiet=args.quiet)
+    host, port = server.server_address[:2]
+    print(f"repro-serve listening on http://{host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        queue.shutdown(wait=False)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

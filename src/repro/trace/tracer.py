@@ -30,15 +30,27 @@ from dataclasses import dataclass, field
 
 from repro.trace.clock import SimClock
 
-#: Well-known tracks.  Streams get ``stream_tid(stream_id)``.
+#: Well-known tracks.  Streams get ``stream_tid(stream_id)``; shard
+#: workers of the simulation service get ``shard_tid(index)``.
 TID_API = 1
 TID_RUNTIME = 2
 _TID_STREAM_BASE = 10
+_TID_SHARD_BASE = 1000
 
 
 def stream_tid(stream_id: int) -> int:
     """Track id for a CUDA stream (stream 0 = the default stream)."""
     return _TID_STREAM_BASE + stream_id
+
+
+def shard_tid(shard_index: int) -> int:
+    """Track id for one shard worker of the sharded simulation service.
+
+    Kept well clear of the stream range so a merged trace shows the
+    parent's stream tracks and the per-worker shard tracks side by
+    side.
+    """
+    return _TID_SHARD_BASE + shard_index
 
 
 @dataclass
@@ -285,6 +297,28 @@ class Tracer:
     # -- registry ------------------------------------------------------
     def name_track(self, tid: int, name: str) -> None:
         self.track_names[tid] = name
+
+    # -- cross-process merge -------------------------------------------
+    def ingest(self, events: list[TraceEvent], *, tid: int,
+               track_name: str | None = None,
+               ts_offset: float = 0.0) -> None:
+        """Fold events recorded by another process onto one track.
+
+        Shard workers run with their own :class:`Tracer` (own clock, own
+        track ids); the parent re-homes every event onto *tid* and
+        shifts sim stamps by *ts_offset* (normally the parent's clock
+        reading when the shard was dispatched), producing one coherent
+        Chrome trace.  Span pairing is preserved because each worker's
+        stream of B/E events is already balanced per its own track and
+        lands here on a single dedicated track, in order.
+        """
+        if track_name is not None:
+            self.name_track(tid, track_name)
+        for event in events:
+            self.events.append(TraceEvent(
+                name=event.name, ph=event.ph, ts=event.ts + ts_offset,
+                pid=self.pid, tid=tid, cat=event.cat, args=event.args,
+                dur=event.dur, wall=event.wall))
 
     def attach_samples(self, key: object, samples: object) -> None:
         """Associate an out-of-band payload (a SampleBlock) with a span
