@@ -3,12 +3,15 @@
 The paper leans on functional-mode speed (Section III-F: performance
 simulation is 7-8x slower, hence checkpointing).  Our functional core
 is pure Python, so interpreter overhead is the whole budget; this bench
-measures warp-instructions/second on the LeNet forward pass and on one
-conv_sample Winograd kernel under every tier in
+measures warp-instructions/second on the LeNet forward pass, on one
+conv_sample Winograd kernel, and on the predication/barrier-heavy
+``predicated_blend`` workload under every tier in
 ``repro.functional.executor.FAST_MODES`` — the single tier registry,
 so a new tier shows up here without editing this file — and records
 the tier-over-tier ratios the issue gates on (superblock >= 2x
-fastpath, megablock >= 10x fastpath, both on LeNet forward).
+fastpath and megablock >= 10x fastpath on LeNet forward, plus
+megablock >= 10x superblock on predicated_blend, the shape the
+vector tier used to reject wholesale).
 
 It also times the disk-backed kernel cache: one cold and one warm
 ``conv_sample`` run in *separate processes* (the cache's reason to
@@ -36,6 +39,8 @@ from repro.nn import synthetic_mnist
 from repro.nn.lenet import LeNet, LeNetConfig
 from repro.trace import Tracer
 from repro.workloads.conv_sample import ConvSample, ConvSampleConfig
+from repro.workloads.predicated_blend import (
+    PredicatedBlend, PredicatedBlendConfig)
 
 OUT_PATH = Path(__file__).resolve().parent.parent / (
     "BENCH_functional_throughput.json")
@@ -66,6 +71,19 @@ def _conv_sample_forward(mode: str) -> tuple[int, float]:
     sample = ConvSample(rt, ConvSampleConfig())
     start = time.perf_counter()
     profiles = sample.run_forward(ConvFwdAlgo.WINOGRAD_NONFUSED)
+    wall = time.perf_counter() - start
+    instructions = sum(p.result.instructions for p in profiles)
+    return instructions, wall
+
+
+def _predicated_blend(mode: str) -> tuple[int, float]:
+    """One predicated_blend launch: predicated stores/arithmetic plus a
+    barrier-tiled reduction — the shapes the vector subset widened to
+    cover, at a grid size where vectorisation dominates dispatch."""
+    rt = CudaRuntime(backend=FunctionalBackend(fast_mode=mode))
+    sample = PredicatedBlend(rt, PredicatedBlendConfig(ctas=512))
+    start = time.perf_counter()
+    profiles = sample.run()
     wall = time.perf_counter() - start
     instructions = sum(p.result.instructions for p in profiles)
     return instructions, wall
@@ -125,6 +143,10 @@ def test_functional_throughput(benchmark, record, tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DISABLE", "1")
     lenet = run_once(benchmark, lambda: _measure(_lenet_forward))
     conv = _measure(_conv_sample_forward)
+    from repro.functional import megablock
+    megablock.reset_events()
+    blend = _measure(_predicated_blend)
+    blend_events = dict(megablock.EVENTS)
 
     def ratio(table, tier, over):
         return (table[tier]["warp_instructions_per_second"]
@@ -159,6 +181,7 @@ def test_functional_throughput(benchmark, record, tmp_path, monkeypatch):
     report = {
         "lenet_forward": lenet,
         "conv_sample_winograd_forward": conv,
+        "predicated_blend": blend,
         "kernel_cache_conv_sample_megablock": {
             "cold": cold,
             "warm": warm,
@@ -185,12 +208,17 @@ def test_functional_throughput(benchmark, record, tmp_path, monkeypatch):
             "conv_sample_winograd_forward": round(
                 ratio(conv, "superblock", "reference"), 2),
         },
+        "megablock_over_superblock": {
+            "predicated_blend": round(
+                ratio(blend, "megablock", "superblock"), 2),
+        },
+        "predicated_blend_megablock_events": blend_events,
     }
     OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
     record("functional_throughput", json.dumps(report, indent=2))
 
     # All tiers execute the same dynamic instruction stream.
-    for table in (lenet, conv):
+    for table in (lenet, conv, blend):
         counts = {m: table[m]["warp_instructions"] for m in MODES}
         assert len(set(counts.values())) == 1, counts
 
@@ -201,6 +229,14 @@ def test_functional_throughput(benchmark, record, tmp_path, monkeypatch):
         report)
     assert report["megablock_over_fastpath"]["lenet_forward"] >= 10.0, (
         report)
+
+    # The widened subset's headline: the predicated/barrier-heavy
+    # workload stays fully vectorised (no fallbacks, no bailouts) and
+    # clears 10x over the superblock tier that used to run it.
+    assert blend_events["fallbacks"] == 0, blend_events
+    assert blend_events["bailouts"] == 0, blend_events
+    assert report["megablock_over_superblock"]["predicated_blend"] \
+        >= 10.0, report
 
     # A disabled tracer must reproduce the recorded throughput within
     # 5% on both fused tiers (best-of-2 to shed scheduler noise).

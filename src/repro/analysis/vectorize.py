@@ -68,16 +68,30 @@ class VectorReport:
     reconvergence frames.
     ``variant_after`` — per-pc grid-variant register sets (the raw
     facts, kept for lints and debugging).
+    ``barrier_pcs`` — every ``bar`` pc, for the barrier admission rule.
     """
 
     kernel: str
     uniform_branches: frozenset[int] = frozenset()
     divergent_branches: frozenset[int] = frozenset()
     variant_after: dict[int, frozenset] = field(default_factory=dict)
+    barrier_pcs: frozenset[int] = frozenset()
 
     @property
     def has_divergence(self) -> bool:
         return bool(self.divergent_branches)
+
+    def barrier_divergence(self) -> dict[int, bool]:
+        """Per-barrier divergence fact feeding megablock plan admission.
+
+        ``False`` proves the barrier can only ever be reached by a full
+        frame (no branch of the kernel diverges across the grid), so
+        the vector machine may skip its runtime containment proof;
+        ``True`` keeps the runtime check (and the park/bail protocol)
+        armed.  Currently kernel-granular — a per-barrier reachability
+        refinement can tighten this without touching the consumer.
+        """
+        return {pc: self.has_divergence for pc in self.barrier_pcs}
 
 
 def classify_kernel(kernel: Kernel) -> VectorReport:
@@ -85,7 +99,11 @@ def classify_kernel(kernel: Kernel) -> VectorReport:
     solution = grid_variance(kernel)
     uniform: set[int] = set()
     divergent: set[int] = set()
+    barriers: set[int] = set()
     for inst in kernel.body:
+        if inst.opcode == "bar":
+            barriers.add(inst.index)
+            continue
         if inst.opcode != "bra" or inst.pred is None:
             continue
         before = solution.before.get(inst.index, frozenset())
@@ -97,4 +115,5 @@ def classify_kernel(kernel: Kernel) -> VectorReport:
         kernel=kernel.name,
         uniform_branches=frozenset(uniform),
         divergent_branches=frozenset(divergent),
-        variant_after=dict(solution.after))
+        variant_after=dict(solution.after),
+        barrier_pcs=frozenset(barriers))

@@ -163,6 +163,8 @@ class FunctionalEngine:
         self.contract_fp16 = contract_fp16
         #: Why a requested megablock launch fell back (None if it held).
         self.megablock_fallback: tuple[str, ...] | None = None
+        #: Chunks this engine handed to the scalar engine mid-run.
+        self.megablock_bailouts = 0
         self._megaplan = None
         _quirks = launch.quirks
         if (fast_mode == "megablock" and not contract_fp16
@@ -178,6 +180,16 @@ class FunctionalEngine:
                 self._megaplan = plan
             else:
                 self.megablock_fallback = tuple(plan.reasons)
+                from repro.functional.megablock import EVENTS
+                EVENTS["fallbacks"] += 1
+                # Surface *why* the kernel left the fast tier: one
+                # instant per fallback (reasons attached) plus the
+                # running tier-event counter series for Chrome traces.
+                tracer.instant(
+                    f"megablock-fallback:{self.kernel.name}",
+                    cat="engine",
+                    args={"reasons": list(plan.reasons)[:8]})
+                tracer.counter("megablock", dict(EVENTS))
                 fast_mode = "superblock"
         if (not self.kernel.reconvergence
                 and any(i.opcode == "bra" and i.pred is not None
@@ -561,12 +573,15 @@ class FunctionalEngine:
         trace_ctas = tracer.enabled and tracer.cta_spans
         if (self._megaplan is not None and self.on_exec is None
                 and self.exec_override is None and not trace_ctas):
-            from repro.functional.megablock import MegaMachine
+            from repro.functional.megablock import EVENTS, MegaMachine
             with tracer.span(f"megablock:{self.kernel.name}",
                              cat="engine"):
-                MegaMachine(self, self._megaplan).run(
-                    stats, first_cta=first_cta,
-                    num_ctas=limit_cta - first_cta)
+                machine = MegaMachine(self, self._megaplan)
+                machine.run(stats, first_cta=first_cta,
+                            num_ctas=limit_cta - first_cta)
+            self.megablock_bailouts += machine.bailouts
+            if tracer.enabled:
+                tracer.counter("megablock", dict(EVENTS))
             return stats
         for cta_linear in range(first_cta, limit_cta):
             cta = CTAState(self.launch, cta_linear)

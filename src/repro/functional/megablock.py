@@ -14,14 +14,28 @@ launch clock come out identical to the scalar tiers.
 Eligibility is all-or-nothing per kernel: every non-control instruction
 needs a vector emitter (atomics, textures, ``%clock`` reads and other
 exotica have none), otherwise the engine falls back to the superblock
-tier.  Branches whose predicate is grid-uniform
+tier.  Predicated instructions vectorize by mask-blend: the result is
+computed over every lane, then merged into the destination array with
+``np.where(guard, new, old)`` (stores scatter only the guarded lanes
+into the memory mirror).  Branches whose predicate is grid-uniform
 (:func:`repro.analysis.vectorize.classify_kernel`) move a whole frame
-without mask arithmetic.  A CTA barrier is legal in vector lockstep only
-when, for every CTA with a thread in the current frame, the frame covers
-*all* live threads of that CTA; otherwise the machine writes its memory
-mirror back, materialises exact per-warp scalar state (registers, SIMT
-stacks, barrier parking) and hands the chunk's CTAs to the scalar
-engine — a bailout, not an error.
+without mask arithmetic.  A CTA barrier is legal in vector lockstep
+when, for every CTA with a thread in the current frame, the frame
+covers *all* live threads of that CTA; a barrier reached by a
+warp-disjoint divergent frame *parks* that frame and re-merges it once
+every live warp of the CTA has arrived (the vector twin of the scalar
+``at_barrier`` / ``try_release_barrier`` protocol).  Only when neither
+holds — intra-warp divergence at a barrier — does the machine write its
+memory mirror back, materialise exact per-warp scalar state (registers,
+SIMT stacks, barrier parking) and hand the chunk's CTAs to the scalar
+engine: a bailout, not an error.
+
+Grids wider than one 64Ki-thread chunk run their chunks *overlapped* on
+a thread pool (chunks are CTA-disjoint, so they commute exactly like
+the CTA shards of :mod:`repro.service.pool`); each chunk executes
+against a private copy of the dense memory mirror and the per-chunk
+write sets merge back in ascending chunk order, keeping results
+bit-identical to the sequential schedule.
 
 Generated block sources are plain strings binding only ``np``/``H``
 (:mod:`repro.functional.npops`) plus the runtime ``VM`` object, which
@@ -31,6 +45,9 @@ tier and analysis version.
 """
 
 from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
@@ -47,10 +64,42 @@ from repro.ptx.dtypes import DType
 from repro.ptx.values import MASK64
 
 #: Bump when the generated-code shape or plan schema changes (cache key).
-PLAN_FORMAT = 1
+#: 2: predicated mask-blend codegen, per-barrier divergence flag.
+PLAN_FORMAT = 2
 
 #: Threads per lockstep chunk (whole CTAs; at least one per chunk).
 CHUNK_THREADS = 65536
+
+#: Process-wide tier event counters (reset with :func:`reset_events`).
+#: ``fallbacks`` counts kernels that left the tier at plan time,
+#: ``bailouts`` chunks handed to the scalar engine mid-run,
+#: ``parked_barriers``/``released_barriers`` the frame park/re-merge
+#: protocol, and ``overlapped_chunks`` chunks run on the worker pool.
+EVENTS = {"fallbacks": 0, "bailouts": 0, "parked_barriers": 0,
+          "released_barriers": 0, "overlapped_chunks": 0}
+
+
+def reset_events() -> None:
+    """Zero the process-wide tier event counters."""
+    for key in EVENTS:
+        EVENTS[key] = 0
+
+
+def chunk_workers() -> int:
+    """Worker threads for overlapped chunk execution.
+
+    ``REPRO_MEGABLOCK_WORKERS`` overrides (``1`` disables overlap —
+    service shard workers set this so a fan-out of processes does not
+    multiply into a fan-out of thread pools); the default caps at four
+    because chunk workers only overlap in the GIL-releasing NumPy ops.
+    """
+    raw = os.environ.get("REPRO_MEGABLOCK_WORKERS")
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            return 1
+    return min(4, os.cpu_count() or 1)
 
 _CONTROL = ("bra", "exit", "ret", "bar")
 
@@ -95,6 +144,8 @@ class _VecGen:
         self._specials: dict[str, str] = {}
         self._forward: dict[str, str] = {}
         self._writes: dict[str, str] = {}
+        self._guards: dict[tuple[str, str], str] = {}
+        self._auto_pm: str | None = None
 
     def _tmp(self) -> str:
         self._n += 1
@@ -174,6 +225,11 @@ class _VecGen:
         from repro.functional.fastpath import _is_special
         if _is_special(name) or name.startswith("%clock"):
             raise _Reject(f"write to special {name}")
+        if pm is None:
+            # Predicated instruction: mask-blend into the destination
+            # (compute over all lanes, keep old values where the guard
+            # is off — the scalar tier simply skips those lanes).
+            pm = self._auto_pm
         old = self.reg(name) if (bits < 64 or pm is not None) else None
         t = self._tmp()
         if bits >= 64:
@@ -196,6 +252,8 @@ class _VecGen:
         from repro.functional.fastpath import _is_special
         if _is_special(name) or name.startswith("%clock"):
             raise _Reject(f"write to special {name}")
+        if pm is None:
+            pm = self._auto_pm
         if pm is not None:
             old = self.reg(name)
             t = self._tmp()
@@ -205,14 +263,30 @@ class _VecGen:
         self._writes[name] = local
 
     def guard(self, inst: ast.Instruction) -> str:
-        """Effective mask for a predicated instruction (``m & pred``)."""
+        """Effective mask for a predicated instruction (``m & pred``).
+
+        Memoised on the predicate's *current local* (not its register
+        name), so consecutive ``@%p`` instructions share one mask array
+        while a redefinition of ``%p`` in between forces a fresh one.
+        """
         if inst.pred is None:
             return "m"
         p = self.reg(inst.pred)
-        t = self._tmp()
         cmp = "==" if inst.pred_negated else "!="
+        cached = self._guards.get((p, cmp))
+        if cached is not None:
+            return cached
+        t = self._tmp()
         self.body.append(f"    {t} = m & ((({p}) & 1) {cmp} 0)")
+        self._guards[(p, cmp)] = t
         return t
+
+    def begin_inst(self, inst: ast.Instruction) -> None:
+        """Arm the implicit write mask before emitting *inst*.
+
+        Register writes of a predicated instruction blend under its
+        guard by default; unpredicated instructions write through."""
+        self._auto_pm = None if inst.pred is None else self.guard(inst)
 
     # -- assembly -------------------------------------------------------
     def build(self, live_out: frozenset) -> tuple[str, list[str]]:
@@ -728,6 +802,9 @@ def plan_from_payload(payload: dict) -> MegaPlan:
             "target": (None if ctrl["target"] is None
                        else int(ctrl["target"])),
             "rpc": int(ctrl["rpc"]), "uniform": bool(ctrl["uniform"]),
+            # Conservative default for pre-"div" payloads: assume the
+            # kernel can diverge (only ever costs the containment check).
+            "div": bool(ctrl.get("div", True)),
         }
     return MegaPlan(
         kernel_name=str(payload["kernel"]),
@@ -749,6 +826,7 @@ def compile_megaplan(kernel) -> MegaPlan:
     n = len(body)
     reasons: list[str] = []
     report = classify_kernel(kernel)
+    bar_div = report.barrier_divergence()
     live = liveness(kernel)
     leaders = block_leaders(kernel)
     blocks: dict[int, _VecBlock] = {}
@@ -757,12 +835,18 @@ def compile_megaplan(kernel) -> MegaPlan:
     while pc < n:
         inst = body[pc]
         if inst.opcode in _CONTROL:
+            # "div": can any branch of this kernel diverge across the
+            # grid?  A bar in a divergence-free kernel always meets a
+            # full frame, so the runtime containment proof is skipped.
             ctrl = {"op": inst.opcode,
                     "kind": ("exit" if inst.opcode in ("exit", "ret")
                              else inst.opcode),
                     "pred": inst.pred, "neg": bool(inst.pred_negated),
                     "target": None, "rpc": NO_RECONVERGE,
-                    "uniform": False}
+                    "uniform": False,
+                    "div": (bool(bar_div.get(pc, True))
+                            if inst.opcode == "bar"
+                            else report.has_divergence)}
             if inst.opcode != "bra" and inst.pred is not None:
                 reasons.append(f"pc {pc}: predicated {inst.opcode}")
             if inst.opcode == "bra":
@@ -788,11 +872,8 @@ def compile_megaplan(kernel) -> MegaPlan:
         while pc < n and body[pc].opcode not in _CONTROL \
                 and (pc == start or pc not in leaders):
             cur = body[pc]
-            if cur.pred is not None and cur.opcode != "ld":
-                ok = False
-                reasons.append(f"pc {pc}: predicated {cur.opcode} "
-                               "unsupported")
-            elif not _emit(cur, gen):
+            gen.begin_inst(cur)
+            if not _emit(cur, gen):
                 ok = False
                 reasons.append(
                     f"pc {pc}: no vector emitter for {cur.opcode} "
@@ -851,8 +932,11 @@ class MegaMachine:
         self.engine = engine
         self.launch = engine.launch
         self.plan = plan
-        #: chunks that hit a non-contained barrier and finished scalar.
+        #: chunks that hit an unparkable barrier and finished scalar.
         self.bailouts = 0
+        #: divergent frames parked at a barrier / re-merged past one.
+        self.parks = 0
+        self.releases = 0
 
     # -- public entry ---------------------------------------------------
     def run(self, stats, first_cta: int = 0,
@@ -867,16 +951,86 @@ class MegaMachine:
         if num_ctas is None:
             num_ctas = launch.num_ctas - first_cta
         limit = first_cta + num_ctas
+        chunks = []
         start = first_cta
+        while start < limit:
+            nct = min(nct_chunk, limit - start)
+            chunks.append((start, nct))
+            start += nct
+        workers = chunk_workers()
+        if (len(chunks) > 1 and workers > 1
+                and not any(c["op"] == "bar"
+                            for c in self.plan.controls.values())):
+            # Chunks are CTA-disjoint, so they commute exactly like the
+            # service layer's CTA shards.  Barrier kernels stay on the
+            # sequential path: a park/bailout mutates launch-wide state
+            # (scalar continuation, tracer) that must not race.
+            self._run_overlapped(chunks, stats, workers)
+            return
         # Casting f64->f32 with overflow emits RuntimeWarnings the
         # scalar tier never sees; suppress for the whole vector run.
         with np.errstate(all="ignore"):
-            while start < limit:
-                nct = min(nct_chunk, limit - start)
+            for start, nct in chunks:
                 stats.ctas_launched += nct
                 stats.warps_launched += nct * launch.warps_per_block
-                self._run_chunk(start, nct, stats)
-                start += nct
+                delta = self._run_chunk(start, nct, stats)
+                if delta is not None:
+                    launch.clock += delta
+                    stats.instructions += delta
+
+    def _run_overlapped(self, chunks, stats, workers: int) -> None:
+        """Dispatch independent chunks onto a thread pool.
+
+        Every chunk runs on a private machine against a private copy of
+        the dense memory mirror; the parent merges each chunk's exact
+        write set back in ascending chunk order (identical conflict
+        resolution to the sequential schedule and to the sharded
+        service).  NumPy kernels over 64Ki-lane arrays release the GIL,
+        which is where the overlap comes from.
+        """
+        launch = self.launch
+        gm = launch.global_mem
+        snap = gm.dense_mirror()
+        snap.extend(b"\x00" * ((-len(snap)) % 8))
+        base = (np.frombuffer(bytes(snap), np.uint8) if snap
+                else np.zeros(0, np.uint8))
+
+        def job(start: int, nct: int):
+            machine = MegaMachine(self.engine, self.plan)
+            part = type(stats)()
+            part.ctas_launched += nct
+            part.warps_launched += nct * launch.warps_per_block
+            # np.errstate is thread-local; arm it per worker.
+            with np.errstate(all="ignore"):
+                delta = machine._run_chunk(start, nct, part, base=base,
+                                           writeback=False)
+            part.instructions += delta
+            return machine, part, delta
+
+        EVENTS["overlapped_chunks"] += len(chunks)
+        with ThreadPoolExecutor(
+                max_workers=min(workers, len(chunks))) as pool:
+            futures = [pool.submit(job, start, nct)
+                       for start, nct in chunks]
+        final = base.copy()
+        error = None
+        for future in futures:  # ascending chunk order
+            if error is not None:
+                break
+            try:
+                machine, part, delta = future.result()
+            except Exception as exc:  # noqa: BLE001 - re-raised below
+                # Match the sequential schedule: chunks before the
+                # faulting one commit, the faulting one is discarded.
+                error = exc
+                continue
+            changed = np.flatnonzero(machine.gmem != base)
+            final[changed] = machine.gmem[changed]
+            launch.clock += delta
+            stats.merge(part)
+        gm.write_dense(final)
+        if error is not None:
+            raise error
 
     # -- chunk setup ----------------------------------------------------
     @staticmethod
@@ -887,7 +1041,8 @@ class MegaMachine:
         return (np.frombuffer(data, np.uint8) if data
                 else np.zeros(0, np.uint8)), real
 
-    def _setup(self, cta_start: int, nct: int) -> None:
+    def _setup(self, cta_start: int, nct: int,
+               base: np.ndarray | None = None) -> None:
         launch = self.launch
         self.cta_start = cta_start
         self.nct = nct
@@ -901,13 +1056,19 @@ class MegaMachine:
         self.R: dict[str, np.ndarray] = {}
         self.alive = np.ones(self.T, bool)
         gm = launch.global_mem
-        base, nxt = gm.dense_bounds()
-        self.gspan = nxt - base
-        buf = gm.dense_mirror()
-        buf.extend(b"\x00" * ((-len(buf)) % 8))
-        self._gbuf = buf
-        self.gmem = (np.frombuffer(buf, np.uint8) if buf
-                     else np.zeros(0, np.uint8))
+        lo, nxt = gm.dense_bounds()
+        self.gspan = nxt - lo
+        if base is not None:
+            # Overlapped chunk: private copy of the shared snapshot (the
+            # parent merges write sets back in ascending chunk order).
+            self.gmem = base.copy()
+            self._gbuf = self.gmem
+        else:
+            buf = gm.dense_mirror()
+            buf.extend(b"\x00" * ((-len(buf)) % 8))
+            self._gbuf = buf
+            self.gmem = (np.frombuffer(buf, np.uint8) if buf
+                         else np.zeros(0, np.uint8))
         span = max(launch.shared_bytes, 16)
         self.S_real = span
         span += (-span) % 8
@@ -1149,8 +1310,15 @@ class MegaMachine:
         return not (at_bar & stuck).any()
 
     # -- interpreter ----------------------------------------------------
-    def _run_chunk(self, cta_start: int, nct: int, stats) -> None:
-        self._setup(cta_start, nct)
+    def _run_chunk(self, cta_start: int, nct: int, stats, *,
+                   base: np.ndarray | None = None,
+                   writeback: bool = True) -> int | None:
+        """Run one chunk; return its clock delta, or ``None`` if the
+        chunk bailed out (the bailout path settles the launch clock,
+        stats and memory itself before handing CTAs to the scalar
+        engine).  The caller applies the returned delta — overlapped
+        chunks account their deltas in ascending merge order."""
+        self._setup(cta_start, nct, base)
         plan = self.plan
         blocks = plan.blocks
         controls = plan.controls
@@ -1159,14 +1327,26 @@ class MegaMachine:
         R = self.R
         m0 = np.ones(self.T, bool)
         stack = [_Frame(0, NO_RECONVERGE, m0, self._wa(m0), True)]
+        parked: list[_Frame] = []
         clock = 0
-        while stack:
+        while stack or parked:
+            if not stack:
+                self._release_parked(stack, parked)
+                if not stack:
+                    # Unreachable with warp-disjoint parking (no runner
+                    # left means no CTA is blocked), but never spin.
+                    raise SimulationFault(
+                        f"megablock barrier deadlock: {len(parked)} "
+                        "parked frames with no releasable CTA")
+                continue
             frame = stack[-1]
             pc = frame.pc
             if pc >= body_len:
                 # Fell off the end: implicit exit, not counted (the
                 # scalar step returns before charging the clock).
                 self._retire(stack, frame.mask)
+                if parked:
+                    self._release_parked(stack, parked)
                 continue
             block = blocks.get(pc)
             if block is not None:
@@ -1228,33 +1408,122 @@ class MegaMachine:
                         if pc + 1 != top.rpc:
                             stack.append(_Frame(pc + 1, top.rpc, skip,
                                                 self._wa(skip), False))
+                if parked:
+                    # Retiring threads can complete a barrier: a CTA
+                    # whose remaining live warps are all parked releases
+                    # now, exactly like try_release_barrier after the
+                    # last running warp exits.
+                    self._release_parked(stack, parked)
                 continue
-            # bar
-            if self._bar_contained(frame.mask):
+            # bar — counted (issued) above, like the scalar park.  A
+            # divergence-free kernel (ctrl["div"] is False, a plan-time
+            # fact from repro.analysis.vectorize) always meets the bar
+            # with a full frame, so the containment proof is skipped.
+            if not ctrl["div"] or self._bar_contained(frame.mask):
                 self._advance(stack, pc + 1)
                 continue
-            # Intra-CTA divergence reached a barrier: the bar was
-            # counted (issued) above; park its warps and finish the
-            # chunk's CTAs on the scalar engine.
+            if self._park(stack, parked, frame, pc):
+                self._release_parked(stack, parked)
+                continue
+            # Intra-warp divergence reached a barrier: no faithful
+            # vector parking exists, so finish the chunk's CTAs on the
+            # scalar engine.
             self.launch.clock += clock
             stats.instructions += clock
-            self._bailout(stack, stats)
+            self._bailout(stack, parked, stats)
+            return None
+        if writeback:
+            self.launch.global_mem.write_dense(self._gbuf)
+        return clock
+
+    # -- barrier parking ------------------------------------------------
+    def _park(self, stack: list, parked: list, frame: "_Frame",
+              pc: int) -> bool:
+        """Try to park the top frame at the bar it just issued.
+
+        Parking is scalar-faithful only when the frame is the *sole*
+        owner of its warps: each such warp's per-warp scalar stack is
+        then exactly this one entry, sitting at the bar with
+        ``at_barrier`` set.  A frame with a finite reconvergence pc has
+        a parent entry holding the same warps somewhere below, and a
+        frame sharing warps with any other (stacked or parked) frame
+        means intra-warp divergence reached the bar — both cases bail
+        to the scalar engine instead of parking.
+        """
+        if frame.rpc != NO_RECONVERGE:
+            return False
+        fw = np.zeros(self.warp_count, bool)
+        fw[self.wid[frame.mask]] = True
+        for other in stack[:-1] + parked:
+            if fw[self.wid[other.mask]].any():
+                return False
+        stack.pop()
+        parked.append(frame)
+        self.parks += 1
+        EVENTS["parked_barriers"] += 1
+        return True
+
+    def _release_parked(self, stack: list, parked: list) -> None:
+        """Re-merge parked frames whose CTAs have fully arrived.
+
+        Mirrors :meth:`FunctionalEngine.try_release_barrier`: a CTA
+        releases when every live warp is parked, and the release
+        advances each frame past its bar *uncounted* (the bar was
+        charged when the frame parked).  A parked frame spanning
+        several CTAs splits along CTA boundaries — warps never straddle
+        CTAs, so the split keeps per-warp state exact.
+        """
+        if not parked:
             return
-        self.launch.clock += clock
-        stats.instructions += clock
-        self.launch.global_mem.write_dense(self._gbuf)
+        parked_threads = np.zeros(self.T, bool)
+        for fr in parked:
+            parked_threads |= fr.mask
+        runner = self.alive & ~parked_threads
+        blocked = np.zeros(self.nct, bool)
+        blocked[self.ctaidx[runner]] = True
+        waiting = np.zeros(self.nct, bool)
+        for fr in parked:
+            waiting[self.ctaidx[fr.mask]] = True
+        release = waiting & ~blocked
+        if not release.any():
+            return
+        released_threads = release[self.ctaidx]
+        keep: list[_Frame] = []
+        for fr in parked:
+            go = fr.mask & released_threads
+            if not go.any():
+                keep.append(fr)
+                continue
+            stay = fr.mask & ~released_threads
+            if stay.any():
+                keep.append(_Frame(fr.pc, fr.rpc, stay,
+                                   self._wa(stay), False))
+            stack.append(_Frame(fr.pc + 1, fr.rpc, go, self._wa(go),
+                                bool(go.all())))
+            self.releases += 1
+            EVENTS["released_barriers"] += 1
+        parked[:] = keep
 
     # -- bailout --------------------------------------------------------
-    def _bailout(self, stack: list, stats) -> None:
+    def _bailout(self, stack: list, parked: list, stats) -> None:
         """Materialise exact scalar state and finish the chunk there."""
         engine = self.engine
         launch = self.launch
         self.bailouts += 1
+        EVENTS["bailouts"] += 1
         engine.tracer.instant(
-            f"megablock-bailout:{launch.kernel.name}", cat="engine")
+            f"megablock-bailout:{launch.kernel.name}", cat="engine",
+            args={"parked_frames": len(parked)})
         launch.global_mem.write_dense(self._gbuf)
         tpb = launch.threads_per_block
         top = stack[-1]
+        # Warps whose topmost entry already *issued* its bar: the
+        # bailing frame plus every parked frame.  They must come out
+        # with at_barrier set, or the scalar continuation would execute
+        # — and re-count — a bar the vector clock already charged.
+        at_bar_ids = {id(top)}
+        at_bar_ids.update(id(fr) for fr in parked)
+        frames = list(stack) + list(parked)
         reg_items = list(self.R.items())
         for ci in range(self.nct):
             cta = CTAState(launch, self.cta_start + ci)
@@ -1266,8 +1535,8 @@ class MegaMachine:
                 w0 = base + warp.warp_index * 32
                 lanes_n = min(32, tpb - warp.warp_index * 32)
                 entries = []
-                parked = False
-                for fr in stack:
+                at_barrier = False
+                for fr in frames:
                     sub = fr.mask[w0:w0 + lanes_n]
                     if not sub.any():
                         continue
@@ -1275,12 +1544,12 @@ class MegaMachine:
                         np.packbits(sub, bitorder="little").tobytes(),
                         "little")
                     entries.append(SimtEntry(fr.pc, fr.rpc, bits))
-                    parked = fr is top
+                    at_barrier = id(fr) in at_bar_ids
                 warp.simt = SimtStack(entries)
-                # Parked warps sit at the bar pc with at_barrier set —
+                # Warps at a counted bar come out with at_barrier set —
                 # exactly the scalar park state; try_release_barrier
-                # will advance them past the (already counted) bar.
-                warp.at_barrier = parked
+                # will advance them past the bar without re-counting.
+                warp.at_barrier = at_barrier
                 # instructions_executed is a per-warp budget counter;
                 # the vector tier accounts issue counts in aggregate,
                 # so the scalar continuation restarts it at zero.

@@ -43,6 +43,43 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_megablock_census(events: list[dict]) -> None:
+    """Why did kernels leave the fast tier?  Census of the engine's
+    ``megablock-fallback:<kernel>`` / ``megablock-bailout:<kernel>``
+    instants (reasons ride in ``args``) plus the final value of the
+    ``megablock`` tier-event counter series."""
+    fallbacks: Counter = Counter()
+    bailouts: Counter = Counter()
+    reasons: Counter = Counter()
+    last_counter: dict | None = None
+    for event in events:
+        name = event.get("name", "")
+        if event.get("ph") == "i":
+            if name.startswith("megablock-fallback:"):
+                fallbacks[name.split(":", 1)[1]] += 1
+                for reason in (event.get("args") or {}).get(
+                        "reasons", []):
+                    reasons[str(reason)] += 1
+            elif name.startswith("megablock-bailout:"):
+                bailouts[name.split(":", 1)[1]] += 1
+        elif event.get("ph") == "C" and name == "megablock":
+            last_counter = event.get("args") or {}
+    if fallbacks:
+        print("  megablock fallbacks: "
+              + ", ".join(f"{k}={n}"
+                          for k, n in sorted(fallbacks.items())))
+        for reason, count in reasons.most_common(5):
+            print(f"    reason x{count}: {reason}")
+    if bailouts:
+        print("  megablock bailouts: "
+              + ", ".join(f"{k}={n}"
+                          for k, n in sorted(bailouts.items())))
+    if last_counter:
+        print("  megablock tier events: "
+              + ", ".join(f"{k}={v}"
+                          for k, v in sorted(last_counter.items())))
+
+
 def _cmd_summary(args: argparse.Namespace) -> int:
     events = _load(args.trace)
     problems = validate_chrome_events(events)
@@ -67,6 +104,7 @@ def _cmd_summary(args: argparse.Namespace) -> int:
     if cache:
         print("  kernel cache: "
               + ", ".join(f"{k}={n}" for k, n in sorted(cache.items())))
+    _print_megablock_census(events)
     records = kernel_records_from_events(events)
     if not records:
         print("no kernel slices in trace")

@@ -1,7 +1,11 @@
-"""Reference workloads: the cuDNN sample programs the paper studies."""
+"""Reference workloads: the cuDNN sample programs the paper studies,
+plus the predication/barrier-heavy megablock showcase kernel."""
 
 from repro.workloads.conv_sample import ConvSample, ConvSampleConfig
 from repro.workloads.mnist_sample import MnistSample, MnistSampleConfig
+from repro.workloads.predicated_blend import (
+    PredicatedBlend, PredicatedBlendConfig)
 
 __all__ = ["ConvSample", "ConvSampleConfig", "MnistSample",
-           "MnistSampleConfig"]
+           "MnistSampleConfig", "PredicatedBlend",
+           "PredicatedBlendConfig"]

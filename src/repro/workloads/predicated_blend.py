@@ -1,0 +1,157 @@
+"""The ``predicated_blend`` workload: the megablock widening showcase.
+
+A deliberately predication- and barrier-heavy kernel in the shape the
+megablock tier historically rejected (any predicated non-load bailed the
+whole kernel to the ~40x-slower superblock path):
+
+* **predicated arithmetic** — each lane picks ``x*2`` or ``x+1`` via a
+  data-dependent ``@%p`` / ``@!%p`` pair writing the same register (a
+  mask-blend, not a branch);
+* **predicated global stores** — only lanes with positive input scatter
+  their blended value to ``ys``;
+* **a tiled shared-memory reduction** — the classic ``s >>= 1`` tree
+  over a 64-lane CTA tile, each step a fully predicated
+  load/load/add/store quartet followed by ``bar.sync`` (six barriers
+  inside a kernel whose tid guard makes control flow statically
+  divergent).
+
+One block of 64 threads is two warps, so the reduction exercises
+cross-warp barrier semantics, and the per-CTA root lands in ``sums``
+via a ``%tid == 0`` predicated store — no branch anywhere past the
+guard.  :meth:`PredicatedBlend.expected` recomputes the exact f32
+results (same reduction tree order) for differential checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cuda.runtime import CudaRuntime, KernelProfile
+from repro.ptx.builder import PTXBuilder, f32
+
+#: CTA tile width; the reduction tree below is unrolled for exactly 64.
+BLOCK = 64
+
+#: Reduction strides, widest first (64 lanes -> 1 root).
+_STRIDES = (32, 16, 8, 4, 2, 1)
+
+
+def build_kernel() -> str:
+    """PTX for the predicated blend + tiled reduction kernel."""
+    b = PTXBuilder("predicated_blend",
+                   [("xs", "u64"), ("ys", "u64"), ("sums", "u64"),
+                    ("n", "u32")])
+    b.shared("buf", "f32", BLOCK)
+    xs = b.ld_param("u64", "xs")
+    ys = b.ld_param("u64", "ys")
+    sums = b.ld_param("u64", "sums")
+    n = b.ld_param("u32", "n")
+    tid = b.special("%tid.x")
+    gtid = b.global_tid_x()
+    b.guard_tid_below(gtid, n)
+    base = b.reg("u64")
+    b.ins("mov.u64", base, "buf")
+    x = b.reg("f32")
+    b.ins("ld.global.f32", x, f"[{b.elem_addr(xs, gtid)}]")
+    # Predicated arithmetic: both sides write the same register under
+    # complementary guards — a select without a branch.
+    p = b.reg("pred")
+    b.ins("setp.gt.f32", p, x, f32(0.0))
+    t = b.reg("f32")
+    b.ins("mul.f32", t, x, f32(2.0), pred=p)
+    b.ins("add.f32", t, x, f32(1.0), pred=p, pred_neg=True)
+    # Predicated global store: only positive lanes publish to ys.
+    b.ins("st.global.f32", f"[{b.elem_addr(ys, gtid)}]", t, pred=p)
+    b.ins("st.shared.f32", f"[{b.elem_addr(base, tid)}]", t)
+    b.bar_sync()
+    # Tiled tree reduction: every step is fully predicated (no branch),
+    # so a frame reaches each bar whole and stays in the vector tier.
+    for stride in _STRIDES:
+        q = b.reg("pred")
+        b.ins("setp.lt.u32", q, tid, str(stride))
+        partner = b.reg("u32")
+        b.ins("add.u32", partner, tid, str(stride))
+        a = b.reg("f32")
+        c = b.reg("f32")
+        b.ins("ld.shared.f32", a, f"[{b.elem_addr(base, tid)}]",
+              pred=q)
+        b.ins("ld.shared.f32", c, f"[{b.elem_addr(base, partner)}]",
+              pred=q)
+        b.ins("add.f32", a, a, c, pred=q)
+        b.ins("st.shared.f32", f"[{b.elem_addr(base, tid)}]", a,
+              pred=q)
+        b.bar_sync()
+    root = b.reg("pred")
+    b.ins("setp.eq.u32", root, tid, "0")
+    total = b.reg("f32")
+    b.ins("ld.shared.f32", total, f"[{base}]", pred=root)
+    cta = b.special("%ctaid.x")
+    b.ins("st.global.f32", f"[{b.elem_addr(sums, cta)}]", total,
+          pred=root)
+    return b.build()
+
+
+@dataclass(frozen=True)
+class PredicatedBlendConfig:
+    """Grid geometry and input seeding."""
+
+    ctas: int = 48
+    seed: int = 23
+
+    @property
+    def threads(self) -> int:
+        return self.ctas * BLOCK
+
+
+class PredicatedBlend:
+    """Owns device tensors and launches the kernel through the runtime."""
+
+    KERNEL = "predicated_blend"
+
+    def __init__(self, runtime: CudaRuntime,
+                 config: PredicatedBlendConfig | None = None) -> None:
+        self.rt = runtime
+        self.config = config or PredicatedBlendConfig()
+        runtime.load_ptx(build_kernel(), "predicated_blend")
+        rng = np.random.default_rng(self.config.seed)
+        self.x_host = rng.standard_normal(
+            self.config.threads).astype(np.float32)
+        self.xs = runtime.upload_f32(self.x_host)
+        self.ys = runtime.upload_f32(
+            np.zeros(self.config.threads, np.float32))
+        self.sums = runtime.upload_f32(
+            np.zeros(self.config.ctas, np.float32))
+
+    def run(self) -> list[KernelProfile]:
+        """Launch once; return the kernel's profiles."""
+        start = len(self.rt.profiles)
+        c = self.config
+        self.rt.launch(self.KERNEL, (c.ctas, 1, 1), (BLOCK, 1, 1),
+                       [self.xs, self.ys, self.sums, c.threads])
+        self.rt.synchronize()
+        return self.rt.profiles[start:]
+
+    def results(self) -> tuple[np.ndarray, np.ndarray]:
+        """Download ``(ys, sums)`` from device memory."""
+        c = self.config
+        return (self.rt.download_f32(self.ys, c.threads),
+                self.rt.download_f32(self.sums, c.ctas))
+
+    def expected(self) -> tuple[np.ndarray, np.ndarray]:
+        """Exact f32 reference results (same reduction tree order)."""
+        x = self.x_host
+        pos = x > np.float32(0.0)
+        blended = np.where(pos, x * np.float32(2.0),
+                           x + np.float32(1.0)).astype(np.float32)
+        ys = np.where(pos, blended, np.float32(0.0)).astype(np.float32)
+        sums = np.zeros(self.config.ctas, np.float32)
+        for cta in range(self.config.ctas):
+            buf = blended[cta * BLOCK:(cta + 1) * BLOCK].copy()
+            for stride in _STRIDES:
+                buf[:stride] = (buf[:stride]
+                                + buf[stride:2 * stride]).astype(
+                                    np.float32)
+            sums[cta] = buf[0]
+        return ys, sums

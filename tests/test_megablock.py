@@ -1,8 +1,10 @@
-"""Megablock tier tests: vector-plan compilation and eligibility, the
+"""Megablock tier tests: vector-plan compilation and eligibility
+(including the widened predicated-arithmetic/store subset), the
 engine's fallback plumbing, bit-exactness against the scalar tiers
 (memory, instruction counts, per-opcode mix, clock and registers),
-faithful divergence handling (per-warp frame splitting and the
-bar-containment bailout), and the disk-backed compiled-kernel cache.
+faithful divergence handling (per-warp frame splitting, barrier
+parking/release and the intra-warp bailout), overlapped chunk
+execution, and the disk-backed compiled-kernel cache.
 
 The scalar reference interpreter is the ground truth everywhere: the
 megablock tier must be indistinguishable from it in architectural
@@ -21,7 +23,8 @@ from repro.functional import kernelcache
 from repro.functional.executor import (
     FAST_MODES, FunctionalEngine, RunStats)
 from repro.functional.megablock import (
-    MegaMachine, PLAN_FORMAT, compile_megaplan, plan_from_payload)
+    EVENTS, MegaMachine, PLAN_FORMAT, compile_megaplan,
+    plan_from_payload, reset_events)
 from repro.functional.memory import GlobalMemory, LinearMemory
 from repro.functional.state import LaunchContext
 from repro.analysis import ANALYSIS_VERSION
@@ -35,6 +38,7 @@ def _isolated_cache(tmp_path, monkeypatch):
     """Keep every test hermetic: no reads/writes of the user cache."""
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "kcache"))
     kernelcache.reset_counters()
+    reset_events()
 
 
 # ---------------------------------------------------------------------------
@@ -139,8 +143,8 @@ def _divbar_ptx() -> str:
 
 
 def _predicated_ptx() -> str:
-    """A predicated add: supported by every scalar tier but outside the
-    megablock codegen's subset (only predicated ld/bra vectorise)."""
+    """A predicated add: vectorised as a mask-blend (compute all lanes,
+    keep the old destination where the guard is false)."""
     b = PTXBuilder("pk", [("xs", "u64"), ("n", "u32")])
     xs = b.ld_param("u64", "xs")
     n = b.ld_param("u32", "n")
@@ -155,13 +159,136 @@ def _predicated_ptx() -> str:
     return b.build()
 
 
+def _predstore_ptx() -> str:
+    """Predicated global store plus a complementary @p/@!p blend pair:
+    only guarded lanes scatter to ys, the rest must keep ys intact."""
+    b = PTXBuilder("psk", [("xs", "u64"), ("ys", "u64"), ("n", "u32")])
+    xs = b.ld_param("u64", "xs")
+    ys = b.ld_param("u64", "ys")
+    n = b.ld_param("u32", "n")
+    tid = b.global_tid_x()
+    b.guard_tid_below(tid, n)
+    x = b.reg("f32")
+    b.ins("ld.global.f32", x, f"[{b.elem_addr(xs, tid)}]")
+    p = b.reg("pred")
+    b.ins("setp.gt.f32", p, x, f32(0.5))
+    t = b.reg("f32")
+    b.ins("mul.f32", t, x, f32(2.0), pred=p)
+    b.ins("add.f32", t, x, f32(1.0), pred=p, pred_neg=True)
+    b.ins("st.global.f32", f"[{b.elem_addr(ys, tid)}]", t, pred=p)
+    return b.build()
+
+
+def _abs_ptx() -> str:
+    """abs has no vector emitter: supported by every scalar tier but
+    still outside the megablock subset (the fallback-path probe)."""
+    b = PTXBuilder("absk", [("xs", "u64"), ("n", "u32")])
+    xs = b.ld_param("u64", "xs")
+    n = b.ld_param("u32", "n")
+    tid = b.global_tid_x()
+    b.guard_tid_below(tid, n)
+    x = b.reg("f32")
+    b.ins("ld.global.f32", x, f"[{b.elem_addr(xs, tid)}]")
+    b.ins("abs.f32", x, x)
+    b.ins("st.global.f32", f"[{b.elem_addr(xs, tid)}]", x)
+    return b.build()
+
+
+def _mixbar_ptx() -> str:
+    """Intra-warp divergence around barriers: tid parity splits every
+    warp in two, and each side holds its own bar.sync.  No faithful
+    vector parking exists (the sides share warps and carry a finite
+    reconvergence pc), so the megablock tier must still bail out."""
+    b = PTXBuilder("mixbar", [("out", "u64")])
+    b.shared("buf", "u32", 32)
+    out = b.ld_param("u64", "out")
+    tid = b.special("%tid.x")
+    base = b.reg("u64")
+    b.ins("mov.u64", base, "buf")
+    par = b.reg("u32")
+    b.ins("and.b32", par, tid, "1")
+    p = b.reg("pred")
+    b.ins("setp.eq.u32", p, par, "1")
+    odd = b.fresh_label("odd")
+    join = b.fresh_label("join")
+    val = b.reg("u32")
+    b.ins(f"bra {odd}", pred=p)
+    b.ins("add.u32", val, tid, "1000")
+    b.ins("st.shared.u32", f"[{b.elem_addr(base, tid)}]", val)
+    b.bar_sync()
+    b.ins(f"bra {join}")
+    b.place(odd)
+    b.ins("add.u32", val, tid, "2000")
+    b.ins("st.shared.u32", f"[{b.elem_addr(base, tid)}]", val)
+    b.bar_sync()
+    b.place(join)
+    mirror = b.reg("u32")
+    b.ins("sub.u32", mirror, "31", tid)
+    got = b.reg("u32")
+    b.ins("ld.shared.u32", got, f"[{b.elem_addr(base, mirror)}]")
+    gtid = b.global_tid_x()
+    b.ins("st.global.u32", f"[{b.elem_addr(out, gtid)}]", got)
+    return b.build()
+
+
+def _parkbail_ptx() -> str:
+    """Parks a frame, then bails: warp 0 takes a warp-uniform side and
+    parks at its bar; warps 1-2 then split *within* each warp and reach
+    a bar that cannot park.  The bailout must hand the parked frame to
+    the scalar engine with ``at_barrier`` already set, or its bar would
+    be issued (and counted) twice."""
+    b = PTXBuilder("parkbail", [("out", "u64")])
+    b.shared("buf", "u32", 96)
+    out = b.ld_param("u64", "out")
+    tid = b.special("%tid.x")
+    base = b.reg("u64")
+    b.ins("mov.u64", base, "buf")
+    pw = b.reg("pred")
+    b.ins("setp.lt.u32", pw, tid, "32")
+    w0 = b.fresh_label("w0")
+    odd = b.fresh_label("odd")
+    merge = b.fresh_label("merge")
+    join = b.fresh_label("join")
+    val = b.reg("u32")
+    b.ins(f"bra {w0}", pred=pw)
+    # Warps 1-2: parity split inside each warp, bar on both sides.
+    par = b.reg("u32")
+    b.ins("and.b32", par, tid, "1")
+    q = b.reg("pred")
+    b.ins("setp.eq.u32", q, par, "1")
+    b.ins(f"bra {odd}", pred=q)
+    b.ins("add.u32", val, tid, "3000")
+    b.ins("st.shared.u32", f"[{b.elem_addr(base, tid)}]", val)
+    b.bar_sync()
+    b.ins(f"bra {merge}")
+    b.place(odd)
+    b.ins("add.u32", val, tid, "4000")
+    b.ins("st.shared.u32", f"[{b.elem_addr(base, tid)}]", val)
+    b.bar_sync()
+    b.place(merge)
+    b.ins(f"bra {join}")
+    # Warp 0: whole-warp side, parks at this bar.
+    b.place(w0)
+    b.ins("add.u32", val, tid, "1000")
+    b.ins("st.shared.u32", f"[{b.elem_addr(base, tid)}]", val)
+    b.bar_sync()
+    b.place(join)
+    mirror = b.reg("u32")
+    b.ins("sub.u32", mirror, "95", tid)
+    got = b.reg("u32")
+    b.ins("ld.shared.u32", got, f"[{b.elem_addr(base, mirror)}]")
+    gtid = b.global_tid_x()
+    b.ins("st.global.u32", f"[{b.elem_addr(out, gtid)}]", got)
+    return b.build()
+
+
 def _build_launch(ptx: str, name: str, *, params=None, grid=(2, 1, 1),
-                  block=(32, 1, 1), quirks=None) -> LaunchContext:
+                  block=(32, 1, 1), quirks=None,
+                  n: int = 64) -> LaunchContext:
     module = parse_module(ptx, "mb")
     kernel = module.kernel(name)
     gm = GlobalMemory()
     if params is None:
-        n = 64
         xs = gm.allocate(4 * n)
         ys = gm.allocate(4 * n)
         rng = np.random.default_rng(3)
@@ -205,11 +332,35 @@ class TestPlan:
         assert any(plan.pruned.values()), \
             "dead address temporaries should be pruned from the flush"
 
-    def test_predicated_non_ld_is_ineligible_with_reason(self):
-        kernel = parse_module(_predicated_ptx(), "p").kernel("pk")
+    @pytest.mark.parametrize("ptx,name", [
+        (_predicated_ptx(), "pk"),
+        (_predstore_ptx(), "psk"),
+    ])
+    def test_predicated_arithmetic_and_stores_are_eligible(self, ptx,
+                                                           name):
+        kernel = parse_module(ptx, "p").kernel(name)
+        plan = compile_megaplan(kernel)
+        assert plan.eligible and not plan.reasons
+
+    def test_unsupported_opcode_is_ineligible_with_reason(self):
+        kernel = parse_module(_abs_ptx(), "p").kernel("absk")
         plan = compile_megaplan(kernel)
         assert not plan.eligible
-        assert any("predicated add" in reason for reason in plan.reasons)
+        assert any("no vector emitter for abs" in reason
+                   for reason in plan.reasons)
+
+    def test_barrier_divergence_flag_reaches_the_plan(self):
+        # saxpy has no divergent branch: its plan would skip the
+        # runtime containment proof if it had a bar.  divbar does
+        # diverge, so its bar controls must carry div=True.
+        kernel = parse_module(_divbar_ptx(), "p").kernel("divbar")
+        plan = compile_megaplan(kernel)
+        bars = [c for c in plan.controls.values() if c["op"] == "bar"]
+        assert bars and all(c["div"] for c in bars)
+        clone = plan_from_payload(plan.to_payload())
+        rebars = [c for c in clone.controls.values()
+                  if c["op"] == "bar"]
+        assert bars == rebars
 
     def test_payload_round_trip_reproduces_the_plan(self):
         kernel = parse_module(_saxpy_ptx(), "p").kernel("sax")
@@ -242,18 +393,29 @@ class TestEngineWiring:
         assert engine.megablock_fallback is None
 
     def test_ineligible_kernel_falls_back_to_superblock(self):
-        launch = _build_launch(_predicated_ptx(), "pk")
+        launch = _build_launch(_abs_ptx(), "absk")
         engine = FunctionalEngine(launch, fast_mode="megablock")
         assert engine.fast_mode == "superblock"
         assert engine._megaplan is None
         assert engine.megablock_fallback
-        assert any("predicated" in r for r in engine.megablock_fallback)
+        assert any("abs" in r for r in engine.megablock_fallback)
+        assert EVENTS["fallbacks"] == 1
 
     def test_fallback_still_produces_reference_results(self):
-        results = _run_all_modes(_predicated_ptx(), "pk")
+        results = _run_all_modes(_abs_ptx(), "absk")
         ref = results.pop("reference")
         for mode, got in results.items():
             assert got == ref, f"{mode} differs from reference"
+
+    def test_predicated_kernel_stays_in_the_vector_tier(self):
+        launch = _build_launch(_predstore_ptx(), "psk")
+        engine = FunctionalEngine(launch, fast_mode="megablock")
+        assert engine.fast_mode == "megablock"
+        assert engine.megablock_fallback is None
+        engine.run()
+        assert EVENTS["fallbacks"] == 0
+        assert EVENTS["bailouts"] == 0
+        assert engine.megablock_bailouts == 0
 
     def test_contract_fp16_bypasses_megablock(self):
         launch = _build_launch(_saxpy_ptx(), "sax")
@@ -288,6 +450,10 @@ class TestDifferential:
         (_divergent_ptx(), "divk", {}),
         (_gridloop_ptx(), "gloop", {"grid": (5, 1, 1)}),
         (_divbar_ptx(), "divbar", {"block": (64, 1, 1)}),
+        (_predicated_ptx(), "pk", {}),
+        (_predstore_ptx(), "psk", {}),
+        (_mixbar_ptx(), "mixbar", {}),
+        (_parkbail_ptx(), "parkbail", {"block": (96, 1, 1), "n": 192}),
     ])
     def test_all_modes_agree(self, ptx, name, kwargs):
         results = _run_all_modes(ptx, name, **kwargs)
@@ -314,6 +480,8 @@ class TestDifferential:
         (_saxpy_ptx(), "sax", {}),
         (_divergent_ptx(), "divk", {}),
         (_gridloop_ptx(), "gloop", {"grid": (3, 1, 1)}),
+        (_predicated_ptx(), "pk", {}),
+        (_predstore_ptx(), "psk", {}),
     ])
     def test_registers_equal_reference(self, ptx, name, kwargs):
         # Reference per-lane register files, kept after the run.
@@ -352,15 +520,21 @@ class TestDifferential:
                 assert got == want, \
                     f"reg {name_} thread {tid}: {got:#x} != {want:#x}"
 
-    def test_divergent_bar_bails_out_and_matches(self):
+    def test_divergent_bar_parks_and_matches(self):
+        # divbar's warps disagree with each other but never with
+        # themselves: the bar-straddling frames park and re-merge in
+        # the vector tier instead of bailing to the scalar engine.
         launch = _build_launch(_divbar_ptx(), "divbar",
                                block=(64, 1, 1))
         engine = FunctionalEngine(launch, fast_mode="megablock")
-        assert engine._megaplan is not None, \
-            "divbar must be plan-eligible (bailout is a runtime event)"
+        assert engine._megaplan is not None
         machine = MegaMachine(engine, engine._megaplan)
         machine.run(RunStats())
-        assert machine.bailouts == 1
+        assert machine.bailouts == 0
+        assert machine.parks >= 1
+        assert machine.releases >= 1
+        assert EVENTS["parked_barriers"] == machine.parks
+        assert EVENTS["released_barriers"] == machine.releases
 
         ref = _build_launch(_divbar_ptx(), "divbar", block=(64, 1, 1))
         FunctionalEngine(ref, fast_mode="reference").run()
@@ -372,6 +546,97 @@ class TestDifferential:
         want = np.array([(63 - t) + (2000 if 63 - t >= 32 else 1000)
                          for t in range(64)], dtype=np.uint32)
         assert (got == want).all()
+
+    def test_intrawarp_bar_still_bails_out_and_matches(self):
+        # Parity divergence inside every warp reaches a bar: no
+        # faithful parking exists, so the chunk must finish on the
+        # scalar engine — with instruction totals still bit-identical
+        # across the bailout boundary (the bar is charged exactly once).
+        launch = _build_launch(_mixbar_ptx(), "mixbar")
+        engine = FunctionalEngine(launch, fast_mode="megablock")
+        assert engine._megaplan is not None
+        stats = engine.run()
+        assert engine.megablock_bailouts == 1
+
+        ref = _build_launch(_mixbar_ptx(), "mixbar")
+        ref_stats = FunctionalEngine(ref, fast_mode="reference").run()
+        assert _memory_image(launch) == _memory_image(ref)
+        assert stats.instructions == ref_stats.instructions
+        assert dict(stats.dynamic_per_opcode) == \
+            dict(ref_stats.dynamic_per_opcode)
+        assert launch.clock == ref.clock
+
+    def test_bailout_with_parked_frame_stays_bit_identical(self):
+        # The bar-recount regression: warp 0 parks (its bar already
+        # counted by the vector clock), then warps 1-2 bail at an
+        # intra-warp bar.  The handed-off scalar state must carry the
+        # parked warp as at_barrier, or run_cta would issue — and
+        # count — warp 0's bar a second time.
+        launch = _build_launch(_parkbail_ptx(), "parkbail",
+                               block=(96, 1, 1), n=192)
+        engine = FunctionalEngine(launch, fast_mode="megablock")
+        assert engine._megaplan is not None
+        machine = MegaMachine(engine, engine._megaplan)
+        run_stats = RunStats()
+        machine.run(run_stats)
+        assert machine.parks == 1
+        assert machine.bailouts == 1
+
+        ref = _build_launch(_parkbail_ptx(), "parkbail",
+                            block=(96, 1, 1), n=192)
+        ref_stats = FunctionalEngine(ref, fast_mode="reference").run()
+        assert _memory_image(launch) == _memory_image(ref)
+        assert run_stats.instructions == ref_stats.instructions
+        assert dict(run_stats.dynamic_per_opcode) == \
+            dict(ref_stats.dynamic_per_opcode)
+        assert launch.clock == ref.clock
+
+    def test_overlapped_chunks_match_sequential_and_reference(
+            self, monkeypatch):
+        # Shrink chunks so a 256-thread saxpy spans four of them, then
+        # run the same launch single-worker, multi-worker and scalar.
+        from repro.functional import megablock
+        monkeypatch.setattr(megablock, "CHUNK_THREADS", 64)
+        results = {}
+        overlapped = {}
+        for workers in ("1", "4"):
+            monkeypatch.setenv("REPRO_MEGABLOCK_WORKERS", workers)
+            reset_events()
+            launch = _build_launch(_saxpy_ptx(), "sax",
+                                   grid=(8, 1, 1), n=256)
+            stats = FunctionalEngine(launch,
+                                     fast_mode="megablock").run()
+            results[workers] = (_memory_image(launch),
+                                stats.instructions,
+                                dict(stats.dynamic_per_opcode),
+                                launch.clock)
+            overlapped[workers] = EVENTS["overlapped_chunks"]
+        assert overlapped["1"] == 0, "single worker must stay serial"
+        assert overlapped["4"] == 4, "expected four overlapped chunks"
+
+        ref = _build_launch(_saxpy_ptx(), "sax", grid=(8, 1, 1), n=256)
+        ref_stats = FunctionalEngine(ref, fast_mode="reference").run()
+        want = (_memory_image(ref), ref_stats.instructions,
+                dict(ref_stats.dynamic_per_opcode), ref.clock)
+        assert results["4"] == results["1"] == want
+
+    def test_barrier_kernel_never_overlaps(self, monkeypatch):
+        # Chunks synchronise nothing between themselves, but a plan
+        # holding a bar keeps the sequential path regardless of the
+        # worker budget.
+        from repro.functional import megablock
+        monkeypatch.setattr(megablock, "CHUNK_THREADS", 64)
+        monkeypatch.setenv("REPRO_MEGABLOCK_WORKERS", "4")
+        launch = _build_launch(_divbar_ptx(), "divbar",
+                               grid=(4, 1, 1), block=(64, 1, 1),
+                               n=256)
+        FunctionalEngine(launch, fast_mode="megablock").run()
+        assert EVENTS["overlapped_chunks"] == 0
+
+        ref = _build_launch(_divbar_ptx(), "divbar", grid=(4, 1, 1),
+                            block=(64, 1, 1), n=256)
+        FunctionalEngine(ref, fast_mode="reference").run()
+        assert _memory_image(launch) == _memory_image(ref)
 
 
 # ---------------------------------------------------------------------------
@@ -482,6 +747,27 @@ class TestKernelCache:
         assert again["counters"]["discards"] == 1
         assert again["counters"]["stores"] == 1  # recompiled + rewrote
         assert again["ys"] == cold["ys"]
+
+    def test_stale_plan_format_is_discarded_and_recompiled(
+            self, tmp_path):
+        # A cache entry written by an older codegen (plan_format skew)
+        # must never be trusted: discard, recompile, rewrite.
+        cache_dir = tmp_path / "xproc"
+        cold = _run_cache_process(cache_dir)
+        entries = list(cache_dir.glob("*-megablock.json"))
+        assert len(entries) == 1
+        entry = json.loads(entries[0].read_text())
+        assert entry["plan_format"] == PLAN_FORMAT
+        entry["plan_format"] = PLAN_FORMAT - 1
+        entries[0].write_text(json.dumps(entry))
+        again = _run_cache_process(cache_dir)
+        assert again["counters"]["hits"] == 0
+        assert again["counters"]["discards"] == 1
+        assert again["counters"]["stores"] == 1
+        assert again["fast_mode"] == "megablock"
+        assert again["ys"] == cold["ys"]
+        fresh = json.loads(entries[0].read_text())
+        assert fresh["plan_format"] == PLAN_FORMAT
 
     def test_stale_analysis_version_is_discarded(self, tmp_path):
         cache_dir = tmp_path / "xproc"

@@ -361,6 +361,70 @@ class TestMegablockTracing:
         assert "kernel cache: hit=1, miss=1" in out
         assert "axpy" in out
 
+    ABSK = """
+.version 6.0
+.target sm_70
+.address_size 64
+.visible .entry absk(
+    .param .u64 p_x
+)
+{
+    .reg .u64 %rd<3>;
+    .reg .u32 %r<2>;
+    .reg .f32 %f<2>;
+    ld.param.u64 %rd1, [p_x];
+    mov.u32 %r1, %tid.x;
+    mul.wide.u32 %rd2, %r1, 4;
+    add.u64 %rd1, %rd1, %rd2;
+    ld.global.f32 %f1, [%rd1];
+    abs.f32 %f1, %f1;
+    st.global.f32 [%rd1], %f1;
+    exit;
+}
+"""
+
+    def _traced_absk(self, tracer):
+        # abs has no vector emitter: a requested megablock launch
+        # falls back to superblock and must say why on the trace.
+        from repro.cuda.runtime import FunctionalBackend
+        from repro.functional import megablock
+        megablock.reset_events()
+        rt = CudaRuntime(tracer=tracer,
+                         backend=FunctionalBackend(fast_mode="megablock"))
+        rt.load_ptx(self.ABSK)
+        x = rt.upload_f32(np.arange(32, dtype=np.float32) - 16.0)
+        rt.launch("absk", 1, 32, [x])
+        rt.synchronize()
+        return rt.download_f32(x, 32)
+
+    def test_fallback_emits_instant_and_counter_series(self):
+        tracer = Tracer()
+        out = self._traced_absk(tracer)
+        assert np.allclose(out, np.abs(np.arange(32) - 16.0))
+        instants = [e for e in tracer.events
+                    if e.cat == "engine" and e.ph == "i"
+                    and e.name == "megablock-fallback:absk"]
+        assert len(instants) == 1
+        assert any("abs" in reason
+                   for reason in instants[0].args["reasons"])
+        counters = [e for e in tracer.events
+                    if e.ph == "C" and e.name == "megablock"]
+        assert counters
+        assert counters[-1].args["fallbacks"] == 1
+        assert counters[-1].args["bailouts"] == 0
+
+    def test_fallback_census_in_cli_summary(self, tmp_path, capsys):
+        from repro.trace.cli import main as trace_main
+        tracer = Tracer()
+        self._traced_absk(tracer)
+        path = write_chrome_trace(tmp_path / "fb.json", tracer)
+        assert trace_main(["summary", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "megablock fallbacks: absk=1" in out
+        assert "no vector emitter for abs" in out
+        assert "megablock tier events:" in out
+        assert "fallbacks=1" in out
+
 
 # ---------------------------------------------------------------------------
 # Committed golden trace (results/lenet_trace.json)

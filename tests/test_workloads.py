@@ -1,4 +1,5 @@
-"""Workload tests: conv_sample and the MNIST sample (functional mode)."""
+"""Workload tests: conv_sample, the MNIST sample and the
+predicated_blend megablock showcase (functional mode)."""
 
 import numpy as np
 import pytest
@@ -6,7 +7,8 @@ import pytest
 from repro.cuda import CudaRuntime
 from repro.cudnn import ConvBwdDataAlgo, ConvBwdFilterAlgo, ConvFwdAlgo
 from repro.workloads import (
-    ConvSample, ConvSampleConfig, MnistSample, MnistSampleConfig)
+    ConvSample, ConvSampleConfig, MnistSample, MnistSampleConfig,
+    PredicatedBlend, PredicatedBlendConfig)
 
 from conftest import conv2d_ref
 
@@ -67,6 +69,40 @@ class TestMnistSample:
     def test_three_images_default(self, runtime):
         """The paper's headline workload size: three images."""
         assert MnistSampleConfig().images == 3
+
+
+class TestPredicatedBlend:
+    def _run(self, mode, ctas=6):
+        from repro.cuda.runtime import FunctionalBackend
+        rt = CudaRuntime(backend=FunctionalBackend(fast_mode=mode))
+        sample = PredicatedBlend(rt, PredicatedBlendConfig(ctas=ctas))
+        profiles = sample.run()
+        insts = sum(p.result.instructions for p in profiles)
+        ys, sums = sample.results()
+        return sample, insts, ys, sums
+
+    def test_matches_the_numpy_reference(self):
+        sample, _, ys, sums = self._run("megablock")
+        want_ys, want_sums = sample.expected()
+        assert (ys == want_ys).all()
+        assert (sums == want_sums).all()
+
+    def test_all_tiers_agree_without_leaving_the_vector_path(self):
+        from repro.functional import megablock
+        megablock.reset_events()
+        seen = {}
+        for mode in ("reference", "fastpath", "superblock",
+                     "megablock"):
+            _, insts, ys, sums = self._run(mode)
+            seen[mode] = (insts, ys.tobytes(), sums.tobytes())
+        ref = seen.pop("reference")
+        for mode, got in seen.items():
+            assert got == ref, f"{mode} differs from reference"
+        # The whole point of the widened subset: predicated stores,
+        # predicated arithmetic and seven barriers, zero fallbacks,
+        # zero bailouts.
+        assert megablock.EVENTS["fallbacks"] == 0
+        assert megablock.EVENTS["bailouts"] == 0
 
 
 class TestZeroFaultCampaign:
