@@ -250,3 +250,56 @@ def test_functional_throughput(benchmark, record, tmp_path, monkeypatch):
     assert warm["counters"]["hits"] > 0, warm
     assert warm["counters"]["misses"] == 0, warm
     assert warm["warp_instructions"] == cold["warp_instructions"]
+
+
+def _lenet_forward_sanitized(mode: str) -> tuple[float, object]:
+    """(throughput, sanitizer) for a sanitize-armed LeNet forward."""
+    backend = FunctionalBackend(fast_mode=mode, sanitize=True)
+    rt = CudaRuntime(backend=backend)
+    rt.load_binary(build_application_binary())
+    model = LeNet(Cudnn(rt), LeNetConfig())
+    images, _labels = synthetic_mnist(2, model.config.input_hw, seed=7)
+    start_profiles = len(rt.profiles)
+    start = time.perf_counter()
+    model.forward(images)
+    wall = time.perf_counter() - start
+    instructions = sum(p.result.instructions
+                       for p in rt.profiles[start_profiles:])
+    return instructions / wall, backend.sanitize
+
+
+def test_sanitizer_overhead(record, monkeypatch):
+    """The sanitizer's two performance bars, on the LeNet forward pass:
+    disabled it costs nothing (within 5% of the sanitize-off recorded
+    run, same guarantee as the tracer), and enabled the megablock tier
+    keeps >= 5x over superblock because statically proven accesses skip
+    their dynamic checks."""
+    monkeypatch.setenv("REPRO_CACHE_DISABLE", "1")
+
+    def throughput(result):
+        instructions, wall = result
+        return instructions / wall
+
+    recorded = throughput(_lenet_forward("megablock"))
+    # Best-of-2 to shed scheduler noise, mirroring the tracer guard.
+    sanitize_off = max(throughput(_lenet_forward("megablock"))
+                       for _ in range(2))
+
+    mb_on, mb_san = _lenet_forward_sanitized("megablock")
+    sb_on, sb_san = _lenet_forward_sanitized("superblock")
+    report = {
+        "recorded_off": round(recorded),
+        "sanitize_off": round(sanitize_off),
+        "off_over_recorded": round(sanitize_off / recorded, 3),
+        "megablock_on": round(mb_on),
+        "superblock_on": round(sb_on),
+        "megablock_on_over_superblock_on": round(mb_on / sb_on, 2),
+        "megablock_skipped_proven": mb_san.counters["skipped_proven"],
+    }
+    record("sanitizer_overhead", json.dumps(report, indent=2))
+
+    assert mb_san.findings_list() == []
+    assert sb_san.findings_list() == []
+    assert mb_san.counters["skipped_proven"] > 0, report
+    assert sanitize_off >= 0.95 * recorded, report
+    assert mb_on / sb_on >= 5.0, report

@@ -16,6 +16,9 @@ from __future__ import annotations
 from repro.analysis.findings import (
     ERROR, Finding, INFO, LintReport, WARNING, sort_findings)
 from repro.analysis.lints import LINT_PASSES, run_lints
+from repro.analysis.ranges import (
+    Affine, MemFact, RangeInfo, analyze_ranges, facts_from_payload,
+    facts_to_payload, kernel_facts, prove_launch, thread_injective)
 from repro.analysis.vectorize import (
     ANALYSIS_VERSION, VectorReport, classify_kernel, grid_variance)
 from repro.analysis.verifier import QUIRK_RULES, verify_kernel
@@ -24,11 +27,13 @@ from repro.ptx.ast import Kernel, PTXModule
 from repro.quirks import LegacyQuirks
 
 __all__ = [
-    "ANALYSIS_VERSION", "ERROR", "WARNING", "INFO", "Finding",
-    "LintReport", "QUIRK_RULES", "LINT_PASSES", "VectorReport",
-    "analyze_kernel", "analyze_module", "classify_kernel",
-    "grid_variance", "run_lints", "sort_findings", "verify_kernel",
-    "verify_launch",
+    "ANALYSIS_VERSION", "ERROR", "WARNING", "INFO", "Affine",
+    "Finding", "LintReport", "MemFact", "QUIRK_RULES", "LINT_PASSES",
+    "RangeInfo", "VectorReport", "analyze_kernel", "analyze_module",
+    "analyze_ranges", "classify_kernel", "facts_from_payload",
+    "facts_to_payload", "grid_variance", "kernel_facts",
+    "prove_launch", "run_lints", "sort_findings", "thread_injective",
+    "verify_kernel", "verify_launch",
 ]
 
 

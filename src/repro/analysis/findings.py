@@ -5,9 +5,15 @@ Rule-id namespaces:
 * ``V1xx`` — typed-instruction verifier (structure/typing errors).
 * ``Q2xx`` — "kernel depends on an active quirk" diagnostics, keyed to
   :class:`repro.quirks.LegacyQuirks` flags.
-* ``D3xx`` — dataflow lints (uninitialised read, dead store).
+* ``D3xx`` — dataflow lints (uninitialised read, dead store,
+  non-pointer global load).
 * ``C4xx`` — control-flow lints (divergent barrier).
-* ``M5xx`` — memory lints (static shared-memory race heuristic).
+* ``M5xx`` — static memory lints (shared-memory race check, definite
+  out-of-bounds, definite misalignment — range-analysis backed).
+* ``S6xx`` — dynamic sanitizer findings (:mod:`repro.sanitize`):
+  out-of-bounds access S601, uninitialised global read S602,
+  shared-memory data race S603, divergent barrier S604, misaligned
+  access S605.
 """
 
 from __future__ import annotations

@@ -8,9 +8,14 @@ Passes::
 
     D301  register may be read before initialisation
     D302  dead store (definition with no reachable use)
+    D303  global load from a non-pointer (fabricated) address
     C401  bar.sync reachable under thread-divergent control flow
           before the branch's IPDOM reconvergence point
-    M501  static shared-memory race heuristic
+    M501  static shared-memory race check (range-analysis backed:
+          thread-injective stores are proven benign, provable
+          overlaps are errors, the rest stays heuristic)
+    M502  definite out-of-bounds access (negative offset from base)
+    M503  definite misalignment (access size never divides address)
 """
 
 from __future__ import annotations
@@ -18,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.analysis import dataflow
+from repro.analysis import dataflow, ranges
 from repro.analysis.dataflow import UNINIT, defs_of, uses_of
 from repro.analysis.findings import ERROR, Finding, WARNING
 from repro.functional.cfg import build_cfg, prepare_kernel
@@ -38,6 +43,7 @@ class LintContext:
     _live: dataflow.Solution | None = None
     _variance: dataflow.Solution | None = None
     _chains: dataflow.DefUseChains | None = None
+    _ranges: ranges.RangeInfo | None = None
 
     @property
     def graph(self):
@@ -62,6 +68,12 @@ class LintContext:
         if self._chains is None:
             self._chains = dataflow.def_use_chains(self.kernel)
         return self._chains
+
+    @property
+    def ranges(self) -> ranges.RangeInfo:
+        if self._ranges is None:
+            self._ranges = ranges.analyze_ranges(self.kernel)
+        return self._ranges
 
     def finding(self, rule: str, severity: str, inst: Instruction,
                 message: str) -> Finding:
@@ -184,7 +196,53 @@ def lint_divergent_barriers(ctx: LintContext) -> list[Finding]:
 
 
 # ----------------------------------------------------------------------
-# M501: static shared-memory race heuristic
+# M502 / M503 / D303: range-analysis memory lints
+# ----------------------------------------------------------------------
+def lint_range_memory(ctx: LintContext) -> list[Finding]:
+    """Definite-error memory lints from the affine address forms.
+
+    These fire only on *proofs* — facts that hold in every possible
+    launch — so all three are safe to gate launches on:
+
+    * M502: some thread certainly accesses below its base pointer
+      (e.g. ``[%rd0 + -4]`` where ``%rd0`` came straight from a param).
+    * M503: the address is misaligned for the access width no matter
+      the launch (all varying contributions are multiples of the
+      width, the residual constant is not).
+    * D303: a ``ld.global`` whose address provably contains no pointer
+      at all — a fabricated/constant address that can only ever read
+      unallocated (hence uninitialised) memory.
+    """
+    findings: list[Finding] = []
+    for pc in sorted(ctx.ranges.facts):
+        fact = ctx.ranges.facts[pc]
+        inst = ctx.kernel.body[pc]
+        if ranges.static_oob_below(fact):
+            findings.append(ctx.finding(
+                "M502", ERROR, inst,
+                f"{inst.opcode}.{fact.space} at address "
+                f"[{fact.addr.render()}] reaches {fact.addr.const} "
+                "bytes below its base for the origin thread in every "
+                "launch"))
+        if ranges.static_misaligned(fact):
+            findings.append(ctx.finding(
+                "M503", ERROR, inst,
+                f"{fact.nbytes}-byte {inst.opcode}.{fact.space} at "
+                f"[{fact.addr.render()}] is misaligned in every launch "
+                f"(address ≡ {fact.addr.const % fact.nbytes} "
+                f"mod {fact.nbytes})"))
+        if (fact.space == "global" and not fact.is_write
+                and not ranges.pointer_symbols(fact.addr)):
+            findings.append(ctx.finding(
+                "D303", WARNING, inst,
+                "global load address derives from no kernel parameter "
+                "or module symbol — it can only read unallocated "
+                f"(uninitialised) memory [{fact.addr.render()}]"))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# M501: static shared-memory race check (range-analysis backed)
 # ----------------------------------------------------------------------
 def _address_signature(ctx: LintContext, inst: Instruction):
     """(base defs, offset) identity of a ld/st address, for comparing
@@ -213,30 +271,61 @@ def _is_variant_address(ctx: LintContext, inst: Instruction) -> bool:
 def lint_shared_races(ctx: LintContext) -> list[Finding]:
     kernel = ctx.kernel
     graph = ctx.graph
+    facts = ctx.ranges.facts
     findings: list[Finding] = []
     shared_sts = [i for i in kernel.body
                   if i.opcode == "st" and i.space == "shared"]
     for st in shared_sts:
+        st_fact = facts.get(st.index)
         st_variant = _is_variant_address(ctx, st)
         variant_in = ctx.variance.before.get(st.index, frozenset())
         guarded = st.pred is not None and st.pred in variant_in
         if not st_variant and not guarded:
-            findings.append(ctx.finding(
-                "M501", WARNING, st,
-                "all lanes store to the same shared address with no "
-                "thread-variant guard (write-write race)"))
+            if st_fact is not None and ranges.uniform_address(st_fact):
+                # Range analysis confirms the heuristic: every thread
+                # computes the *same* address, so with more than one
+                # thread the overlap is certain, not suspected.
+                findings.append(ctx.finding(
+                    "M501", ERROR, st,
+                    "every thread stores to the same shared address "
+                    f"[{st_fact.addr.render()}] with no thread-variant "
+                    "guard — a certain write-write race for any "
+                    "multi-thread CTA"))
+            else:
+                findings.append(ctx.finding(
+                    "M501", WARNING, st,
+                    "all lanes store to the same shared address with "
+                    "no thread-variant guard (write-write race)"))
             continue
-        # RAW heuristic: a ld.shared reachable from the store with no
-        # intervening bar.sync.  Flag only when exactly one side has a
-        # thread-variant address — a uniform reader of variant writes
-        # (or vice versa) crosses lanes for certain, while two variant
-        # accesses are usually an owner-computes partition (each lane
-        # touching its own slice), which this static check cannot
-        # distinguish from a race.
+        # RAW check: a ld.shared reachable from the store with no
+        # intervening bar.sync.  When both sides have affine address
+        # forms the range analysis decides exactly; otherwise fall
+        # back to the variance heuristic — flag only when exactly one
+        # side has a thread-variant address, since two variant
+        # accesses are usually an owner-computes partition.
         st_sig = _address_signature(ctx, st)
         for ld in _shared_loads_before_barrier(ctx, graph, st):
             if _address_signature(ctx, ld) == st_sig:
                 continue                # same per-lane address: benign
+            ld_fact = facts.get(ld.index)
+            if (st_fact is not None and ld_fact is not None
+                    and st_fact.addr.coeffs == ld_fact.addr.coeffs):
+                delta = ld_fact.addr.const - st_fact.addr.const
+                stride = st_fact.addr.coeff("%tid.x")
+                if delta == 0:
+                    continue            # same per-lane address: benign
+                if stride and ranges.thread_injective(st_fact):
+                    if delta % stride:
+                        # The load sits strictly between two lanes'
+                        # slots: provably disjoint, suppress the old
+                        # false positive.
+                        continue
+                    findings.append(ctx.finding(
+                        "M501", ERROR, ld,
+                        f"ld.shared provably reads lane tid-"
+                        f"{delta // stride}'s slot written at pc "
+                        f"{st.index} with no intervening bar.sync"))
+                    continue
             if _is_variant_address(ctx, ld) == st_variant:
                 continue
             findings.append(ctx.finding(
@@ -281,6 +370,7 @@ LINT_PASSES: dict[str, LintPass] = {
     "dead-store": lint_dead_stores,
     "divergent-barrier": lint_divergent_barriers,
     "shared-race": lint_shared_races,
+    "range-memory": lint_range_memory,
 }
 
 

@@ -30,7 +30,9 @@ from repro.analysis.dataflow import (
 from repro.ptx.ast import Kernel
 
 #: Version of the vectorizability facts (cache-key component).
-ANALYSIS_VERSION = 1
+#: 2: megablock plans additionally carry affine memory facts from
+#: :mod:`repro.analysis.ranges`.
+ANALYSIS_VERSION = 2
 
 #: Specials that may differ between two threads *of the grid*.
 _GRID_VARIANT_SPECIALS = ("%tid", "%laneid", "%clock", "%ctaid", "%warpid")

@@ -90,7 +90,8 @@ class FunctionalBackend:
 
     def __init__(self, *, fast_mode: str = "superblock",
                  on_exec=None, exec_override=None,
-                 verify: bool = False) -> None:
+                 verify: bool = False,
+                 sanitize=None) -> None:
         self.fast_mode = fast_mode
         #: Optional per-instruction hooks forwarded to FunctionalEngine
         #: (fault injection / instrumentation); either forces the
@@ -100,6 +101,14 @@ class FunctionalBackend:
         #: Run the static verifier before every launch (VerificationError
         #: on error-severity findings).
         self.verify = verify
+        #: Shadow-state sanitizer shared by every launch of the backend
+        #: (pass True for a fresh one, or an existing Sanitizer to
+        #: accumulate findings across runtimes).  The owning CudaRuntime
+        #: attaches shadow memory and the poison read policy at init.
+        if sanitize is True:
+            from repro.sanitize.core import Sanitizer
+            sanitize = Sanitizer()
+        self.sanitize = sanitize or None
         #: Set by the owning CudaRuntime when tracing is on.
         self.tracer = NULL_TRACER
 
@@ -109,6 +118,7 @@ class FunctionalBackend:
                                   on_exec=self.on_exec,
                                   exec_override=self.exec_override,
                                   verify=self.verify,
+                                  sanitize=self.sanitize,
                                   tracer=tracer)
         stats = engine.run()
         if tracer.enabled:
@@ -137,6 +147,14 @@ class CudaRuntime:
         self.program = LoadedProgram()
         self.textures = TextureSystem(quirks)
         self.backend = backend or FunctionalBackend()
+        if getattr(self.backend, "sanitize", None) is not None:
+            # Arm shadow state before any host upload: initialized-byte
+            # tracking must see every memcpy from the first, and the
+            # poison policy keeps stale reads from masquerading as
+            # legitimate zeros (satellite of the sanitizer issue).
+            from repro.sanitize.shadow import attach_shadow
+            attach_shadow(self.global_mem)
+            self.global_mem.uninit_read = "poison"
         self.default_stream = CudaStream(stream_id=0)
         self.streams: list[CudaStream] = [self.default_stream]
         #: Single monotonic sim-time source shared by the virtual

@@ -143,7 +143,13 @@ class _InstructionSite(SiteAdapter):
     """Shared machinery for sites targeting one static instruction."""
 
     def attach(self, runtime) -> None:
-        runtime.backend = FaultingFunctionalBackend(runtime, self)
+        # Keep an armed sanitizer across the backend swap: fault
+        # campaigns may run with shadow-state checking on, and the
+        # engine chains the two on_exec hooks (fault fires first, so
+        # the sanitizer observes the corrupted state).
+        runtime.backend = FaultingFunctionalBackend(
+            runtime, self,
+            sanitize=getattr(runtime.backend, "sanitize", None))
 
     def _target(self, kernel: ast.Kernel, target_pc: int
                 ) -> tuple[str, int]:
@@ -281,10 +287,12 @@ class FaultingFunctionalBackend:
     name = "functional+fault"
 
     def __init__(self, runtime, adapter: _InstructionSite, *,
-                 fast_mode: str = "superblock") -> None:
+                 fast_mode: str = "superblock", sanitize=None) -> None:
         self.runtime = runtime
         self.adapter = adapter
         self.fast_mode = fast_mode
+        #: Sanitizer inherited from the backend this one replaced.
+        self.sanitize = sanitize
         self._launches_seen: dict[str, int] = defaultdict(int)
         #: Set by the owning CudaRuntime when tracing is on.
         self.tracer = NULL_TRACER
@@ -313,7 +321,8 @@ class FaultingFunctionalBackend:
                 target_pc = self._resolve_pc(kernel)
                 hooks = self.adapter.make_hooks(kernel, target_pc)
         stats = FunctionalEngine(launch, fast_mode=self.fast_mode,
-                                 tracer=self.tracer, **hooks).run()
+                                 tracer=self.tracer,
+                                 sanitize=self.sanitize, **hooks).run()
         return KernelRunResult(
             instructions=stats.instructions, cycles=0,
             stats={"per_opcode": stats.dynamic_per_opcode})

@@ -134,6 +134,7 @@ class FunctionalEngine:
                  contract_fp16: bool = False,
                  verify: bool = False,
                  fast_mode: str = "superblock",
+                 sanitize=None,
                  tracer=None) -> None:
         if fast_mode not in FAST_MODES:
             raise ValueError(f"unknown fast_mode {fast_mode!r}; "
@@ -235,6 +236,39 @@ class FunctionalEngine:
                 blocks = cached[1]
             self._superblocks = blocks
         self.fast_mode = fast_mode
+        #: Armed sanitizer (repro.sanitize.core.Sanitizer) or None.
+        self.sanitizer = None
+        if sanitize:
+            if sanitize is True:
+                from repro.sanitize.core import Sanitizer
+                sanitize = Sanitizer()
+            self.sanitizer = sanitize
+            if sanitize.tracer is None:
+                sanitize.tracer = tracer
+            # A megablock plan carries its affine memory facts; reuse
+            # them so arming costs no extra dataflow solve.  The proof
+            # sets are launch-specific and always re-evaluated.
+            facts = (self._megaplan.facts
+                     if self._megaplan is not None else None)
+            sanitize.begin_launch(launch, facts=facts)
+            if self._megaplan is None:
+                # Scalar tiers observe through on_exec.  Chaining keeps
+                # an existing observer (fault injection, timing feed)
+                # first so the sanitizer sees post-hook state.  The
+                # megablock tier instead runs vectorized checks inside
+                # MegaMachine and must keep on_exec clear (it is a
+                # vector-tier admission condition).
+                prev = self.on_exec
+                if prev is None:
+                    self.on_exec = sanitize.hook
+                else:
+                    hook = sanitize.hook
+
+                    def chained(record, _prev=prev, _hook=hook):
+                        _prev(record)
+                        _hook(record)
+
+                    self.on_exec = chained
 
     # ------------------------------------------------------------------
     # Megablock plan loading (disk cache -> in-process cache -> compile)
@@ -583,6 +617,24 @@ class FunctionalEngine:
             if tracer.enabled:
                 tracer.counter("megablock", dict(EVENTS))
             return stats
+        restore_hook = False
+        if self.sanitizer is not None and self.on_exec is None:
+            # A megaplan normally keeps on_exec clear (vector-tier
+            # checks run inside MegaMachine); when tracing forces this
+            # scalar fallback, the step path must observe instead.
+            self.on_exec = self.sanitizer.hook
+            restore_hook = True
+        try:
+            self._run_range_scalar(first_cta, limit_cta, stats,
+                                   trace_ctas)
+        finally:
+            if restore_hook:
+                self.on_exec = None
+        return stats
+
+    def _run_range_scalar(self, first_cta: int, limit_cta: int,
+                          stats: RunStats, trace_ctas: bool) -> None:
+        tracer = self.tracer
         for cta_linear in range(first_cta, limit_cta):
             cta = CTAState(self.launch, cta_linear)
             stats.ctas_launched += 1
@@ -599,4 +651,3 @@ class FunctionalEngine:
                 tracer.end(ts=base + self.launch.clock)
             else:
                 self.run_cta(cta, stats)
-        return stats

@@ -52,6 +52,8 @@ from concurrent.futures import ThreadPoolExecutor
 import numpy as np
 
 from repro.analysis.dataflow import liveness
+from repro.analysis.ranges import (
+    ALIGN, BOUNDS, INIT, INJECTIVE, facts_from_payload, kernel_facts)
 from repro.analysis.vectorize import classify_kernel
 from repro.errors import SimulationFault
 from repro.functional import npops
@@ -65,7 +67,8 @@ from repro.ptx.values import MASK64
 
 #: Bump when the generated-code shape or plan schema changes (cache key).
 #: 2: predicated mask-blend codegen, per-barrier divergence flag.
-PLAN_FORMAT = 2
+#: 3: pc-tagged VM.ld/VM.st calls + range-fact payload (sanitizer).
+PLAN_FORMAT = 3
 
 #: Threads per lockstep chunk (whole CTAs; at least one per chunk).
 CHUNK_THREADS = 65536
@@ -658,8 +661,8 @@ def _e_ld(inst: ast.Instruction, g: _VecGen) -> bool:
             else f"({addr}) + np.uint64({index * nbytes})"
         t = g._tmp()
         g.body.append(
-            f"    {t} = VM.ld({space!r}, {nbytes}, {a_expr}, {pm}, "
-            f"{signed}, {dtype.bits})")
+            f"    {t} = VM.ld({inst.index}, {space!r}, {nbytes}, "
+            f"{a_expr}, {pm}, {signed}, {dtype.bits})")
         g.write_raw(d.name, t, merge)
     return True
 
@@ -690,7 +693,7 @@ def _e_st(inst: ast.Instruction, g: _VecGen) -> bool:
         a_expr = addr if index == 0 \
             else f"({addr}) + np.uint64({index * nbytes})"
         g.body.append(
-            f"    VM.st({space!r}, {nbytes}, {a_expr}, "
+            f"    VM.st({inst.index}, {space!r}, {nbytes}, {a_expr}, "
             f"H.p64({val}), {pm})")
     return True
 
@@ -746,7 +749,7 @@ class MegaPlan:
 
     def __init__(self, kernel_name: str, body_len: int, eligible: bool,
                  reasons: list[str], blocks: dict, controls: dict,
-                 reconvergence: dict) -> None:
+                 reconvergence: dict, facts: dict | None = None) -> None:
         self.kernel_name = kernel_name
         self.body_len = body_len
         self.eligible = eligible
@@ -754,6 +757,10 @@ class MegaPlan:
         self.blocks = blocks  # start pc -> _VecBlock
         self.controls = controls  # pc -> control descriptor dict
         self.reconvergence = reconvergence
+        #: pc -> MemFact: the range pass's affine memory facts, carried
+        #: in the plan so a cached kernel (whose body never re-parses)
+        #: still arms the sanitizer's launch-time proofs.
+        self.facts = facts if facts is not None else {}
 
     @property
     def pruned(self) -> dict:
@@ -776,6 +783,8 @@ class MegaPlan:
                          for pc, ctrl in self.controls.items()},
             "reconvergence": {str(pc): rpc
                               for pc, rpc in self.reconvergence.items()},
+            "facts": [self.facts[pc].to_dict()
+                      for pc in sorted(self.facts)],
         }
 
 
@@ -813,7 +822,8 @@ def plan_from_payload(payload: dict) -> MegaPlan:
         reasons=[str(r) for r in payload["reasons"]],
         blocks=blocks, controls=controls,
         reconvergence={int(pc): int(rpc) for pc, rpc
-                       in payload["reconvergence"].items()})
+                       in payload["reconvergence"].items()},
+        facts=facts_from_payload(payload.get("facts", [])))
 
 
 def compile_megaplan(kernel) -> MegaPlan:
@@ -902,7 +912,8 @@ def compile_megaplan(kernel) -> MegaPlan:
     return MegaPlan(kernel_name=kernel.name, body_len=n,
                     eligible=eligible, reasons=reasons, blocks=blocks,
                     controls=controls,
-                    reconvergence=dict(kernel.reconvergence))
+                    reconvergence=dict(kernel.reconvergence),
+                    facts=kernel_facts(kernel))
 
 
 # ----------------------------------------------------------------------
@@ -932,6 +943,9 @@ class MegaMachine:
         self.engine = engine
         self.launch = engine.launch
         self.plan = plan
+        #: armed Sanitizer (or None): ld/st run masked shadow checks,
+        #: bars run the synccheck and advance the racecheck epoch.
+        self._san = getattr(engine, "sanitizer", None)
         #: chunks that hit an unparkable barrier and finished scalar.
         self.bailouts = 0
         #: divergent frames parked at a barrier / re-merged past one.
@@ -958,13 +972,15 @@ class MegaMachine:
             chunks.append((start, nct))
             start += nct
         workers = chunk_workers()
-        if (len(chunks) > 1 and workers > 1
+        if (len(chunks) > 1 and workers > 1 and self._san is None
                 and not any(c["op"] == "bar"
                             for c in self.plan.controls.values())):
             # Chunks are CTA-disjoint, so they commute exactly like the
             # service layer's CTA shards.  Barrier kernels stay on the
             # sequential path: a park/bailout mutates launch-wide state
-            # (scalar continuation, tracer) that must not race.
+            # (scalar continuation, tracer) that must not race.  The
+            # sanitizer also forces sequential chunks — its finding
+            # funnel and shadow absorption are not thread-safe.
             self._run_overlapped(chunks, stats, workers)
             return
         # Casting f64->f32 with overflow emits RuntimeWarnings the
@@ -1078,6 +1094,40 @@ class MegaMachine:
         self.pmem, self.p_len = self._arena_np(launch.param_mem)
         self.cmem, self.c_len = self._arena_np(launch.const_mem)
         self._views: dict[tuple, np.ndarray] = {}
+        self._init = None
+        if self._san is not None:
+            self._setup_sanitize(gm, span)
+
+    def _setup_sanitize(self, gm, span: int) -> None:
+        """Chunk-local shadow state mirroring the scalar hook's tables.
+
+        Global: a sorted allocation interval table for vectorized
+        bounds proofs plus a dense 0/1 init mirror (exported from the
+        launch's :class:`ShadowMemory`, absorbed back at chunk end).
+        Shared: flat last-writer / last-reader tables (epoch, thread)
+        over every CTA's shared window, advanced per completed barrier.
+        """
+        allocs = gm.allocations
+        bases = sorted(allocs)
+        self._ab = np.array(bases, np.uint64)
+        self._ae = self._ab + np.array(
+            [allocs[b] for b in bases], np.uint64)
+        shadow = gm.shadow
+        if shadow is not None:
+            self._init = shadow.dense_init(GLOBAL_BASE, self.gspan)
+        #: retirement pc per thread (body_len + 1 = still running) —
+        #: the synccheck excuses only exits that precede the bar.
+        self._exit_pc = np.full(self.T, self.plan.body_len + 1,
+                                np.int64)
+        tpb = self.launch.threads_per_block
+        self._tid_in_cta = (np.arange(self.T, dtype=np.int64)
+                            - self.ctaidx.astype(np.int64) * tpb)
+        ns = self.nct * span
+        self._sw_epoch = np.full(ns, -1, np.int64)
+        self._sw_thread = np.full(ns, -1, np.int64)
+        self._sr_epoch = np.full(ns, -1, np.int64)
+        self._sr_thread = np.full(ns, -1, np.int64)
+        self._san_epoch = np.zeros(self.nct, np.int64)
 
     # -- generated-code runtime API ------------------------------------
     def reg(self, name: str) -> np.ndarray:
@@ -1134,8 +1184,8 @@ class MegaMachine:
         raise SimulationFault(
             f"access [{a}, {a + nbytes}) outside arena of {size} bytes")
 
-    def ld(self, space: str, nbytes: int, addr, pm, signed: bool,
-           bits: int) -> np.ndarray:
+    def ld(self, pc: int, space: str, nbytes: int, addr, pm,
+           signed: bool, bits: int) -> np.ndarray:
         if not isinstance(addr, np.ndarray):
             if space in ("param", "const"):
                 # Truly uniform (one arena for the whole grid): read
@@ -1151,6 +1201,8 @@ class MegaMachine:
             addr = np.full(self.T, np.uint64(int(addr) & MASK64))
         ok = None
         if space == "global":
+            if self._san is not None:
+                self._san_global(pc, addr, pm, nbytes, False)
             rel = addr - np.uint64(GLOBAL_BASE)
             if self.gspan >= nbytes:
                 ok = rel <= np.uint64(self.gspan - nbytes)
@@ -1166,6 +1218,8 @@ class MegaMachine:
             bad = pm & (addr > np.uint64(limit))
             if bad.any():
                 self._fault(addr, bad, nbytes, self.S_real)
+            if self._san is not None:
+                self._san_shared(pc, addr, pm, nbytes, False)
             idx = self.srow + np.where(pm, addr, np.uint64(0))
             raw = self._gather("s", self.smem, idx, nbytes)
         else:  # param / const
@@ -1181,13 +1235,16 @@ class MegaMachine:
             raw = npops.p64(npops.s(raw, bits))
         return raw
 
-    def st(self, space: str, nbytes: int, addr, val, pm) -> None:
+    def st(self, pc: int, space: str, nbytes: int, addr, val,
+           pm) -> None:
         if not isinstance(addr, np.ndarray):
             addr = np.full(self.T, np.uint64(int(addr) & MASK64))
         val = np.asarray(val)
         if val.ndim == 0:
             val = np.broadcast_to(val.astype(np.uint64), (self.T,))
         if space == "global":
+            if self._san is not None:
+                self._san_global(pc, addr, pm, nbytes, True)
             rel = addr - np.uint64(GLOBAL_BASE)
             if self.gspan >= nbytes:
                 ok = pm & (rel <= np.uint64(self.gspan - nbytes))
@@ -1197,12 +1254,20 @@ class MegaMachine:
             if not sel.size:
                 return
             idx = rel[sel]
+            if self._init is not None:
+                # Mirror gm.write's auto-marking: these bytes are now
+                # initialized (absorbed into the shadow at chunk end).
+                ii = idx.astype(np.int64)
+                for k in range(nbytes):
+                    self._init[ii + k] = 1
             key, buf = "g", self.gmem
         elif space == "shared":
             limit = self.S_real - nbytes
             bad = pm & (addr > np.uint64(limit))
             if bad.any():
                 self._fault(addr, bad, nbytes, self.S_real)
+            if self._san is not None:
+                self._san_shared(pc, addr, pm, nbytes, True)
             sel = np.nonzero(pm)[0]
             if not sel.size:
                 return
@@ -1221,6 +1286,190 @@ class MegaMachine:
             for k in range(nbytes):
                 buf[ii + k] = ((v >> np.uint64(8 * k))
                                & np.uint64(0xFF)).astype(np.uint8)
+
+    # -- sanitizer checks (vector twins of Sanitizer._check_*) ----------
+    def _san_global(self, pc: int, addr: np.ndarray, pm: np.ndarray,
+                    nbytes: int, is_write: bool) -> None:
+        """Masked bounds / alignment / init check for one global op.
+
+        Runs the same rule set as ``Sanitizer._check_global`` over the
+        whole chunk at once, skipping exactly the checks the range pass
+        proved for this pc.  Findings funnel through the shared
+        :meth:`Sanitizer.record`, so the (kernel, rule, pc) key is
+        identical to the scalar tiers'.
+        """
+        san = self._san
+        proofs = san.proofs.get(pc, frozenset())
+        sel = np.flatnonzero(pm)
+        if not sel.size:
+            return
+        a = addr[sel]
+        n = int(sel.size)
+        kname = self.launch.kernel.name
+        kind = "store" if is_write else "load"
+        counters = san.counters
+        inb = np.ones(n, bool)
+        if BOUNDS in proofs:
+            counters["skipped_proven"] += n
+        else:
+            counters["checked_accesses"] += n
+            pos = np.searchsorted(self._ab, a,
+                                  side="right").astype(np.int64) - 1
+            has = pos >= 0
+            end = self._ae[np.where(has, pos, 0)]
+            inb = has & (a + np.uint64(nbytes) <= end)
+            bad = ~inb
+            if bad.any():
+                ai = int(a[int(np.flatnonzero(bad)[0])])
+                span = self.launch.global_mem.allocation_containing(ai)
+                if span is None:
+                    msg = (f"out-of-bounds global {kind} of {nbytes} "
+                           f"bytes at {ai:#x}: no live allocation "
+                           "contains the address")
+                else:
+                    msg = (f"out-of-bounds global {kind} of {nbytes} "
+                           f"bytes at {ai:#x}: overruns allocation "
+                           f"[{span[0]:#x}, {span[0] + span[1]:#x})")
+                san.record("S601", kname, pc, msg,
+                           count=int(bad.sum()))
+        if nbytes in (2, 4, 8, 16):
+            if ALIGN in proofs:
+                counters["skipped_proven"] += n
+            else:
+                mis = (a & np.uint64(nbytes - 1)) != 0
+                if mis.any():
+                    ai = int(a[int(np.flatnonzero(mis)[0])])
+                    san.record(
+                        "S605", kname, pc,
+                        f"misaligned global {kind}: address {ai:#x} is "
+                        f"not {nbytes}-byte aligned",
+                        count=int(mis.sum()))
+        if not is_write:
+            if INIT in proofs:
+                counters["skipped_proven"] += n
+            elif self._init is not None:
+                chk = np.flatnonzero(inb)
+                if chk.size:
+                    ri = (a[chk]
+                          - np.uint64(GLOBAL_BASE)).astype(np.int64)
+                    flags = np.ones(chk.size, bool)
+                    for k in range(nbytes):
+                        flags &= self._init[ri + k] != 0
+                    unin = ~flags
+                    if unin.any():
+                        i = chk[int(np.flatnonzero(unin)[0])]
+                        san.record(
+                            "S602", kname, pc,
+                            f"global load of {nbytes} uninitialized "
+                            f"bytes at {int(a[i]):#x} (never written "
+                            "by host or device)",
+                            count=int(unin.sum()))
+
+    def _san_shared(self, pc: int, addr: np.ndarray, pm: np.ndarray,
+                    nbytes: int, is_write: bool) -> None:
+        """Byte-granular barrier-interval racecheck, vectorized.
+
+        Accesses are checked against the chunk's last-writer /
+        last-reader tables (epoch-stamped, -1 = never), then against
+        each other (an intra-op duplicate byte with two different
+        threads is the all-lanes-write-one-slot race the scalar tier
+        catches lane by lane), then folded into the tables.  An
+        INJECTIVE proof waives only write-vs-write, like the scalar
+        check.
+        """
+        san = self._san
+        proofs = san.proofs.get(pc, frozenset())
+        sel = np.flatnonzero(pm)
+        if not sel.size:
+            return
+        idx0 = (self.srow[sel] + addr[sel]).astype(np.int64)
+        thr = self._tid_in_cta[sel]
+        san.counters["checked_accesses"] += int(sel.size)
+        b = (idx0[:, None]
+             + np.arange(nbytes, dtype=np.int64)).ravel()
+        t = np.repeat(thr, nbytes)
+        ep = self._san_epoch[b // self.S]
+        kname = self.launch.kernel.name
+        ww_waived = is_write and INJECTIVE in proofs
+        if ww_waived:
+            san.counters["skipped_proven"] += int(sel.size)
+        pw = (self._sw_epoch[b] == ep) & (self._sw_thread[b] != t)
+        if not ww_waived and pw.any():
+            i = int(np.flatnonzero(pw)[0])
+            what = ("write-after-write" if is_write
+                    else "read-after-write")
+            san.record(
+                "S603", kname, pc,
+                f"shared-memory race: {what} on byte "
+                f"{int(b[i]) % self.S:#x} by threads "
+                f"{int(self._sw_thread[b[i]])} and {int(t[i])} with "
+                "no barrier between them", count=int(pw.sum()))
+        if is_write:
+            pr = (self._sr_epoch[b] == ep) & (self._sr_thread[b] != t)
+            if pr.any():
+                i = int(np.flatnonzero(pr)[0])
+                rt = int(self._sr_thread[b[i]])
+                reader = ("multiple threads" if rt == -2
+                          else f"thread {rt}")
+                san.record(
+                    "S603", kname, pc,
+                    f"shared-memory race: write-after-read on byte "
+                    f"{int(b[i]) % self.S:#x} — {reader} read it, "
+                    f"thread {int(t[i])} overwrites it with no "
+                    "barrier between them", count=int(pr.sum()))
+        order = np.argsort(b, kind="stable")
+        bs, ts = b[order], t[order]
+        dup = (bs[1:] == bs[:-1]) & (ts[1:] != ts[:-1])
+        if is_write:
+            if not ww_waived and dup.any():
+                i = int(np.flatnonzero(dup)[0])
+                san.record(
+                    "S603", kname, pc,
+                    f"shared-memory race: write-after-write on byte "
+                    f"{int(bs[i + 1]) % self.S:#x} by threads "
+                    f"{int(ts[i])} and {int(ts[i + 1])} with no "
+                    "barrier between them", count=int(dup.sum()))
+            self._sw_epoch[b] = ep
+            self._sw_thread[b] = t
+        else:
+            many = ((self._sr_epoch[b] == ep)
+                    & (self._sr_thread[b] != t))
+            self._sr_epoch[b] = ep
+            self._sr_thread[b] = np.where(many, np.int64(-2), t)
+            shared = bs[1:][dup]
+            if shared.size:
+                self._sr_thread[shared] = -2
+
+    def _san_bar(self, pc: int, mask: np.ndarray) -> None:
+        """Synccheck at a bar issue (twin of ``_check_barrier``).
+
+        A warp's expected arrival set is every thread that did not
+        retire at a pc *before* the bar — a guard-style early exit is
+        excused, a lane that exited past the bar (or is still running
+        elsewhere) got separated from the rendezvous and is flagged.
+        """
+        san = self._san
+        must = self._exit_pc >= pc
+        arrived = np.bincount(self.wid[mask],
+                              minlength=self.warp_count)
+        expect = np.bincount(self.wid[must],
+                             minlength=self.warp_count)
+        bad = (arrived > 0) & (arrived != expect)
+        nbad = int(bad.sum())
+        if nbad:
+            w = int(np.flatnonzero(bad)[0])
+            san.record(
+                "S604", self.launch.kernel.name, pc,
+                f"divergent barrier: warp {w} arrived with "
+                f"{int(arrived[w])} of {int(expect[w])} expected "
+                "threads — some threads of the warp can never reach "
+                "this bar.sync", count=nbad)
+
+    def _san_epoch_advance(self, mask: np.ndarray) -> None:
+        """End the barrier interval of every CTA covered by *mask*."""
+        done = np.zeros(self.nct, bool)
+        done[self.ctaidx[mask]] = True
+        self._san_epoch[done] += 1
 
     # -- frame bookkeeping ----------------------------------------------
     def _wa(self, mask: np.ndarray) -> int:
@@ -1344,6 +1593,8 @@ class MegaMachine:
             if pc >= body_len:
                 # Fell off the end: implicit exit, not counted (the
                 # scalar step returns before charging the clock).
+                if self._san is not None:
+                    self._exit_pc[frame.mask] = pc
                 self._retire(stack, frame.mask)
                 if parked:
                     self._release_parked(stack, parked)
@@ -1388,6 +1639,8 @@ class MegaMachine:
                 continue
             if kind == "exit":
                 em = frame.mask
+                if self._san is not None:
+                    self._exit_pc[em] = pc
                 self._retire(stack, em)
                 # Scalar _exec_exit: if the *same warp's* next entry
                 # waits exactly at the exit pc, it slides past the
@@ -1419,7 +1672,11 @@ class MegaMachine:
             # divergence-free kernel (ctrl["div"] is False, a plan-time
             # fact from repro.analysis.vectorize) always meets the bar
             # with a full frame, so the containment proof is skipped.
+            if self._san is not None and ctrl["div"]:
+                self._san_bar(pc, frame.mask)
             if not ctrl["div"] or self._bar_contained(frame.mask):
+                if self._san is not None:
+                    self._san_epoch_advance(frame.mask)
                 self._advance(stack, pc + 1)
                 continue
             if self._park(stack, parked, frame, pc):
@@ -1434,7 +1691,16 @@ class MegaMachine:
             return None
         if writeback:
             self.launch.global_mem.write_dense(self._gbuf)
+        self._absorb_init()
         return clock
+
+    def _absorb_init(self) -> None:
+        """Fold the chunk's init-mirror store marks into the shadow."""
+        if self._init is None:
+            return
+        shadow = self.launch.global_mem.shadow
+        if shadow is not None:
+            shadow.absorb_dense(GLOBAL_BASE, self._init)
 
     # -- barrier parking ------------------------------------------------
     def _park(self, stack: list, parked: list, frame: "_Frame",
@@ -1487,6 +1753,9 @@ class MegaMachine:
         release = waiting & ~blocked
         if not release.any():
             return
+        if self._san is not None:
+            # A released CTA completed its rendezvous: new race epoch.
+            self._san_epoch[release] += 1
         released_threads = release[self.ctaidx]
         keep: list[_Frame] = []
         for fr in parked:
@@ -1515,6 +1784,8 @@ class MegaMachine:
             f"megablock-bailout:{launch.kernel.name}", cat="engine",
             args={"parked_frames": len(parked)})
         launch.global_mem.write_dense(self._gbuf)
+        san = self._san
+        self._absorb_init()
         tpb = launch.threads_per_block
         top = stack[-1]
         # Warps whose topmost entry already *issued* its bar: the
@@ -1525,6 +1796,23 @@ class MegaMachine:
         at_bar_ids.update(id(fr) for fr in parked)
         frames = list(stack) + list(parked)
         reg_items = list(self.R.items())
+        prev_hook = engine.on_exec
+        if san is not None:
+            # The scalar continuation reports through the same hook the
+            # stepping tiers use; restore afterwards so the next chunk
+            # re-enters the vector path.
+            engine.on_exec = san.hook
+        try:
+            self._bailout_ctas(stats, frames, at_bar_ids, reg_items,
+                               tpb)
+        finally:
+            engine.on_exec = prev_hook
+
+    def _bailout_ctas(self, stats, frames, at_bar_ids, reg_items,
+                      tpb) -> None:
+        engine = self.engine
+        launch = self.launch
+        san = self._san
         for ci in range(self.nct):
             cta = CTAState(launch, self.cta_start + ci)
             base = ci * tpb
@@ -1550,6 +1838,17 @@ class MegaMachine:
                 # exactly the scalar park state; try_release_barrier
                 # will advance them past the bar without re-counting.
                 warp.at_barrier = at_barrier
+                if san is not None:
+                    # Lanes retired in the vector portion never exit in
+                    # the continuation; seed their exit pcs so later
+                    # bars compute the right expected arrival masks.
+                    for lane in range(lanes_n):
+                        t = w0 + lane
+                        if not self.alive[t]:
+                            san.seed_exit(cta.cta_linear,
+                                          warp.warp_index,
+                                          int(self._exit_pc[t]),
+                                          1 << lane)
                 # instructions_executed is a per-warp budget counter;
                 # the vector tier accounts issue counts in aggregate,
                 # so the scalar continuation restarts it at zero.

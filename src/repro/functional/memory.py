@@ -20,15 +20,42 @@ PAGE_BITS = 12
 PAGE_SIZE = 1 << PAGE_BITS
 GLOBAL_BASE = 0x1000_0000
 
+#: Recognisable fill byte for the ``"poison"`` uninitialised-read
+#: policy (the classic debug-heap pattern).
+POISON_BYTE = 0xCD
+
+#: Valid :attr:`GlobalMemory.uninit_read` policies.
+UNINIT_READ_POLICIES = ("zeros", "poison", "raise")
+
 
 class GlobalMemory:
-    """Sparse paged global memory with allocation tracking."""
+    """Sparse paged global memory with allocation tracking.
 
-    def __init__(self) -> None:
+    :attr:`uninit_read` selects what a read from a never-written page
+    returns: ``"zeros"`` (the historical silent default), ``"poison"``
+    (pages materialise filled with :data:`POISON_BYTE`, so stale reads
+    compute recognisably wrong values instead of quietly-correct
+    zeros), or ``"raise"`` (a :class:`SimulationFault`).  The sanitizer
+    switches a runtime to poison so uninitialised data can never
+    masquerade as a legitimate zero.
+
+    :attr:`shadow` is an optional per-byte initialized-state tracker
+    (:class:`repro.sanitize.shadow.ShadowMemory`); when attached, every
+    :meth:`write` — host memcpys and kernel stores alike — marks its
+    range initialized.
+    """
+
+    def __init__(self, *, uninit_read: str = "zeros") -> None:
+        if uninit_read not in UNINIT_READ_POLICIES:
+            raise ValueError(
+                f"unknown uninit_read policy {uninit_read!r}; expected "
+                f"one of {UNINIT_READ_POLICIES}")
         self._pages: dict[int, bytearray] = {}
         self._next = GLOBAL_BASE
         self._allocations: dict[int, int] = {}
         self._bases: list[int] = []  # sorted allocation bases
+        self.uninit_read = uninit_read
+        self.shadow = None
 
     # -- allocation ----------------------------------------------------
     def allocate(self, nbytes: int, align: int = 256) -> int:
@@ -76,10 +103,17 @@ class GlobalMemory:
         return self._pages.items()
 
     # -- byte access ---------------------------------------------------
-    def _page(self, page_id: int) -> bytearray:
+    def _page(self, page_id: int, *, for_read: bool = False) -> bytearray:
         page = self._pages.get(page_id)
         if page is None:
-            page = bytearray(PAGE_SIZE)
+            if for_read and self.uninit_read == "raise":
+                base = page_id << PAGE_BITS
+                raise SimulationFault(
+                    f"read of never-written global page "
+                    f"[{base:#x}, {base + PAGE_SIZE:#x}) "
+                    "(uninit_read policy: raise)")
+            fill = POISON_BYTE if self.uninit_read == "poison" else 0
+            page = bytearray([fill]) * PAGE_SIZE
             self._pages[page_id] = page
         return page
 
@@ -87,17 +121,20 @@ class GlobalMemory:
         page_id = addr >> PAGE_BITS
         offset = addr & (PAGE_SIZE - 1)
         if offset + nbytes <= PAGE_SIZE:
-            return bytes(self._page(page_id)[offset:offset + nbytes])
+            return bytes(self._page(page_id, for_read=True)
+                         [offset:offset + nbytes])
         out = bytearray()
         while nbytes:
             take = min(nbytes, PAGE_SIZE - offset)
-            out += self._page(page_id)[offset:offset + take]
+            out += self._page(page_id, for_read=True)[offset:offset + take]
             nbytes -= take
             page_id += 1
             offset = 0
         return bytes(out)
 
     def write(self, addr: int, data: bytes) -> None:
+        if self.shadow is not None:
+            self.shadow.mark_initialized(addr, len(data))
         page_id = addr >> PAGE_BITS
         offset = addr & (PAGE_SIZE - 1)
         nbytes = len(data)
@@ -133,7 +170,11 @@ class GlobalMemory:
         so every page maps at a non-negative offset.
         """
         span = self._next - GLOBAL_BASE
-        buf = bytearray(span)
+        if self.uninit_read == "poison":
+            # Never-written gaps must mirror what a paged read returns.
+            buf = bytearray([POISON_BYTE]) * span
+        else:
+            buf = bytearray(span)
         for page_id, page in self._pages.items():
             offset = (page_id << PAGE_BITS) - GLOBAL_BASE
             if offset < 0 or offset >= span:
@@ -143,10 +184,20 @@ class GlobalMemory:
         return buf
 
     def write_dense(self, buf) -> None:
-        """Write a dense mirror back over ``[GLOBAL_BASE, end)``."""
+        """Write a dense mirror back over ``[GLOBAL_BASE, end)``.
+
+        Shadow-state marking is bypassed: this is the megablock tier's
+        bulk write-back, whose per-instruction initialized-byte
+        tracking is absorbed separately by the sanitizer — blanket-
+        marking the whole span here would erase that precision.
+        """
         span = self._next - GLOBAL_BASE
         if span:
-            self.write(GLOBAL_BASE, bytes(buf[:span]))
+            shadow, self.shadow = self.shadow, None
+            try:
+                self.write(GLOBAL_BASE, bytes(buf[:span]))
+            finally:
+                self.shadow = shadow
 
     # -- snapshot (checkpoint Data2) ------------------------------------
     def snapshot(self) -> dict:

@@ -1,0 +1,32 @@
+"""Analysis-guided dynamic sanitizer (memcheck / racecheck / synccheck).
+
+The runtime counterpart of :mod:`repro.analysis.ranges`: value-range
+proofs decide *which* accesses still need watching, and shadow-state
+instrumentation watches them — per-allocation initialized-byte maps
+for global memory, barrier-epoch last-accessor tables for shared
+memory — across every execution tier, from the reference interpreter
+to the megablock vector machine and the sharded service fan-out.
+
+Public surface:
+
+* :class:`Sanitizer` — the findings accumulator and scalar-tier hook.
+* :class:`ShadowMemory` / :func:`attach_shadow` — initialized-byte
+  tracking wired into :class:`repro.functional.memory.GlobalMemory`.
+* :func:`render_text` / :func:`render_json` — report rendering with
+  producer-chain slices.
+* :data:`DEFECTS` / :data:`CLEAN` / :func:`run_entry` — the seeded
+  defect corpus and its harness (the CI must-detect gate).
+"""
+
+from __future__ import annotations
+
+from repro.sanitize.core import RULES, Sanitizer
+from repro.sanitize.corpus import CLEAN, CORPUS, DEFECTS, run_entry
+from repro.sanitize.report import RULE_TITLES, render_json, render_text
+from repro.sanitize.shadow import ShadowMemory, attach_shadow
+
+__all__ = [
+    "CLEAN", "CORPUS", "DEFECTS", "RULES", "RULE_TITLES",
+    "Sanitizer", "ShadowMemory", "attach_shadow", "render_json",
+    "render_text", "run_entry",
+]

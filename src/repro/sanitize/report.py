@@ -1,0 +1,78 @@
+"""Rendering for sanitizer findings: text and JSON reports.
+
+Reports work from plain finding dicts (``{"kernel", "rule", "pc",
+"message", "count"}``) so they render equally well from a live
+:class:`repro.sanitize.core.Sanitizer`, a merged multi-shard result,
+or a service job's JSON payload.  When the kernel objects are
+available, each finding is annotated with its *producer chain* — the
+short backward dataflow slice from :mod:`repro.analysis.dataflow` that
+answers "which instructions computed the bad address?", the same
+debugging loop the paper runs by hand with printf and cuda-gdb.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.dataflow import producer_chain
+
+#: One-line rule summaries for report headers.
+RULE_TITLES = {
+    "S601": "out-of-bounds global access",
+    "S602": "uninitialized global read",
+    "S603": "shared-memory data race",
+    "S604": "divergent barrier",
+    "S605": "misaligned global access",
+}
+
+
+def _slice_for(finding: dict, kernels: dict) -> list[dict]:
+    kernel = kernels.get(finding["kernel"])
+    if kernel is None:
+        return []
+    return producer_chain(kernel, finding["pc"])
+
+
+def render_text(findings: list[dict], *, kernels: dict | None = None,
+                counters: dict | None = None) -> str:
+    """Human-readable report, one block per finding."""
+    lines: list[str] = []
+    if not findings:
+        lines.append("sanitizer: no findings")
+    else:
+        noun = "finding" if len(findings) == 1 else "findings"
+        lines.append(f"sanitizer: {len(findings)} {noun}")
+    for finding in findings:
+        title = RULE_TITLES.get(finding["rule"], "finding")
+        count = finding.get("count", 1)
+        times = "" if count <= 1 else f"  (x{count})"
+        lines.append("")
+        lines.append(f"[{finding['rule']}] {title} — kernel "
+                     f"{finding['kernel']!r} pc {finding['pc']}{times}")
+        lines.append(f"  {finding['message']}")
+        for site in _slice_for(finding, kernels or {}):
+            indent = "  " * (site["depth"] + 1)
+            lines.append(f"{indent}from pc {site['pc']}: {site['text']}")
+    if counters:
+        lines.append("")
+        lines.append(
+            "checked {checked_accesses} accesses, skipped "
+            "{skipped_proven} statically-proven, {launches} "
+            "launches".format(**{
+                key: counters.get(key, 0)
+                for key in ("checked_accesses", "skipped_proven",
+                            "launches")}))
+    return "\n".join(lines)
+
+
+def render_json(findings: list[dict], *, kernels: dict | None = None,
+                counters: dict | None = None) -> str:
+    """Machine-readable report (stable key order for diffing in CI)."""
+    payload = {
+        "findings": [
+            dict(finding,
+                 producers=_slice_for(finding, kernels or {}))
+            for finding in findings],
+        "counters": dict(counters or {}),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -64,14 +64,18 @@ def _make_backend(config: dict):
     ``config["shards"]`` switches the launch path to the multiprocessing
     CTA fan-out; otherwise the in-process tier named by
     ``config["fast_mode"]`` (default megablock — the fast sweep tier).
+    ``config["sanitize"]`` arms the shadow-state sanitizer on either
+    path; its findings ride back on the job result.
     """
     from repro.cuda.runtime import FunctionalBackend
     from repro.service.pool import ShardedFunctionalBackend
     fast_mode = config.get("fast_mode", "megablock")
+    sanitize = bool(config.get("sanitize"))
     shards = config.get("shards")
     if shards:
-        return ShardedFunctionalBackend(int(shards), fast_mode=fast_mode)
-    return FunctionalBackend(fast_mode=fast_mode)
+        return ShardedFunctionalBackend(int(shards), fast_mode=fast_mode,
+                                        sanitize=sanitize)
+    return FunctionalBackend(fast_mode=fast_mode, sanitize=sanitize)
 
 
 def _finish(runtime, backend, workload: str, extra: dict) -> dict:
@@ -88,6 +92,12 @@ def _finish(runtime, backend, workload: str, extra: dict) -> dict:
         "kernels": kernels,
     }
     result.update(extra)
+    sanitizer = getattr(backend, "sanitize", None)
+    if sanitizer is not None:
+        result["sanitize"] = {
+            "findings": sanitizer.findings_list(),
+            "counters": dict(sanitizer.counters),
+        }
     if hasattr(backend, "close"):
         backend.close()
     return result

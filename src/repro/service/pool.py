@@ -95,6 +95,13 @@ class ShardTask:
     capture_registers: bool = False
     trace: bool = False
     clock: int = 0
+    #: Arm a shard-local sanitizer; findings ride back on the result.
+    sanitize: bool = False
+    #: Parent shadow-memory snapshot (initialized-byte maps), so the
+    #: shard knows which bytes the host wrote before the launch.
+    shadow: dict | None = None
+    #: Parent uninitialised-read policy (poison while sanitizing).
+    uninit_read: str = "zeros"
     #: Parent-process cache env, re-applied at task start (workers must
     #: not trust the environment they inherited at fork).
     cache_env: dict = field(default_factory=dict)
@@ -117,6 +124,9 @@ class ShardResult:
     events: list[TraceEvent] = field(default_factory=list)
     cache_counters: dict = field(default_factory=dict)
     pid: int = 0
+    #: Shard-local sanitizer findings (``sanitize`` tasks only).
+    findings: list = field(default_factory=list)
+    san_counters: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -128,6 +138,9 @@ class ShardedRunResult:
     #: cta_linear -> final-state snapshot (``capture_registers`` only).
     snapshots: dict[int, CTASnapshot] = field(default_factory=dict)
     worker_pids: list[int] = field(default_factory=list)
+    #: Deterministically merged sanitizer findings across shards.
+    findings: list = field(default_factory=list)
+    san_counters: dict = field(default_factory=dict)
 
 
 def _diff_writes(old: bytes, new: bytes, base_addr: int,
@@ -160,8 +173,16 @@ def _execute_shard(task: ShardTask) -> ShardResult:
     # (shards x chunk workers); the process fan-out IS the parallelism
     # here, so megablock chunks run sequentially inside each worker.
     os.environ["REPRO_MEGABLOCK_WORKERS"] = "1"
-    global_mem = GlobalMemory()
+    global_mem = GlobalMemory(uninit_read=task.uninit_read)
     global_mem.restore(task.memory)
+    sanitizer = None
+    if task.sanitize:
+        from repro.sanitize.core import Sanitizer
+        from repro.sanitize.shadow import attach_shadow
+        shadow = attach_shadow(global_mem)
+        if task.shadow is not None:
+            shadow.restore(task.shadow)
+        sanitizer = Sanitizer()
     param_mem = LinearMemory(len(task.param_bytes))
     param_mem.data[:] = task.param_bytes
     const_mem = LinearMemory(len(task.const_bytes))
@@ -186,7 +207,7 @@ def _execute_shard(task: ShardTask) -> ShardResult:
         tracer.begin(f"shard ctas {task.first_cta}..{task.limit_cta - 1}",
                      cat="shard")
     engine = FunctionalEngine(launch, fast_mode=task.fast_mode,
-                              tracer=tracer)
+                              sanitize=sanitizer, tracer=tracer)
     stats = RunStats()
     snapshots: list[CTASnapshot] = []
     if task.capture_registers:
@@ -222,7 +243,11 @@ def _execute_shard(task: ShardTask) -> ShardResult:
         per_opcode=dict(stats.dynamic_per_opcode),
         clock_delta=launch.clock - task.clock,
         writes=writes, snapshots=snapshots, events=events,
-        cache_counters=kernelcache.counters(), pid=os.getpid())
+        cache_counters=kernelcache.counters(), pid=os.getpid(),
+        findings=(sanitizer.findings_list()
+                  if sanitizer is not None else []),
+        san_counters=(dict(sanitizer.counters)
+                      if sanitizer is not None else {}))
 
 
 class ShardExecutor:
@@ -237,11 +262,13 @@ class ShardExecutor:
                  fast_mode: str = "superblock",
                  capture_registers: bool = False,
                  trace: bool = False,
+                 sanitize: bool = False,
                  mp_context: str | None = None) -> None:
         self.shards = shards or DEFAULT_SHARDS
         self.fast_mode = fast_mode
         self.capture_registers = capture_registers
         self.trace = trace
+        self.sanitize = sanitize
         self._ctx_name = mp_context
         self._pool = None
 
@@ -292,6 +319,9 @@ class ShardExecutor:
         memory = launch.global_mem.snapshot()
         textures = self._snapshot_textures(launch)
         cache_env = kernelcache.env_config()
+        shadow_state = None
+        if self.sanitize and launch.global_mem.shadow is not None:
+            shadow_state = launch.global_mem.shadow.snapshot()
         tasks = [ShardTask(
             kernel=kernel, grid_dim=launch.grid_dim,
             block_dim=launch.block_dim,
@@ -304,6 +334,8 @@ class ShardExecutor:
             capture_registers=self.capture_registers,
             trace=self.trace, clock=launch.clock,
             cache_env=cache_env,
+            sanitize=self.sanitize, shadow=shadow_state,
+            uninit_read=launch.global_mem.uninit_read,
         ) for first, limit in ranges]
         results = self._get_pool().map(_execute_shard, tasks)
         return self._merge(launch, ranges, results, tracer)
@@ -372,6 +404,16 @@ class ShardExecutor:
                     result.events, tid=shard_tid(index),
                     track_name=f"shard {index} (ctas {first}..{limit - 1})",
                     ts_offset=base_ts)
+        if self.sanitize:
+            # Ascending shard order makes the merge deterministic: the
+            # lowest-CTA shard's message represents each finding key.
+            from repro.sanitize.core import Sanitizer
+            merged.findings = Sanitizer.merge_findings(
+                result.findings for result in results)
+            for result in results:
+                for key, value in result.san_counters.items():
+                    merged.san_counters[key] = (
+                        merged.san_counters.get(key, 0) + value)
         return merged
 
 
@@ -391,9 +433,19 @@ class ShardedFunctionalBackend:
     def __init__(self, shards: int | None = None, *,
                  fast_mode: str = "superblock",
                  inline_below: int = 0,
-                 trace_shards: bool = False) -> None:
+                 trace_shards: bool = False,
+                 sanitize=None) -> None:
+        #: Parent-side sanitizer: runs inline launches directly and
+        #: accumulates shard-merged findings from fanned-out ones, so
+        #: ``backend.sanitize.findings_list()`` reads the same either
+        #: way (mirrors FunctionalBackend.sanitize).
+        if sanitize is True:
+            from repro.sanitize.core import Sanitizer
+            sanitize = Sanitizer()
+        self.sanitize = sanitize or None
         self.executor = ShardExecutor(shards, fast_mode=fast_mode,
-                                      trace=trace_shards)
+                                      trace=trace_shards,
+                                      sanitize=sanitize is not None)
         self.fast_mode = fast_mode
         self.inline_below = inline_below
         #: Set by the owning CudaRuntime when tracing is on.
@@ -407,6 +459,7 @@ class ShardedFunctionalBackend:
         tracer = self.tracer
         if launch.num_ctas < max(self.inline_below, 1):
             engine = FunctionalEngine(launch, fast_mode=self.fast_mode,
+                                      sanitize=self.sanitize,
                                       tracer=tracer)
             stats = engine.run()
         else:
@@ -414,6 +467,21 @@ class ShardedFunctionalBackend:
             stats = result.stats
             self.fanouts.append(
                 (launch.kernel.name, len(result.shard_ranges)))
+            if self.sanitize is not None:
+                # Fold the shard-merged findings into the parent-side
+                # sanitizer through its normal dedup funnel.
+                sanitizer = self.sanitize
+                sanitizer.kernels.setdefault(launch.kernel.name,
+                                             launch.kernel)
+                for entry in result.findings:
+                    sanitizer.record(
+                        entry["rule"], entry["kernel"], entry["pc"],
+                        entry["message"], count=entry["count"])
+                for key, value in result.san_counters.items():
+                    if key == "findings":
+                        continue  # record() above already counted them
+                    sanitizer.counters[key] = (
+                        sanitizer.counters.get(key, 0) + value)
         if tracer.enabled:
             tracer.complete(
                 f"sharded:{launch.kernel.name}",

@@ -1,0 +1,293 @@
+"""Sanitizer tests: the seeded-defect corpus across every execution
+tier, the proven-safe skip contract, shard merging, the fault-injection
+cross-check, and the zero-findings gate on stock workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cuda import CudaRuntime
+from repro.cuda.runtime import FunctionalBackend
+from repro.functional.executor import FAST_MODES
+from repro.functional.memory import GlobalMemory
+from repro.sanitize import CLEAN, DEFECTS, Sanitizer, run_entry
+
+
+# ----------------------------------------------------------------------
+# The must-detect matrix: every defect, every tier, correct pc
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("fast_mode", FAST_MODES)
+@pytest.mark.parametrize("name", sorted(DEFECTS))
+def test_defect_detected_at_every_tier(name, fast_mode):
+    run = run_entry(name, fast_mode=fast_mode)
+    assert run.detected, (
+        f"{name} not detected at tier {fast_mode}: expected "
+        f"{run.entry.rule} @ pc {run.expected_pc}, got {run.findings}")
+
+
+@pytest.mark.parametrize("fast_mode", FAST_MODES)
+@pytest.mark.parametrize("name", sorted(CLEAN))
+def test_clean_kernels_silent_at_every_tier(name, fast_mode):
+    run = run_entry(name, fast_mode=fast_mode)
+    assert run.detected and not run.findings, (
+        f"false positive(s) on {name} at tier {fast_mode}: "
+        f"{run.findings}")
+
+
+@pytest.mark.parametrize("fast_mode", ("superblock", "megablock"))
+@pytest.mark.parametrize("name", sorted(DEFECTS))
+def test_defect_detected_through_two_shards(name, fast_mode):
+    """Shard-local shadow state with a deterministic merge must report
+    the same finding as a single-process run."""
+    run = run_entry(name, fast_mode=fast_mode, shards=2)
+    assert run.detected, (
+        f"{name} not detected through 2 shards at {fast_mode}: "
+        f"{run.findings}")
+
+
+# ----------------------------------------------------------------------
+# Proof-guided skipping (the analysis-guided part)
+# ----------------------------------------------------------------------
+def test_exact_geometry_is_fully_proven():
+    """clean_exact's grid matches its allocations, so every global
+    access is statically discharged — zero dynamic checks."""
+    run = run_entry("clean_exact", fast_mode="superblock")
+    assert not run.findings
+    assert run.counters["skipped_proven"] > 0
+    assert run.counters["checked_accesses"] == 0
+
+
+def test_guarded_geometry_keeps_checks_armed():
+    """clean_guarded over-provisions the grid behind a tid guard: the
+    bounds are dynamically fine but unprovable, so the dynamic checks
+    must actually run (otherwise the corpus only tests the prover)."""
+    run = run_entry("clean_guarded", fast_mode="superblock")
+    assert not run.findings
+    assert run.counters["checked_accesses"] > 0
+
+
+def test_megablock_skips_proven_accesses_too():
+    run = run_entry("clean_exact", fast_mode="megablock")
+    assert not run.findings
+    assert run.counters["skipped_proven"] > 0
+    assert run.counters["checked_accesses"] == 0
+
+
+# ----------------------------------------------------------------------
+# Finding funnel / shard merge semantics
+# ----------------------------------------------------------------------
+class TestFindingMerge:
+    def test_dedup_by_site_counts_add(self):
+        san = Sanitizer()
+        san.record("S601", "k", 7, "first message")
+        san.record("S601", "k", 7, "later message", count=3)
+        [entry] = san.findings_list()
+        assert entry["count"] == 4
+        assert entry["message"] == "first message"
+
+    def test_merge_is_deterministic_and_additive(self):
+        shard0 = [{"kernel": "k", "rule": "S601", "pc": 7,
+                   "message": "a", "count": 2}]
+        shard1 = [{"kernel": "k", "rule": "S601", "pc": 7,
+                   "message": "b", "count": 3},
+                  {"kernel": "k", "rule": "S603", "pc": 2,
+                   "message": "c", "count": 1}]
+        merged = Sanitizer.merge_findings([shard0, shard1])
+        assert [(f["rule"], f["pc"], f["count"]) for f in merged] == [
+            ("S601", 7, 5), ("S603", 2, 1)]
+        assert merged[0]["message"] == "a"  # lowest shard wins
+
+
+# ----------------------------------------------------------------------
+# Uninitialized-read policy (GlobalMemory satellite)
+# ----------------------------------------------------------------------
+class TestUninitReadPolicy:
+    def test_zeros_policy_default(self):
+        gm = GlobalMemory()
+        base = gm.allocate(16)
+        assert gm.read(base, 4) == b"\x00" * 4
+
+    def test_poison_policy_fills_cd(self):
+        gm = GlobalMemory(uninit_read="poison")
+        base = gm.allocate(16)
+        assert gm.read(base, 4) == b"\xcd" * 4
+
+    def test_raise_policy_raises(self):
+        from repro.errors import SimulationFault
+        gm = GlobalMemory(uninit_read="raise")
+        base = gm.allocate(16)
+        with pytest.raises(SimulationFault, match="never-written"):
+            gm.read(base, 4)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="uninit_read"):
+            GlobalMemory(uninit_read="wishful")
+
+    def test_sanitized_runtime_defaults_to_poison(self):
+        rt = CudaRuntime(backend=FunctionalBackend(sanitize=True))
+        assert rt.global_mem.uninit_read == "poison"
+        assert getattr(rt.global_mem, "shadow", None) is not None
+
+
+def test_disabled_runtime_has_no_shadow_cost():
+    """With sanitize off (the default), no shadow state is attached and
+    the backend carries no sanitizer — the megablock fast path stays
+    hook-free."""
+    rt = CudaRuntime()
+    assert getattr(rt.global_mem, "shadow", None) is None
+    assert rt.global_mem.uninit_read == "zeros"
+    assert rt.backend.sanitize is None
+
+
+# ----------------------------------------------------------------------
+# Fault-injection cross-check: a seeded bitflip in address arithmetic
+# must surface as a bounds finding at the *consuming* instruction
+# ----------------------------------------------------------------------
+def test_bitflip_in_address_register_caught_as_oob():
+    from repro.faultinject import FaultSpec, faulty_runtime_factory
+    from repro.ptx.parser import parse_module
+    from repro.sanitize.corpus import _clean_guarded, _setup_clean_guarded
+
+    ptx = _clean_guarded()
+    kernel = parse_module(ptx, "xcheck").kernel("clean_guarded")
+    # The consuming global load, and the instruction that defines its
+    # address register (the flip target).
+    load = next(i for i in kernel.body
+                if i.opcode == "ld" and i.space == "global")
+    addr_reg = load.operands[1].name
+    from repro.analysis.dataflow import defs_of
+    flip_pc = max(i.index for i in kernel.body
+                  if i.index < load.index and addr_reg in defs_of(i))
+    # clean_guarded's geometry makes BOUNDS unprovable (grid 64 threads
+    # over a 50-float allocation behind a tid guard), so the dynamic
+    # check is armed and must see the corrupted address.
+    spec = FaultSpec(fault_id="xcheck", site="register_bitflip",
+                     kernel="clean_guarded", pc=flip_pc, bit=20, lane=3)
+    runtime = faulty_runtime_factory(
+        spec,
+        backend_factory=lambda: FunctionalBackend(sanitize=True))()
+    runtime.load_ptx(ptx, "xcheck")
+    grid, block, args = _setup_clean_guarded(runtime)
+    runtime.launch("clean_guarded", grid, block, args)
+    runtime.synchronize()
+    findings = runtime.backend.sanitize.findings_list()
+    assert any(f["rule"] == "S601" and f["pc"] == load.index
+               and f["kernel"] == "clean_guarded" for f in findings), (
+        f"bitflip at pc {flip_pc} not caught at consuming load "
+        f"pc {load.index}: {findings}")
+
+
+def test_clean_run_with_injector_armed_but_not_fired_is_silent():
+    """An armed injector that never fires (dyn_index beyond the run)
+    must leave the sanitizer silent, so any finding in a campaign is
+    attributable to the fault."""
+    from repro.faultinject import FaultSpec, faulty_runtime_factory
+    from repro.sanitize.corpus import _clean_guarded, _setup_clean_guarded
+
+    spec = FaultSpec(fault_id="noop", site="register_bitflip",
+                     kernel="clean_guarded", pc=0, bit=20,
+                     dyn_index=1_000_000)
+    runtime = faulty_runtime_factory(
+        spec,
+        backend_factory=lambda: FunctionalBackend(sanitize=True))()
+    runtime.load_ptx(_clean_guarded(), "xcheck")
+    grid, block, args = _setup_clean_guarded(runtime)
+    runtime.launch("clean_guarded", grid, block, args)
+    runtime.synchronize()
+    assert runtime.backend.sanitize.findings_list() == []
+
+
+# ----------------------------------------------------------------------
+# Report rendering
+# ----------------------------------------------------------------------
+class TestReport:
+    def _sanitizer_with_finding(self):
+        run = run_entry("oob_load", fast_mode="superblock")
+        return run
+
+    def test_text_report_names_rule_and_pc(self):
+        from repro.sanitize import render_text
+        run = self._sanitizer_with_finding()
+        text = render_text(run.findings, counters=run.counters)
+        assert "S601" in text
+        assert f"pc {run.expected_pc}" in text
+
+    def test_json_report_round_trips(self):
+        import json
+        from repro.sanitize import render_json
+        run = self._sanitizer_with_finding()
+        data = json.loads(render_json(run.findings,
+                                      counters=run.counters))
+        assert data["findings"][0]["rule"] == "S601"
+        assert data["counters"]["findings"] >= 1
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_unknown_workload_is_usage_error(self, capsys):
+        from repro.sanitize.cli import main
+        assert main(["--workload", "nope"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_no_mode_is_usage_error(self):
+        from repro.sanitize.cli import main
+        with pytest.raises(SystemExit) as info:
+            main([])
+        assert info.value.code == 2
+
+    def test_workload_saxpy_clean(self, capsys):
+        from repro.sanitize.cli import main
+        assert main(["--workload", "saxpy",
+                     "--fast-mode", "megablock"]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_embedded_static_stage_clean(self, capsys):
+        from repro.sanitize.cli import main
+        assert main(["--all-embedded", "--format", "json"]) == 0
+        import json
+        data = json.loads(capsys.readouterr().out)
+        assert data["files"] > 0
+        assert data["findings"] == []
+
+
+# ----------------------------------------------------------------------
+# Stock workloads: the zero-findings gate
+# ----------------------------------------------------------------------
+def _sanitized_runtime():
+    backend = FunctionalBackend(fast_mode="megablock", sanitize=True)
+    return CudaRuntime(backend=backend), backend
+
+
+@pytest.mark.slow
+def test_lenet_forward_clean_under_megablock(app_binary):
+    from repro.workloads.mnist_sample import MnistSample, MnistSampleConfig
+    rt, backend = _sanitized_runtime()
+    rt.load_binary(app_binary)
+    MnistSample(rt, MnistSampleConfig(images=1)).run()
+    rt.synchronize()
+    assert backend.sanitize.findings_list() == []
+    assert backend.sanitize.counters["skipped_proven"] > 0
+
+
+@pytest.mark.slow
+def test_conv_sample_clean_under_megablock(app_binary):
+    from repro.cudnn.api import ConvFwdAlgo
+    from repro.workloads.conv_sample import ConvSample
+    rt, backend = _sanitized_runtime()
+    rt.load_binary(app_binary)
+    ConvSample(rt).run_forward(ConvFwdAlgo.IMPLICIT_GEMM)
+    rt.synchronize()
+    assert backend.sanitize.findings_list() == []
+
+
+@pytest.mark.slow
+def test_predicated_blend_clean_under_megablock(app_binary):
+    from repro.workloads.predicated_blend import PredicatedBlend
+    rt, backend = _sanitized_runtime()
+    rt.load_binary(app_binary)
+    PredicatedBlend(rt).run()
+    rt.synchronize()
+    assert backend.sanitize.findings_list() == []
