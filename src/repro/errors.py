@@ -84,6 +84,17 @@ class ServiceError(ReproError):
     client asking for the result of a job that failed."""
 
 
+class JobCancelled(ServiceError):
+    """Raised inside a running job when its cancellation (or deadline
+    expiry) is observed at a shard boundary.
+
+    The cluster scheduler's cancellation contract is cooperative:
+    queued jobs cancel instantly, running jobs raise this from their
+    :class:`repro.service.jobs.JobControl` at the next kernel-launch /
+    shard-merge boundary, unwinding the workload cleanly.  The message
+    says whether the cause was an explicit cancel or a deadline."""
+
+
 class VerificationError(ReproError):
     """Raised by the ``FunctionalEngine(verify=True)`` launch gate when
     the static verifier reports error-severity findings.

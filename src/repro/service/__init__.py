@@ -1,4 +1,4 @@
-"""The sharded simulation service.
+"""The sharded simulation service and its cluster scheduler.
 
 Functional-mode CTAs are independent, which makes the simulator
 embarrassingly parallel at two levels — and this package exploits both:
@@ -14,8 +14,18 @@ embarrassingly parallel at two levels — and this package exploits both:
   returns a job id immediately, workloads execute on a worker pool, and
   results are memoized on a structural key so repeat submissions are
   cache hits.
+* :mod:`repro.service.scheduler` — the **cluster scheduler**: a driver
+  multiplexing thousands of queued jobs across N simulated GPU workers
+  under a pluggable allocation :class:`Policy` (FIFO, strict priority,
+  round-robin fair share, cost-aware SJF), with priorities, deadlines,
+  cooperative cancellation, streaming progress events, and a memo
+  table persisted across restarts.
+* :mod:`repro.service.costmodel` — the **runtime estimator** behind
+  the SJF policy: :class:`HistoryCostModel` tracks measured runtimes
+  per structural fingerprint; a SimNet-style learned predictor drops
+  in by subclassing :class:`CostModel`.
 * :mod:`repro.service.rest` — a stdlib-only **REST front door**
-  (``repro-serve``) over the job queue, with
+  (``repro-serve``) over either backend, with
   :mod:`repro.service.client` as its Python client.
 
 Many concurrent sweeps share one warm kernel/compile cache
@@ -25,15 +35,33 @@ calls the "millions of users" path.
 """
 
 from repro.service.client import ServiceClient
-from repro.service.jobs import JobQueue, job_key
+from repro.service.costmodel import CostModel, HistoryCostModel, cost_key
+from repro.service.jobs import JobControl, JobQueue, MemoTable, job_key
 from repro.service.pool import (
     ShardExecutor, ShardedFunctionalBackend, ShardedRunResult)
+from repro.service.scheduler import (
+    POLICIES, ClusterScheduler, FairSharePolicy, FifoPolicy, GpuState,
+    Policy, PriorityPolicy, SjfPolicy, make_policy)
 
 __all__ = [
+    "ClusterScheduler",
+    "CostModel",
+    "FairSharePolicy",
+    "FifoPolicy",
+    "GpuState",
+    "HistoryCostModel",
+    "JobControl",
     "JobQueue",
+    "MemoTable",
+    "POLICIES",
+    "Policy",
+    "PriorityPolicy",
     "ServiceClient",
     "ShardExecutor",
     "ShardedFunctionalBackend",
     "ShardedRunResult",
+    "SjfPolicy",
+    "cost_key",
     "job_key",
+    "make_policy",
 ]

@@ -1,0 +1,136 @@
+"""Per-job runtime estimation for cost-aware scheduling.
+
+The shortest-job-first policy needs one number per pending job: *how
+long will this take?*  This module provides the pluggable hook and its
+default implementation:
+
+* :class:`CostModel` — the interface.  ``estimate`` returns predicted
+  wall seconds for a ``(workload, config, seed)`` triple; ``observe``
+  feeds a measured runtime back after a job completes.
+* :class:`HistoryCostModel` — the default: an exponential moving
+  average of measured runtimes keyed on the job's **structural
+  fingerprint** (:func:`cost_key` — the workload plus its config, seed
+  excluded, since the seed changes the data but not the amount of
+  work).  Unseen fingerprints fall back to the per-workload mean, then
+  the global mean, then a fixed prior, so the model always answers.
+
+SimNet (see PAPERS.md) motivates the shape of this hook: a learned
+predictor over features the trace layer already emits (instruction
+mix, memory footprint, divergence counters) can subclass
+:class:`CostModel` and drop into the scheduler unchanged — the policy
+only ever calls ``estimate``/``observe``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+
+
+def cost_key(workload: str, config: dict | None) -> str:
+    """Structural fingerprint of the *work* a job represents.
+
+    Like :func:`repro.service.jobs.job_key` but with the seed excluded:
+    two submissions that differ only in their random seed execute the
+    same kernels over the same shapes, so they belong to one runtime
+    history bucket.
+    """
+    canonical = json.dumps({"workload": workload, "config": config or {}},
+                           sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class CostModel:
+    """Interface the scheduler's cost-aware policies consume.
+
+    Implementations must be thread-safe: the scheduler calls
+    ``estimate`` from every GPU worker thread while selecting work and
+    ``observe`` from the worker that just finished a job.
+    """
+
+    def estimate(self, workload: str, config: dict | None,
+                 seed: int) -> float:
+        """Predicted runtime in wall seconds (always answers)."""
+        raise NotImplementedError
+
+    def observe(self, workload: str, config: dict | None, seed: int,
+                runtime_s: float) -> None:
+        """Feed back one measured runtime after a job completes."""
+        raise NotImplementedError
+
+    def snapshot(self) -> dict:
+        """JSON-able summary for ``/api/cluster/stats`` (override)."""
+        return {"kind": type(self).__name__}
+
+
+class HistoryCostModel(CostModel):
+    """Structural-fingerprint history of measured runtimes (the default).
+
+    Keeps an exponential moving average per :func:`cost_key` so drift
+    (a warming kernel cache, a loaded host) tracks recent reality
+    rather than the first sample forever.  The fallback chain for a
+    fingerprint with no history is per-workload mean -> global mean ->
+    ``default_estimate``, which makes shortest-job-first behave like
+    FIFO until the first few observations arrive and sharpen it.
+    """
+
+    def __init__(self, *, alpha: float = 0.4,
+                 default_estimate: float = 1.0) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self.default_estimate = default_estimate
+        self._lock = threading.Lock()
+        #: cost_key -> (ema_seconds, samples)
+        self._history: dict[str, tuple[float, int]] = {}
+        #: workload -> (sum_seconds, samples) for the fallback mean.
+        self._by_workload: dict[str, tuple[float, int]] = {}
+
+    def estimate(self, workload: str, config: dict | None,
+                 seed: int) -> float:
+        """EMA for the exact fingerprint, else the fallback chain."""
+        key = cost_key(workload, config)
+        with self._lock:
+            entry = self._history.get(key)
+            if entry is not None:
+                return entry[0]
+            by_workload = self._by_workload.get(workload)
+            if by_workload is not None and by_workload[1] > 0:
+                return by_workload[0] / by_workload[1]
+            total = sum(s for s, _ in self._by_workload.values())
+            count = sum(n for _, n in self._by_workload.values())
+            if count > 0:
+                return total / count
+        return self.default_estimate
+
+    def observe(self, workload: str, config: dict | None, seed: int,
+                runtime_s: float) -> None:
+        """Fold one measured runtime into the EMA and the means."""
+        key = cost_key(workload, config)
+        runtime_s = max(float(runtime_s), 0.0)
+        with self._lock:
+            entry = self._history.get(key)
+            if entry is None:
+                self._history[key] = (runtime_s, 1)
+            else:
+                ema, samples = entry
+                self._history[key] = (
+                    self.alpha * runtime_s + (1.0 - self.alpha) * ema,
+                    samples + 1)
+            total, count = self._by_workload.get(workload, (0.0, 0))
+            self._by_workload[workload] = (total + runtime_s, count + 1)
+
+    def snapshot(self) -> dict:
+        """Fingerprint count plus per-workload mean runtimes."""
+        with self._lock:
+            return {
+                "kind": "HistoryCostModel",
+                "fingerprints": len(self._history),
+                "observations": sum(n for _, n
+                                    in self._by_workload.values()),
+                "mean_runtime_s": {
+                    workload: round(total / count, 6)
+                    for workload, (total, count)
+                    in sorted(self._by_workload.items()) if count},
+            }

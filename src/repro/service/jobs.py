@@ -22,20 +22,27 @@ from __future__ import annotations
 import hashlib
 import itertools
 import json
+import os
+import tempfile
 import threading
 import time
+import traceback as traceback_module
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import ServiceError
+from repro.errors import JobCancelled, ServiceError
 
 #: Job lifecycle states.
 QUEUED = "queued"
 RUNNING = "running"
 DONE = "done"
 ERROR = "error"
+CANCELLED = "cancelled"
+
+#: States a job never leaves.
+TERMINAL_STATES = frozenset({DONE, ERROR, CANCELLED})
 
 
 def job_key(workload: str, config: dict | None, seed: int) -> str:
@@ -47,9 +54,121 @@ def job_key(workload: str, config: dict | None, seed: int) -> str:
 
 
 # ---------------------------------------------------------------------------
+# Cooperative cancellation + progress
+# ---------------------------------------------------------------------------
+class JobControl:
+    """Handle a runner uses to report progress and observe cancellation.
+
+    The scheduler hands every running job one of these; the backend
+    wrapper (and any runner that wants finer granularity) calls
+    :meth:`progress` at natural boundaries — after each kernel launch,
+    which on the sharded path is a full shard fan-out + merge.  Each
+    call emits a ``shard-progress`` event on the job and then
+    :meth:`check`\\ s for a requested cancel or an expired deadline,
+    raising :class:`~repro.errors.JobCancelled` to unwind the workload.
+    Cancellation is therefore *cooperative*: a queued job dies
+    instantly, a running job dies at its next shard boundary.
+    """
+
+    #: Real controls are active; the :data:`NULL_CONTROL` stub is not,
+    #: so runners can skip wrapping work in progress calls when nobody
+    #: is listening.
+    active = True
+
+    def __init__(self, job: "Job") -> None:
+        self.job = job
+
+    def check(self) -> None:
+        """Raise :class:`JobCancelled` if the job should stop now."""
+        job = self.job
+        if job.cancel_requested:
+            raise JobCancelled(f"job {job.job_id} cancelled")
+        if job.deadline_s is not None \
+                and time.time() - job.submitted_at > job.deadline_s:
+            job.cancel_requested = True
+            raise JobCancelled(
+                f"job {job.job_id} exceeded its {job.deadline_s}s "
+                "deadline while running")
+
+    def progress(self, stage: str, **data) -> None:
+        """Emit a ``shard-progress`` event, then :meth:`check`."""
+        self.job.emit("shard-progress", stage=stage, **data)
+        self.check()
+
+
+class NullJobControl(JobControl):
+    """The no-op control: never cancels, records nothing."""
+
+    active = False
+
+    def __init__(self) -> None:  # no job to carry
+        pass
+
+    def check(self) -> None:
+        """Never raises."""
+
+    def progress(self, stage: str, **data) -> None:
+        """Discards the event."""
+
+
+#: Shared stub for callers without a scheduler (plain :class:`JobQueue`
+#: runs, direct runner calls in tests).
+NULL_CONTROL = NullJobControl()
+
+
+class _ControlledBackend:
+    """Backend wrapper that makes every kernel launch a shard boundary.
+
+    ``execute`` checks for cancellation *before* each launch and
+    reports progress *after* it, so a multi-kernel workload (LeNet
+    forward is ~a dozen launches) streams per-launch events and can be
+    cancelled between launches without poisoning the worker.  The
+    ``sanitize``/``tracer`` attributes pass through to the wrapped
+    backend because both :class:`~repro.cuda.runtime.CudaRuntime` and
+    :func:`_finish` reach for them.
+    """
+
+    name = "controlled"
+
+    def __init__(self, inner, control: JobControl) -> None:
+        self.inner = inner
+        self.control = control
+
+    @property
+    def sanitize(self):
+        """The wrapped backend's sanitizer (or ``None``)."""
+        return getattr(self.inner, "sanitize", None)
+
+    @property
+    def tracer(self):
+        """The wrapped backend's tracer (set by the owning runtime)."""
+        from repro.trace.tracer import NULL_TRACER
+        return getattr(self.inner, "tracer", NULL_TRACER)
+
+    @tracer.setter
+    def tracer(self, value) -> None:
+        self.inner.tracer = value
+
+    def execute(self, launch):
+        """Run one launch between two cancellation points."""
+        self.control.check()
+        result = self.inner.execute(launch)
+        self.control.progress(
+            "launch", kernel=launch.kernel.name,
+            instructions=result.instructions)
+        return result
+
+    def close(self) -> None:
+        """Close the wrapped backend's worker pool, if it has one."""
+        if hasattr(self.inner, "close"):
+            self.inner.close()
+
+
+# ---------------------------------------------------------------------------
 # Workload runners
 # ---------------------------------------------------------------------------
 def _digest_allocations(runtime) -> str:
+    """SHA-256 over every allocation's final bytes, in address order."""
     hasher = hashlib.sha256()
     gm = runtime.global_mem
     for base in sorted(gm.allocations):
@@ -58,14 +177,16 @@ def _digest_allocations(runtime) -> str:
     return hasher.hexdigest()
 
 
-def _make_backend(config: dict):
+def _make_backend(config: dict, control: JobControl = NULL_CONTROL):
     """Build the execution backend a job asked for.
 
     ``config["shards"]`` switches the launch path to the multiprocessing
     CTA fan-out; otherwise the in-process tier named by
     ``config["fast_mode"]`` (default megablock — the fast sweep tier).
     ``config["sanitize"]`` arms the shadow-state sanitizer on either
-    path; its findings ride back on the job result.
+    path; its findings ride back on the job result.  An active
+    *control* wraps the backend so every launch streams a progress
+    event and observes cancellation (see :class:`_ControlledBackend`).
     """
     from repro.cuda.runtime import FunctionalBackend
     from repro.service.pool import ShardedFunctionalBackend
@@ -73,12 +194,17 @@ def _make_backend(config: dict):
     sanitize = bool(config.get("sanitize"))
     shards = config.get("shards")
     if shards:
-        return ShardedFunctionalBackend(int(shards), fast_mode=fast_mode,
-                                        sanitize=sanitize)
-    return FunctionalBackend(fast_mode=fast_mode, sanitize=sanitize)
+        backend = ShardedFunctionalBackend(
+            int(shards), fast_mode=fast_mode, sanitize=sanitize)
+    else:
+        backend = FunctionalBackend(fast_mode=fast_mode, sanitize=sanitize)
+    if control.active:
+        backend = _ControlledBackend(backend, control)
+    return backend
 
 
 def _finish(runtime, backend, workload: str, extra: dict) -> dict:
+    """Synchronize, digest memory, and build the JSON-able job result."""
     runtime.synchronize()
     kernels: dict[str, int] = {}
     for profile in runtime.profiles:
@@ -103,13 +229,14 @@ def _finish(runtime, backend, workload: str, extra: dict) -> dict:
     return result
 
 
-def run_saxpy(config: dict, seed: int) -> dict:
+def run_saxpy(config: dict, seed: int,
+              control: JobControl = NULL_CONTROL) -> dict:
     """A tiny single-kernel job (the smoke-test workload)."""
     from repro.cuda.runtime import CudaRuntime
     from repro.ptx.builder import PTXBuilder, f32
     n = int(config.get("n", 256))
     scale = float(config.get("scale", 2.0))
-    backend = _make_backend(config)
+    backend = _make_backend(config, control)
     rt = CudaRuntime(backend=backend)
     b = PTXBuilder("saxpy", [("xs", "u64"), ("ys", "u64"), ("n", "u32")])
     xs = b.ld_param("u64", "xs")
@@ -132,12 +259,13 @@ def run_saxpy(config: dict, seed: int) -> dict:
     return _finish(rt, backend, "saxpy", {"n": n})
 
 
-def run_conv(config: dict, seed: int) -> dict:
+def run_conv(config: dict, seed: int,
+             control: JobControl = NULL_CONTROL) -> dict:
     """conv_sample forward convolutions over the requested algorithms."""
     from repro.cuda.runtime import CudaRuntime
     from repro.cudnn import ConvFwdAlgo
     from repro.workloads.conv_sample import ConvSample, ConvSampleConfig
-    backend = _make_backend(config)
+    backend = _make_backend(config, control)
     rt = CudaRuntime(backend=backend)
     geometry = {name: int(config[name]) for name in
                 ("batch", "channels", "height", "width", "filters")
@@ -150,15 +278,17 @@ def run_conv(config: dict, seed: int) -> dict:
         raise ServiceError(f"unknown conv algorithm {exc}") from exc
     for algo in algos:
         sample.run_forward(algo)
+        control.progress("algo", algo=algo.name)
     return _finish(rt, backend, "conv", {"algos": list(algo_names)})
 
 
-def run_lenet(config: dict, seed: int) -> dict:
+def run_lenet(config: dict, seed: int,
+              control: JobControl = NULL_CONTROL) -> dict:
     """Reduced LeNet forward pass (the paper's MNIST net at CI scale)."""
     from repro.cuda.runtime import CudaRuntime
     from repro.cudnn import Cudnn, build_application_binary
     from repro.nn.lenet import LeNet, LeNetConfig
-    backend = _make_backend(config)
+    backend = _make_backend(config, control)
     rt = CudaRuntime(backend=backend)
     rt.load_binary(build_application_binary())
     lenet_config = LeNetConfig.reduced()
@@ -187,7 +317,13 @@ REGISTRY = {
 # ---------------------------------------------------------------------------
 @dataclass
 class Job:
-    """One submission's full lifecycle record."""
+    """One submission's full lifecycle record.
+
+    The scheduler-era fields (priority, deadline, tenant, events, GPU
+    assignment, cancellation, traceback) default to inert values so the
+    plain :class:`JobQueue` keeps producing the PR-6 record shape with
+    a few extra keys.
+    """
 
     job_id: str
     key: str
@@ -200,10 +336,55 @@ class Job:
     error: str | None = None
     submitted_at: float = 0.0
     finished_at: float | None = None
+    #: Higher runs first under the ``priority`` policy; default 0.
+    priority: int = 0
+    #: Wall-second budget from submission; ``None`` = no deadline.
+    deadline_s: float | None = None
+    #: Fair-share group; defaults to the workload name when unset.
+    tenant: str | None = None
+    #: Index of the simulated GPU the job ran on (``None`` if never
+    #: assigned — memo hits and queued cancellations).
+    gpu: int | None = None
+    #: Wall time the scheduler handed the job to a GPU worker.
+    assigned_at: float | None = None
+    #: Set by :meth:`request_cancel`; observed at shard boundaries.
+    cancel_requested: bool = False
+    #: Full worker traceback when ``state == "error"`` — the structured
+    #: failure signal operators read instead of a bare message.
+    traceback: str | None = None
+    #: Streaming progress events (queued/assigned/shard-progress/...).
+    events: list = field(default_factory=list, repr=False)
     done: threading.Event = field(default_factory=threading.Event,
                                   repr=False)
+    event_cond: threading.Condition = field(
+        default_factory=threading.Condition, repr=False)
+
+    @property
+    def terminal(self) -> bool:
+        """True once the job can never change state again."""
+        return self.state in TERMINAL_STATES
+
+    def emit(self, kind: str, **data) -> None:
+        """Append one progress event and wake long-poll watchers.
+
+        Events are monotonically sequenced dicts (``seq``, ``kind``,
+        ``ts`` plus *data*); ``GET /api/jobs/<id>/events?since=N``
+        serves the suffix from ``seq >= N``.
+        """
+        with self.event_cond:
+            self.events.append({
+                "seq": len(self.events), "kind": kind,
+                "ts": time.time(), **data})
+            self.event_cond.notify_all()
+
+    def request_cancel(self) -> None:
+        """Flag the job for cooperative cancellation (idempotent)."""
+        if not self.cancel_requested and not self.terminal:
+            self.cancel_requested = True
+            self.emit("cancel-requested")
 
     def to_dict(self, *, with_result: bool = True) -> dict:
+        """JSON-able job record (the REST ``/api/jobs/<id>`` shape)."""
         record = {
             "job_id": self.job_id,
             "key": self.key,
@@ -214,12 +395,118 @@ class Job:
             "memo_hit": self.memo_hit,
             "submitted_at": self.submitted_at,
             "finished_at": self.finished_at,
+            "priority": self.priority,
+            "deadline_s": self.deadline_s,
+            "tenant": self.tenant,
+            "gpu": self.gpu,
+            "assigned_at": self.assigned_at,
+            "cancel_requested": self.cancel_requested,
+            "events_seen": len(self.events),
         }
         if self.error is not None:
             record["error"] = self.error
+        if self.traceback is not None:
+            record["traceback"] = self.traceback
         if with_result and self.result is not None:
             record["result"] = self.result
         return record
+
+
+# ---------------------------------------------------------------------------
+# Persistent memoization
+# ---------------------------------------------------------------------------
+class MemoTable:
+    """The job memo table, optionally persisted to one JSON file.
+
+    With a *path*, every completed result is written through with the
+    same discipline as :mod:`repro.functional.kernelcache`: staged to a
+    pid-unique temp file, published with an atomic ``os.replace``, and
+    on load a corrupt / truncated / wrong-format file is **discarded
+    and deleted**, never trusted — the memo is a cache, losing it only
+    costs re-simulation.  This is what lets a thousand-job sweep
+    survive a ``repro-serve`` restart: resubmitted configurations come
+    back as instant memo hits.
+
+    Without a *path* it is a plain in-memory dict (the
+    :class:`JobQueue` default, and what tests use for hermeticity).
+    """
+
+    #: On-disk schema version; bump to invalidate old files.
+    FORMAT = 1
+
+    def __init__(self, path: str | None = None) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+        self._entries: dict[str, dict] = {}
+        #: True when a persisted table was successfully read back.
+        self.loaded_from_disk = False
+        if path is not None:
+            self._load()
+
+    def _discard(self) -> None:
+        """Delete an unusable on-disk table (best effort)."""
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+    def _load(self) -> None:
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                doc = json.load(handle)
+        except FileNotFoundError:
+            return
+        except (OSError, ValueError):
+            self._discard()
+            return
+        memo = doc.get("memo") if isinstance(doc, dict) else None
+        if not isinstance(doc, dict) or doc.get("format") != self.FORMAT \
+                or not isinstance(memo, dict):
+            self._discard()
+            return
+        self._entries = {key: value for key, value in memo.items()
+                         if isinstance(value, dict)}
+        self.loaded_from_disk = True
+
+    def _save_locked(self) -> None:
+        """Atomic write-through (caller holds the lock).
+
+        A failed write is swallowed: persistence is an optimisation and
+        the in-memory table stays authoritative for this process.
+        """
+        directory = os.path.dirname(self.path) or "."
+        temp_name = None
+        try:
+            os.makedirs(directory, exist_ok=True)
+            fd, temp_name = tempfile.mkstemp(
+                dir=directory, prefix=f".{os.getpid()}-", suffix=".tmp")
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump({"format": self.FORMAT,
+                           "memo": self._entries}, handle)
+            os.replace(temp_name, self.path)
+            temp_name = None
+        except OSError:
+            if temp_name is not None:
+                try:
+                    os.unlink(temp_name)
+                except OSError:
+                    pass
+
+    def get(self, key: str) -> dict | None:
+        """Cached result for *key*, or ``None``."""
+        with self._lock:
+            return self._entries.get(key)
+
+    def put(self, key: str, result: dict) -> None:
+        """Record *key* -> *result*, writing through when persistent."""
+        with self._lock:
+            self._entries[key] = result
+            if self.path is not None:
+                self._save_locked()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
 
 
 class JobQueue:
@@ -241,7 +528,7 @@ class JobQueue:
         self._lock = threading.Lock()
         self._jobs: dict[str, Job] = {}
         self._order: list[str] = []
-        self._memo: dict[str, dict] = {}
+        self._memo = MemoTable()
         self._leaders: dict[str, str] = {}     # key -> leader job_id
         self._followers: dict[str, list[str]] = {}
         self._seq = itertools.count(1)
@@ -253,6 +540,7 @@ class JobQueue:
     # -- submission -----------------------------------------------------
     def submit(self, workload: str, config: dict | None = None,
                seed: int = 0) -> Job:
+        """Queue one job and return its record immediately."""
         if workload not in self.registry:
             raise ServiceError(
                 f"unknown workload {workload!r}; "
@@ -287,6 +575,7 @@ class JobQueue:
 
     # -- execution ------------------------------------------------------
     def _run(self, job_id: str) -> None:
+        """Worker-thread body: execute one leader job to completion."""
         job = self._jobs[job_id]
         with self._lock:
             job.state = RUNNING
@@ -294,12 +583,20 @@ class JobQueue:
             runner = self.registry[job.workload]
             result = runner(job.config, job.seed)
         except Exception as exc:  # a failed job must never kill a worker
-            self._complete(job, error=f"{type(exc).__name__}: {exc}")
+            self._complete(job, error=f"{type(exc).__name__}: {exc}",
+                           traceback=traceback_module.format_exc())
         else:
             self._complete(job, result=result)
 
     def _complete(self, job: Job, *, result: dict | None = None,
-                  error: str | None = None) -> None:
+                  error: str | None = None,
+                  traceback: str | None = None) -> None:
+        """Close the leader and every coalesced follower together.
+
+        On failure the worker traceback rides onto every closing record
+        so the REST job record carries the structured failure signal,
+        not just a one-line message.
+        """
         now = time.time()
         with self._lock:
             followers = self._followers.pop(job.key, [])
@@ -313,8 +610,9 @@ class JobQueue:
                 else:
                     record.state = ERROR
                     record.error = error
+                    record.traceback = traceback
             if error is None:
-                self._memo[job.key] = result
+                self._memo.put(job.key, result)
                 self._counters["executed"] += 1
             else:
                 self._counters["errors"] += 1 + len(followers)
@@ -323,6 +621,7 @@ class JobQueue:
 
     # -- observation ----------------------------------------------------
     def _get(self, job_id: str) -> Job:
+        """Look up a job record or raise the typed unknown-id error."""
         job = self._jobs.get(job_id)
         if job is None:
             raise ServiceError(f"unknown job id {job_id!r}")
@@ -353,6 +652,7 @@ class JobQueue:
                 for jid in self._order]
 
     def stats(self) -> dict:
+        """Flat counters (the ``/api/stats`` shape)."""
         with self._lock:
             counters = dict(self._counters)
         counters["memo_entries"] = len(self._memo)
@@ -360,4 +660,5 @@ class JobQueue:
         return counters
 
     def shutdown(self, wait: bool = True) -> None:
+        """Stop the worker pool (queued jobs finish when ``wait``)."""
         self._executor.shutdown(wait=wait)

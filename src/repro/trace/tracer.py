@@ -30,17 +30,33 @@ from dataclasses import dataclass, field
 
 from repro.trace.clock import SimClock
 
-#: Well-known tracks.  Streams get ``stream_tid(stream_id)``; shard
+#: Well-known tracks.  Streams get ``stream_tid(stream_id)``; simulated
+#: GPU workers of the cluster scheduler get ``gpu_tid(index)``; shard
 #: workers of the simulation service get ``shard_tid(index)``.
 TID_API = 1
 TID_RUNTIME = 2
 _TID_STREAM_BASE = 10
+_TID_GPU_BASE = 500
 _TID_SHARD_BASE = 1000
 
 
 def stream_tid(stream_id: int) -> int:
     """Track id for a CUDA stream (stream 0 = the default stream)."""
     return _TID_STREAM_BASE + stream_id
+
+
+def gpu_tid(gpu_index: int) -> int:
+    """Track id for one simulated GPU worker of the cluster scheduler.
+
+    Scheduler tracks sit between the stream range and the shard range,
+    so a single trace can show the cluster view (one slice per job on
+    each GPU track, plus the queue-depth counter series) above the
+    per-shard execution detail.  Scheduler events are stamped with
+    *wall* seconds since the scheduler started rather than simulated
+    time — the scheduler multiplexes many independent runtimes, each
+    with its own :class:`~repro.trace.clock.SimClock`.
+    """
+    return _TID_GPU_BASE + gpu_index
 
 
 def shard_tid(shard_index: int) -> int:

@@ -1,0 +1,74 @@
+"""Lint the operator's guide (docs/OPERATIONS.md) for coverage.
+
+Two contracts, both enforced in CI so the guide cannot rot:
+
+* every REST route in ``API_ROUTES`` (the manifest in
+  ``src/repro/service/rest.py``) must be documented — adding an
+  endpoint without documenting it fails the build;
+* every console script declared in ``[project.scripts]`` of
+  ``pyproject.toml`` must be mentioned — an operator reading the guide
+  sees every entry point that exists.
+
+    python tools/check_operations_doc.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+DOC = ROOT / "docs" / "OPERATIONS.md"
+
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.service.rest import API_ROUTES  # noqa: E402
+
+
+def console_scripts() -> list[str]:
+    """Script names from ``[project.scripts]`` in pyproject.toml."""
+    text = (ROOT / "pyproject.toml").read_text()
+    match = re.search(r"\[project\.scripts\](.*?)(?:\n\[|\Z)", text,
+                      re.DOTALL)
+    if match is None:
+        return []
+    return re.findall(r"^([A-Za-z0-9_-]+)\s*=", match.group(1),
+                      re.MULTILINE)
+
+
+def main() -> int:
+    problems: list[str] = []
+    if not DOC.exists():
+        print("FAIL: docs/OPERATIONS.md is missing", file=sys.stderr)
+        return 1
+    # Headings HTML-escape angle brackets; normalise before matching.
+    text = DOC.read_text().replace("&lt;", "<").replace("&gt;", ">")
+    for method, path in API_ROUTES:
+        if path not in text:
+            problems.append(
+                f"route {method} {path} (API_ROUTES) is not documented "
+                "in docs/OPERATIONS.md")
+        elif f"{method} {path}" not in text:
+            problems.append(
+                f"docs/OPERATIONS.md mentions {path} but never as "
+                f"'{method} {path}' — document the method")
+    scripts = console_scripts()
+    if not scripts:
+        problems.append("no [project.scripts] found in pyproject.toml")
+    for script in scripts:
+        if script not in text:
+            problems.append(
+                f"console script {script!r} (pyproject.toml) is not "
+                "mentioned in docs/OPERATIONS.md")
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    print(f"ok: docs/OPERATIONS.md documents all {len(API_ROUTES)} "
+          f"REST routes and {len(scripts)} console scripts")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
